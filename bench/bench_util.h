@@ -1,0 +1,31 @@
+// Shared helpers for the experiment binaries: `--csv` switches the output
+// to machine-readable CSV (for plotting) instead of the aligned table.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+
+#include "analysis/table.h"
+
+namespace cbt::bench {
+
+inline bool WantCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+/// Prints the table in the selected format. In CSV mode, `tag` is emitted
+/// as a section marker line (`# <tag>`) so multi-table benches stay
+/// parseable.
+inline void Emit(const analysis::Table& table, bool csv, const char* tag) {
+  if (csv) {
+    std::cout << "# " << tag << "\n";
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace cbt::bench

@@ -1,0 +1,142 @@
+// Experiment E9 — wire-codec microbenchmarks (google-benchmark).
+//
+// The spec argues CBT-mode encapsulation is cheap ("decapsulation is
+// relatively efficient", section 5); these benchmarks measure our
+// implementation's per-packet costs: header encode/decode, checksum, and
+// the full CBT-mode encapsulate/decapsulate round trip.
+#include <benchmark/benchmark.h>
+
+#include "common/checksum.h"
+#include "packet/encap.h"
+
+namespace {
+
+using namespace cbt;          // NOLINT
+using namespace cbt::packet;  // NOLINT
+
+ControlPacket MakeJoin() {
+  ControlPacket pkt;
+  pkt.type = ControlType::kJoinRequest;
+  pkt.code = static_cast<std::uint8_t>(JoinSubcode::kActiveJoin);
+  pkt.group = Ipv4Address(239, 0, 0, 7);
+  pkt.origin = Ipv4Address(10, 4, 0, 1);
+  pkt.target_core = Ipv4Address(10, 99, 0, 1);
+  pkt.cores = {Ipv4Address(10, 99, 0, 1), Ipv4Address(10, 98, 0, 1),
+               Ipv4Address(10, 97, 0, 1)};
+  return pkt;
+}
+
+void BM_ControlEncode(benchmark::State& state) {
+  const ControlPacket pkt = MakeJoin();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkt.Encode());
+  }
+}
+BENCHMARK(BM_ControlEncode);
+
+void BM_ControlDecode(benchmark::State& state) {
+  const auto bytes = MakeJoin().Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ControlPacket::Decode(bytes));
+  }
+}
+BENCHMARK(BM_ControlDecode);
+
+void BM_DataHeaderEncode(benchmark::State& state) {
+  CbtDataHeader hdr;
+  hdr.group = Ipv4Address(239, 1, 2, 3);
+  hdr.core = Ipv4Address(10, 5, 0, 1);
+  hdr.origin = Ipv4Address(10, 1, 0, 100);
+  hdr.ip_ttl = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdr.EncodeToBytes());
+  }
+}
+BENCHMARK(BM_DataHeaderEncode);
+
+void BM_DataHeaderDecode(benchmark::State& state) {
+  CbtDataHeader hdr;
+  hdr.group = Ipv4Address(239, 1, 2, 3);
+  hdr.ip_ttl = 64;
+  const auto bytes = hdr.EncodeToBytes();
+  for (auto _ : state) {
+    BufferReader reader(bytes);
+    benchmark::DoNotOptimize(CbtDataHeader::Decode(reader));
+  }
+}
+BENCHMARK(BM_DataHeaderDecode);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InternetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(28)->Arg(256)->Arg(1500);
+
+void BM_CbtModeEncapsulate(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0xAB);
+  const auto inner = BuildAppDatagram(Ipv4Address(10, 10, 0, 100),
+                                      Ipv4Address(239, 1, 2, 3), payload);
+  CbtDataHeader hdr;
+  hdr.group = Ipv4Address(239, 1, 2, 3);
+  hdr.core = Ipv4Address(10, 5, 0, 1);
+  hdr.origin = Ipv4Address(10, 10, 0, 100);
+  hdr.ip_ttl = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildCbtModeDatagram(
+        Ipv4Address(10, 3, 0, 1), Ipv4Address(10, 4, 0, 1), hdr, inner));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(inner.size()));
+}
+BENCHMARK(BM_CbtModeEncapsulate)->Arg(64)->Arg(512)->Arg(1400);
+
+void BM_CbtModeDecapsulate(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0xAB);
+  const auto inner = BuildAppDatagram(Ipv4Address(10, 10, 0, 100),
+                                      Ipv4Address(239, 1, 2, 3), payload);
+  CbtDataHeader hdr;
+  hdr.group = Ipv4Address(239, 1, 2, 3);
+  hdr.ip_ttl = 64;
+  const auto bytes = BuildCbtModeDatagram(Ipv4Address(10, 3, 0, 1),
+                                          Ipv4Address(10, 4, 0, 1), hdr,
+                                          inner);
+  for (auto _ : state) {
+    const auto parsed = ParseDatagram(bytes);
+    benchmark::DoNotOptimize(ExtractCbtModeData(*parsed));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_CbtModeDecapsulate)->Arg(64)->Arg(512)->Arg(1400);
+
+void BM_TtlDecrement(benchmark::State& state) {
+  const auto dgram = BuildAppDatagram(Ipv4Address(10, 10, 0, 100),
+                                      Ipv4Address(239, 1, 2, 3),
+                                      std::vector<std::uint8_t>(512, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WithDecrementedTtl(dgram));
+  }
+}
+BENCHMARK(BM_TtlDecrement);
+
+void BM_IgmpCoreReportRoundTrip(benchmark::State& state) {
+  IgmpMessage msg;
+  msg.type = IgmpType::kRpCoreReport;
+  msg.group = Ipv4Address(239, 1, 2, 3);
+  msg.cores = {Ipv4Address(10, 99, 0, 1), Ipv4Address(10, 98, 0, 1)};
+  for (auto _ : state) {
+    const auto bytes = msg.Encode();
+    benchmark::DoNotOptimize(IgmpMessage::Decode(bytes));
+  }
+}
+BENCHMARK(BM_IgmpCoreReportRoundTrip);
+
+}  // namespace

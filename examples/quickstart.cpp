@@ -1,0 +1,77 @@
+// Quickstart: build a small CBT domain, join a group, send data.
+//
+// Walks through the whole public API surface in ~80 lines:
+//   1. build a topology in the simulator;
+//   2. wrap it in a CbtDomain (one CbtRouter per router, HostAgent per
+//      host, shared RouteManager + GroupDirectory);
+//   3. register a group with its ordered core list (the "group
+//      initiation" of spec section 2.1);
+//   4. join from hosts (IGMP report + RP/Core-Report -> D-DR join);
+//   5. multicast data and observe delivery.
+#include <cstdio>
+
+#include <iostream>
+
+#include "cbt/domain.h"
+#include "cbt/tree_printer.h"
+#include "netsim/topologies.h"
+
+using namespace cbt;  // NOLINT — example brevity
+
+int main() {
+  // 1. A 3x3 grid of routers, each with a stub LAN for hosts.
+  netsim::Simulator sim(/*seed=*/1);
+  netsim::Topology topo = netsim::MakeGrid(sim, 3, 3);
+
+  // 2. CBT protocol agents on every router.
+  core::CbtDomain domain(sim, topo);
+
+  // 3. One multicast group, its core at the grid centre.
+  const Ipv4Address group(239, 42, 0, 1);
+  domain.RegisterGroup(group, {topo.routers[4]});
+
+  // 4. Hosts: a receiver in each corner, a sender at the centre LAN.
+  domain.Start();
+  sim.RunUntil(kSecond);  // let IGMP querier elections settle
+
+  core::HostAgent& nw = domain.AddHost(topo.router_lans[0], "nw");
+  core::HostAgent& ne = domain.AddHost(topo.router_lans[2], "ne");
+  core::HostAgent& sw = domain.AddHost(topo.router_lans[6], "sw");
+  core::HostAgent& se = domain.AddHost(topo.router_lans[8], "se");
+  core::HostAgent& sender = domain.AddHost(topo.router_lans[4], "sender");
+
+  for (core::HostAgent* h : {&nw, &ne, &sw, &se}) {
+    h->on_data = [h](const core::HostAgent::Received& r) {
+      std::printf("  [%s] t=%s got %zu bytes from %s\n",
+                  h->id().IsValid() ? "host" : "?",
+                  FormatSimTime(r.time).c_str(), r.bytes,
+                  r.src.ToString().c_str());
+    };
+    h->JoinGroup(group);
+  }
+  sim.RunUntil(10 * kSecond);  // joins complete (sub-second in practice)
+
+  std::printf("tree built: %zu routers hold a FIB entry for %s\n",
+              domain.OnTreeRouters(group).size(), group.ToString().c_str());
+  core::PrintTree(domain, group, std::cout);
+
+  // 5. Send. The sender's LAN has no members; this exercises non-member
+  // sending (spec section 5.1) just as transparently.
+  const std::uint8_t payload[] = {'h', 'e', 'l', 'l', 'o'};
+  sender.SendToGroup(group, payload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+
+  std::printf("deliveries: nw=%llu ne=%llu sw=%llu se=%llu\n",
+              (unsigned long long)nw.ReceivedCount(group),
+              (unsigned long long)ne.ReceivedCount(group),
+              (unsigned long long)sw.ReceivedCount(group),
+              (unsigned long long)se.ReceivedCount(group));
+
+  // Leave and watch the tree tear itself down (section 2.7).
+  for (core::HostAgent* h : {&nw, &ne, &sw, &se}) h->LeaveGroup(group);
+  sim.RunUntil(sim.Now() + 120 * kSecond);
+  std::printf("after leaves: %zu routers still on-tree (the core anchors "
+              "the group)\n",
+              domain.OnTreeRouters(group).size());
+  return 0;
+}

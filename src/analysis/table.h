@@ -1,0 +1,40 @@
+// Fixed-width table rendering for the experiment harness: every bench
+// prints the rows/series it regenerates, and can optionally dump CSV for
+// external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <cstdint>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace cbt::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; cells are pre-formatted strings.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience formatters.
+  template <typename Integer>
+    requires std::is_integral_v<Integer>
+  static std::string Num(Integer v) {
+    return std::to_string(v);
+  }
+  static std::string Fixed(double v, int decimals = 2);
+
+  /// Renders with column alignment and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbt::analysis

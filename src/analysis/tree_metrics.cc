@@ -1,0 +1,229 @@
+#include "analysis/tree_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbt::analysis {
+namespace {
+
+std::pair<NodeId, NodeId> NormalizedEdge(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Splices the unicast path `path` (from a node toward the tree/root)
+/// into `tree`, stopping at the first node already on the tree.
+void SpliceTowardRoot(Tree& tree, routing::RouteManager& routes,
+                      const std::vector<NodeId>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (tree.Contains(path[i])) return;
+    tree.parent[path[i]] = path[i + 1];
+    tree.edge_delay[path[i]] = routes.PathDelay(path[i], path[i + 1]);
+  }
+}
+
+std::vector<NodeId> AncestryToRoot(const Tree& tree, NodeId n) {
+  std::vector<NodeId> chain{n};
+  while (chain.back() != tree.root) {
+    const auto it = tree.parent.find(chain.back());
+    assert(it != tree.parent.end() && "node not on tree");
+    chain.push_back(it->second);
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::vector<NodeId> Tree::PathBetween(NodeId a, NodeId b) const {
+  const std::vector<NodeId> up_a = AncestryToRoot(*this, a);
+  const std::vector<NodeId> up_b = AncestryToRoot(*this, b);
+  // Find the lowest common ancestor: walk back from the root.
+  std::size_t ia = up_a.size();
+  std::size_t ib = up_b.size();
+  while (ia > 0 && ib > 0 && up_a[ia - 1] == up_b[ib - 1]) {
+    --ia;
+    --ib;
+  }
+  // up_a[0..ia] descends to the LCA (inclusive at index ia); then the
+  // reversed b-side.
+  std::vector<NodeId> path(up_a.begin(), up_a.begin() + (std::ptrdiff_t)ia + 1);
+  for (std::size_t i = ib; i-- > 0;) {
+    path.push_back(up_b[i]);
+  }
+  return path;
+}
+
+SimDuration Tree::DelayBetween(NodeId a, NodeId b) const {
+  const auto path = PathBetween(a, b);
+  SimDuration total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    // One endpoint of each consecutive pair is the other's child and owns
+    // the edge record.
+    const NodeId a = path[i];
+    const NodeId b = path[i + 1];
+    if (const auto it = parent.find(a); it != parent.end() && it->second == b) {
+      total += edge_delay.at(a);
+    } else {
+      total += edge_delay.at(b);
+    }
+  }
+  return total;
+}
+
+std::size_t Tree::HopsBetween(NodeId a, NodeId b) const {
+  return PathBetween(a, b).size() - 1;
+}
+
+std::set<std::pair<NodeId, NodeId>> Tree::Edges() const {
+  std::set<std::pair<NodeId, NodeId>> out;
+  for (const auto& [child, par] : parent) {
+    out.insert(NormalizedEdge(child, par));
+  }
+  return out;
+}
+
+Tree BuildSharedTree(routing::RouteManager& routes, NodeId core,
+                     const std::vector<NodeId>& member_routers) {
+  Tree tree;
+  tree.root = core;
+  for (const NodeId member : member_routers) {
+    if (tree.Contains(member)) continue;
+    // The join travels the unicast path member -> core and terminates at
+    // the first on-tree router — exactly SpliceTowardRoot semantics.
+    const std::vector<NodeId> path = routes.Path(member, core);
+    if (path.empty()) continue;  // unreachable member
+    SpliceTowardRoot(tree, routes, path);
+  }
+  return tree;
+}
+
+Tree BuildSourceTree(routing::RouteManager& routes, NodeId source,
+                     const std::vector<NodeId>& member_routers) {
+  Tree tree;
+  tree.root = source;
+  for (const NodeId member : member_routers) {
+    if (tree.Contains(member)) continue;
+    // Shortest path source -> member, spliced from the member side up.
+    std::vector<NodeId> path = routes.Path(source, member);
+    if (path.empty()) continue;
+    std::reverse(path.begin(), path.end());  // member ... source
+    SpliceTowardRoot(tree, routes, path);
+  }
+  return tree;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> SharedTreeLinkLoad(
+    routing::RouteManager& routes, const Tree& tree,
+    const std::vector<NodeId>& senders) {
+  std::map<std::pair<NodeId, NodeId>, int> load;
+  for (const NodeId sender : senders) {
+    // Off-tree senders unicast to the root (core) first.
+    if (!tree.Contains(sender)) {
+      const auto path = routes.Path(sender, tree.root);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        ++load[NormalizedEdge(path[i], path[i + 1])];
+      }
+    }
+    // The packet then floods every tree link exactly once.
+    for (const auto& edge : tree.Edges()) {
+      ++load[edge];
+    }
+  }
+  return load;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> SourceTreesLinkLoad(
+    routing::RouteManager& routes, const std::vector<NodeId>& senders,
+    const std::vector<NodeId>& member_routers) {
+  std::map<std::pair<NodeId, NodeId>, int> load;
+  for (const NodeId sender : senders) {
+    const Tree spt = BuildSourceTree(routes, sender, member_routers);
+    for (const auto& edge : spt.Edges()) {
+      ++load[edge];
+    }
+  }
+  return load;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> UnidirectionalSharedTreeLinkLoad(
+    routing::RouteManager& routes, const Tree& tree,
+    const std::vector<NodeId>& senders) {
+  std::map<std::pair<NodeId, NodeId>, int> load;
+  for (const NodeId sender : senders) {
+    // Up-leg: unicast sender -> root (PIM-SM register path; even on-tree
+    // senders pay this in the unidirectional model).
+    const auto up = routes.Path(sender, tree.root);
+    for (std::size_t i = 0; i + 1 < up.size(); ++i) {
+      ++load[NormalizedEdge(up[i], up[i + 1])];
+    }
+    // Down-leg: one copy on every tree link, rooted at the RP.
+    for (const auto& edge : tree.Edges()) {
+      ++load[edge];
+    }
+  }
+  return load;
+}
+
+DelayRatio UnidirectionalTreeDelayRatio(
+    routing::RouteManager& routes, const Tree& tree,
+    const std::vector<NodeId>& member_routers) {
+  DelayRatio out;
+  double sum = 0.0;
+  int pairs = 0;
+  for (const NodeId a : member_routers) {
+    for (const NodeId b : member_routers) {
+      if (a == b || !tree.Contains(b)) continue;
+      const SimDuration via_root =
+          routes.PathDelay(a, tree.root) + tree.DelayBetween(tree.root, b);
+      const SimDuration unicast = routes.PathDelay(a, b);
+      if (unicast <= 0) continue;
+      const double ratio =
+          static_cast<double>(via_root) / static_cast<double>(unicast);
+      out.max_ratio = std::max(out.max_ratio, ratio);
+      out.max_tree_delay = std::max(out.max_tree_delay, via_root);
+      sum += ratio;
+      ++pairs;
+    }
+  }
+  out.mean_ratio = pairs > 0 ? sum / pairs : 0.0;
+  return out;
+}
+
+DelayRatio SharedTreeDelayRatio(routing::RouteManager& routes,
+                                const Tree& tree,
+                                const std::vector<NodeId>& member_routers) {
+  DelayRatio out;
+  double sum = 0.0;
+  int pairs = 0;
+  for (const NodeId a : member_routers) {
+    for (const NodeId b : member_routers) {
+      if (a == b || !tree.Contains(a) || !tree.Contains(b)) continue;
+      const SimDuration tree_delay = tree.DelayBetween(a, b);
+      const SimDuration unicast_delay = routes.PathDelay(a, b);
+      if (unicast_delay <= 0) continue;
+      const double ratio = static_cast<double>(tree_delay) /
+                           static_cast<double>(unicast_delay);
+      out.max_ratio = std::max(out.max_ratio, ratio);
+      out.max_tree_delay = std::max(out.max_tree_delay, tree_delay);
+      sum += ratio;
+      ++pairs;
+    }
+  }
+  out.mean_ratio = pairs > 0 ? sum / pairs : 0.0;
+  return out;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.min = s.max = values.front();
+  double sum = 0;
+  for (const double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+}  // namespace cbt::analysis

@@ -1,0 +1,115 @@
+// Graph-level tree oracles and metrics.
+//
+// These compute the *idealized* trees the SIGCOMM'93 evaluation compares:
+//  * the CBT shared tree — the union of unicast join paths from each
+//    member router to the core (exactly what hop-by-hop JOIN-REQUESTs
+//    build);
+//  * the per-source shortest-path tree (SPT) — what DVMRP/MOSPF converge
+//    to after pruning.
+// Metrics derived from them drive experiments E2 (tree cost), E3 (delay
+// ratio vs core placement) and E4 (traffic concentration).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "routing/route_manager.h"
+
+namespace cbt::analysis {
+
+/// An (undirected) multicast distribution tree over router nodes.
+struct Tree {
+  NodeId root;
+  /// parent[n] for every on-tree node except the root.
+  std::map<NodeId, NodeId> parent;
+  /// Link delay of the edge (n, parent[n]).
+  std::map<NodeId, SimDuration> edge_delay;
+
+  bool Contains(NodeId n) const { return n == root || parent.contains(n); }
+
+  /// Number of links in the tree — the "tree cost" metric.
+  std::size_t Cost() const { return parent.size(); }
+
+  std::size_t NodeCount() const { return parent.size() + (parent.empty() ? 0 : 1); }
+
+  /// Path (node sequence) between two on-tree nodes, via their LCA.
+  std::vector<NodeId> PathBetween(NodeId a, NodeId b) const;
+
+  /// Summed edge delay along PathBetween.
+  SimDuration DelayBetween(NodeId a, NodeId b) const;
+
+  /// Hop count along PathBetween.
+  std::size_t HopsBetween(NodeId a, NodeId b) const;
+
+  /// Normalized undirected edge list (lower id first).
+  std::set<std::pair<NodeId, NodeId>> Edges() const;
+};
+
+/// Shared tree rooted at `core`: union of the unicast shortest paths each
+/// member router would send its JOIN-REQUEST along.
+Tree BuildSharedTree(routing::RouteManager& routes, NodeId core,
+                     const std::vector<NodeId>& member_routers);
+
+/// Per-source shortest-path tree covering the members (DVMRP-ideal):
+/// union of shortest paths source -> member. Paths are computed from the
+/// source side, matching a link-state SPT (RPF trees differ only under
+/// asymmetric metrics).
+Tree BuildSourceTree(routing::RouteManager& routes, NodeId source,
+                     const std::vector<NodeId>& member_routers);
+
+// ---------------------------------------------------------------------------
+// Derived metrics.
+// ---------------------------------------------------------------------------
+
+/// Per-link load when every listed sender multicasts one packet.
+///
+/// Shared tree: a packet from an on-tree sender traverses *every* tree
+/// link once (bidirectional flood over the tree); off-tree senders
+/// additionally cross their unicast path to the core. Source trees: each
+/// packet crosses exactly its own SPT's links.
+std::map<std::pair<NodeId, NodeId>, int> SharedTreeLinkLoad(
+    routing::RouteManager& routes, const Tree& tree,
+    const std::vector<NodeId>& senders);
+
+std::map<std::pair<NodeId, NodeId>, int> SourceTreesLinkLoad(
+    routing::RouteManager& routes, const std::vector<NodeId>& senders,
+    const std::vector<NodeId>& member_routers);
+
+/// Per-link load for a *unidirectional* shared tree (the PIM-SM shape CBT
+/// is contrasted with): every sender's packet travels sender -> root
+/// (register/unicast leg), then down from the root to all members. Links
+/// between a sender and the root carry the packet twice (up then down)
+/// unless the down-direction subtree does not include them; we count
+/// transmissions per link, so an up+down traversal counts 2.
+std::map<std::pair<NodeId, NodeId>, int> UnidirectionalSharedTreeLinkLoad(
+    routing::RouteManager& routes, const Tree& tree,
+    const std::vector<NodeId>& senders);
+
+
+/// Max and mean ratio of tree-path delay to unicast shortest-path delay
+/// over all ordered member pairs (the CBT "delay penalty").
+struct DelayRatio {
+  double max_ratio = 0.0;
+  double mean_ratio = 0.0;
+  SimDuration max_tree_delay = 0;
+};
+
+DelayRatio SharedTreeDelayRatio(routing::RouteManager& routes,
+                                const Tree& tree,
+                                const std::vector<NodeId>& member_routers);
+/// Member-pair delay penalty for the unidirectional tree: every packet
+/// detours via the root, so delay(a,b) = delay(a->root) + delay(root->b).
+DelayRatio UnidirectionalTreeDelayRatio(
+    routing::RouteManager& routes, const Tree& tree,
+    const std::vector<NodeId>& member_routers);
+
+
+/// Summary statistics helper.
+struct Summary {
+  double min = 0, max = 0, mean = 0;
+};
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace cbt::analysis

@@ -1,0 +1,74 @@
+#include "baselines/dvmrp_domain.h"
+
+#include <cassert>
+
+namespace cbt::baselines {
+
+DvmrpDomain::DvmrpDomain(netsim::Simulator& sim, netsim::Topology& topo,
+                         DvmrpConfig config, igmp::IgmpConfig igmp_config)
+    : sim_(&sim), topo_(&topo), routes_(sim) {
+  for (const NodeId id : topo.routers) {
+    auto router =
+        std::make_unique<DvmrpRouter>(sim, id, routes_, config, igmp_config);
+    sim.SetAgent(id, router.get());
+    routers_[id] = std::move(router);
+  }
+  for (const NodeId id : topo.hosts) {
+    auto host = std::make_unique<core::HostAgent>(sim, id, nullptr);
+    sim.SetAgent(id, host.get());
+    hosts_[id] = std::move(host);
+  }
+}
+
+DvmrpRouter& DvmrpDomain::router(NodeId id) {
+  const auto it = routers_.find(id);
+  assert(it != routers_.end());
+  return *it->second;
+}
+
+DvmrpRouter& DvmrpDomain::router(const std::string& name) {
+  return router(topo_->node(name));
+}
+
+core::HostAgent& DvmrpDomain::host(NodeId id) {
+  const auto it = hosts_.find(id);
+  assert(it != hosts_.end());
+  return *it->second;
+}
+
+core::HostAgent& DvmrpDomain::host(const std::string& name) {
+  return host(topo_->node(name));
+}
+
+core::HostAgent& DvmrpDomain::AddHost(SubnetId lan, const std::string& name) {
+  const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
+  auto host = std::make_unique<core::HostAgent>(*sim_, id, nullptr);
+  sim_->SetAgent(id, host.get());
+  core::HostAgent& ref = *host;
+  hosts_[id] = std::move(host);
+  return ref;
+}
+
+std::size_t DvmrpDomain::TotalStateUnits() const {
+  std::size_t total = 0;
+  for (const auto& [id, router] : routers_) total += router->StateUnits();
+  return total;
+}
+
+std::uint64_t DvmrpDomain::TotalControlMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, router] : routers_) {
+    total += router->stats().ControlMessagesSent();
+  }
+  return total;
+}
+
+std::size_t DvmrpDomain::TotalForwardingEntries() const {
+  std::size_t total = 0;
+  for (const auto& [id, router] : routers_) {
+    total += router->ForwardingEntries();
+  }
+  return total;
+}
+
+}  // namespace cbt::baselines

@@ -1,0 +1,45 @@
+// Harness wiring a topology into a DVMRP flood-and-prune domain,
+// mirroring CbtDomain so experiments can run both schemes on identical
+// topologies and workloads.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dvmrp_router.h"
+#include "cbt/host.h"
+#include "netsim/topologies.h"
+#include "routing/route_manager.h"
+
+namespace cbt::baselines {
+
+class DvmrpDomain {
+ public:
+  DvmrpDomain(netsim::Simulator& sim, netsim::Topology& topo,
+              DvmrpConfig config = {}, igmp::IgmpConfig igmp_config = {});
+
+  void Start() { sim_->StartAgents(); }
+
+  DvmrpRouter& router(NodeId id);
+  DvmrpRouter& router(const std::string& name);
+  core::HostAgent& host(NodeId id);
+  core::HostAgent& host(const std::string& name);
+  core::HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  routing::RouteManager& routes() { return routes_; }
+
+  std::size_t TotalStateUnits() const;
+  std::uint64_t TotalControlMessages() const;
+  std::size_t TotalForwardingEntries() const;
+
+ private:
+  netsim::Simulator* sim_;
+  netsim::Topology* topo_;
+  routing::RouteManager routes_;
+  std::map<NodeId, std::unique_ptr<DvmrpRouter>> routers_;
+  std::map<NodeId, std::unique_ptr<core::HostAgent>> hosts_;
+};
+
+}  // namespace cbt::baselines

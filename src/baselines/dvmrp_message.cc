@@ -1,0 +1,41 @@
+#include "baselines/dvmrp_message.h"
+
+#include "common/checksum.h"
+
+namespace cbt::baselines {
+namespace {
+constexpr std::size_t kSize = 16;  // type, pad, checksum, group, src, life
+}
+
+std::vector<std::uint8_t> DvmrpMessage::Encode() const {
+  BufferWriter out(kSize);
+  out.WriteU8(static_cast<std::uint8_t>(type));
+  out.WriteU8(0);
+  const std::size_t checksum_offset = out.size();
+  out.WriteU16(0);
+  out.WriteAddress(group);
+  out.WriteAddress(source);
+  out.WriteU32(lifetime_s);
+  out.PatchU16(checksum_offset, InternetChecksum(out.View()));
+  return std::move(out).Take();
+}
+
+std::optional<DvmrpMessage> DvmrpMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) return std::nullopt;
+  if (!VerifyInternetChecksum(bytes.subspan(0, kSize))) return std::nullopt;
+  BufferReader in(bytes);
+  DvmrpMessage msg;
+  const std::uint8_t raw = in.ReadU8();
+  if (raw < 1 || raw > 3) return std::nullopt;
+  msg.type = static_cast<DvmrpType>(raw);
+  in.ReadU8();
+  in.ReadU16();  // checksum verified above
+  msg.group = in.ReadAddress();
+  msg.source = in.ReadAddress();
+  msg.lifetime_s = in.ReadU32();
+  if (!msg.group.IsMulticast()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace cbt::baselines

@@ -1,0 +1,41 @@
+// Control messages for the DVMRP-style flood-and-prune baseline.
+//
+// The SIGCOMM'93 CBT paper positions CBT against per-source broadcast
+// trees "such as DVMRP [1]". We model the two messages that matter for
+// the state/overhead comparison: PRUNE and GRAFT, carried over UDP on a
+// dedicated port. (Real DVMRP rides on IGMP and adds route exchange; our
+// baseline uses the shared link-state substrate for RPF instead, which
+// only *under*-states DVMRP's overhead — a conservative comparison.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace cbt::baselines {
+
+constexpr std::uint16_t kDvmrpPort = 7779;
+
+enum class DvmrpType : std::uint8_t {
+  kPrune = 1,
+  kGraft = 2,
+  kGraftAck = 3,
+};
+
+struct DvmrpMessage {
+  DvmrpType type = DvmrpType::kPrune;
+  Ipv4Address group;
+  /// Source host address the (S,G) state refers to.
+  Ipv4Address source;
+  /// Requested prune lifetime in seconds (prunes only).
+  std::uint32_t lifetime_s = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<DvmrpMessage> Decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace cbt::baselines

@@ -1,0 +1,55 @@
+#include "baselines/mospf_domain.h"
+
+#include <cassert>
+
+namespace cbt::baselines {
+
+MospfDomain::MospfDomain(netsim::Simulator& sim, netsim::Topology& topo,
+                         igmp::IgmpConfig igmp_config)
+    : sim_(&sim), topo_(&topo), routes_(sim) {
+  for (const NodeId id : topo.routers) {
+    auto router = std::make_unique<MospfRouter>(sim, id, routes_, igmp_config);
+    sim.SetAgent(id, router.get());
+    routers_[id] = std::move(router);
+  }
+  for (const NodeId id : topo.hosts) {
+    auto host = std::make_unique<core::HostAgent>(sim, id, nullptr);
+    sim.SetAgent(id, host.get());
+    hosts_[id] = std::move(host);
+  }
+}
+
+MospfRouter& MospfDomain::router(NodeId id) {
+  const auto it = routers_.find(id);
+  assert(it != routers_.end());
+  return *it->second;
+}
+
+MospfRouter& MospfDomain::router(const std::string& name) {
+  return router(topo_->node(name));
+}
+
+core::HostAgent& MospfDomain::AddHost(SubnetId lan, const std::string& name) {
+  const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
+  auto host = std::make_unique<core::HostAgent>(*sim_, id, nullptr);
+  sim_->SetAgent(id, host.get());
+  core::HostAgent& ref = *host;
+  hosts_[id] = std::move(host);
+  return ref;
+}
+
+std::size_t MospfDomain::TotalStateUnits() const {
+  std::size_t total = 0;
+  for (const auto& [id, router] : routers_) total += router->StateUnits();
+  return total;
+}
+
+std::uint64_t MospfDomain::TotalControlMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, router] : routers_) {
+    total += router->stats().ControlMessagesSent();
+  }
+  return total;
+}
+
+}  // namespace cbt::baselines

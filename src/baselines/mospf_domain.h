@@ -1,0 +1,40 @@
+// Harness wiring a topology into an MOSPF-style domain (mirrors
+// CbtDomain / DvmrpDomain for identical-workload comparisons).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/mospf_router.h"
+#include "cbt/host.h"
+#include "netsim/topologies.h"
+#include "routing/route_manager.h"
+
+namespace cbt::baselines {
+
+class MospfDomain {
+ public:
+  MospfDomain(netsim::Simulator& sim, netsim::Topology& topo,
+              igmp::IgmpConfig igmp_config = {});
+
+  void Start() { sim_->StartAgents(); }
+
+  MospfRouter& router(NodeId id);
+  MospfRouter& router(const std::string& name);
+  core::HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  routing::RouteManager& routes() { return routes_; }
+
+  std::size_t TotalStateUnits() const;
+  std::uint64_t TotalControlMessages() const;
+
+ private:
+  netsim::Simulator* sim_;
+  netsim::Topology* topo_;
+  routing::RouteManager routes_;
+  std::map<NodeId, std::unique_ptr<MospfRouter>> routers_;
+  std::map<NodeId, std::unique_ptr<core::HostAgent>> hosts_;
+};
+
+}  // namespace cbt::baselines

@@ -1,0 +1,63 @@
+#include "baselines/rp_tree_domain.h"
+
+#include <cassert>
+
+namespace cbt::baselines {
+
+RpTreeDomain::RpTreeDomain(netsim::Simulator& sim, netsim::Topology& topo,
+                           RpTreeConfig config)
+    : sim_(&sim), topo_(&topo), routes_(sim) {
+  const auto resolver = [this](Ipv4Address group) -> std::optional<Ipv4Address> {
+    const auto it = rp_by_group_.find(group);
+    if (it == rp_by_group_.end()) return std::nullopt;
+    return it->second;
+  };
+  for (const NodeId id : topo.routers) {
+    auto router = std::make_unique<RpTreeRouter>(sim, id, routes_, resolver,
+                                                 config);
+    sim.SetAgent(id, router.get());
+    routers_[id] = std::move(router);
+  }
+  for (const NodeId id : topo.hosts) {
+    auto host = std::make_unique<core::HostAgent>(sim, id, nullptr);
+    sim.SetAgent(id, host.get());
+    hosts_[id] = std::move(host);
+  }
+}
+
+Ipv4Address RpTreeDomain::RegisterGroup(Ipv4Address group, NodeId rp) {
+  const Ipv4Address addr = sim_->PrimaryAddress(rp);
+  rp_by_group_[group] = addr;
+  return addr;
+}
+
+RpTreeRouter& RpTreeDomain::router(NodeId id) {
+  const auto it = routers_.find(id);
+  assert(it != routers_.end());
+  return *it->second;
+}
+
+core::HostAgent& RpTreeDomain::AddHost(SubnetId lan, const std::string& name) {
+  const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
+  auto host = std::make_unique<core::HostAgent>(*sim_, id, nullptr);
+  sim_->SetAgent(id, host.get());
+  core::HostAgent& ref = *host;
+  hosts_[id] = std::move(host);
+  return ref;
+}
+
+std::size_t RpTreeDomain::TotalStateUnits() const {
+  std::size_t total = 0;
+  for (const auto& [id, router] : routers_) total += router->StateUnits();
+  return total;
+}
+
+std::uint64_t RpTreeDomain::TotalControlMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, router] : routers_) {
+    total += router->stats().ControlMessagesSent();
+  }
+  return total;
+}
+
+}  // namespace cbt::baselines

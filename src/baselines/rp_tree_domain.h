@@ -1,0 +1,41 @@
+// Harness wiring a topology into a PIM-SM-shape RP-tree domain (mirrors
+// CbtDomain; RPs come from a shared group->RP registry).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/rp_tree_router.h"
+#include "cbt/host.h"
+#include "netsim/topologies.h"
+#include "routing/route_manager.h"
+
+namespace cbt::baselines {
+
+class RpTreeDomain {
+ public:
+  RpTreeDomain(netsim::Simulator& sim, netsim::Topology& topo,
+               RpTreeConfig config = {});
+
+  void Start() { sim_->StartAgents(); }
+
+  /// Registers `rp` (a router) as the RP for `group`.
+  Ipv4Address RegisterGroup(Ipv4Address group, NodeId rp);
+
+  RpTreeRouter& router(NodeId id);
+  core::HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  std::size_t TotalStateUnits() const;
+  std::uint64_t TotalControlMessages() const;
+
+ private:
+  netsim::Simulator* sim_;
+  netsim::Topology* topo_;
+  routing::RouteManager routes_;
+  std::map<Ipv4Address, Ipv4Address> rp_by_group_;
+  std::map<NodeId, std::unique_ptr<RpTreeRouter>> routers_;
+  std::map<NodeId, std::unique_ptr<core::HostAgent>> hosts_;
+};
+
+}  // namespace cbt::baselines

@@ -1,0 +1,137 @@
+#include "cbt/core_selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbt::core {
+
+std::vector<NodeId> SelectRandomCores(const std::vector<NodeId>& routers,
+                                      std::size_t k, Rng& rng) {
+  assert(k <= routers.size());
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (const std::size_t i : rng.SampleWithoutReplacement(routers.size(), k)) {
+    out.push_back(routers[i]);
+  }
+  return out;
+}
+
+std::vector<NodeId> SelectHighestDegreeCores(const netsim::Simulator& sim,
+                                             const std::vector<NodeId>& routers,
+                                             std::size_t k) {
+  assert(k <= routers.size());
+  std::vector<NodeId> sorted = routers;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    const std::size_t da = sim.node(a).interfaces.size();
+    const std::size_t db = sim.node(b).interfaces.size();
+    if (da != db) return da > db;
+    return a < b;
+  });
+  sorted.resize(k);
+  return sorted;
+}
+
+std::vector<NodeId> SelectCentreCores(routing::RouteManager& routes,
+                                      const std::vector<NodeId>& routers,
+                                      std::size_t k) {
+  assert(k >= 1 && k <= routers.size());
+  std::vector<NodeId> chosen;
+
+  // First core: the 1-center (minimax distance).
+  NodeId best = routers.front();
+  double best_ecc = routing::RouteManager::kInfinity;
+  for (const NodeId candidate : routers) {
+    double ecc = 0.0;
+    for (const NodeId other : routers) {
+      ecc = std::max(ecc, routes.Distance(candidate, other));
+    }
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      best = candidate;
+    }
+  }
+  chosen.push_back(best);
+
+  // Remaining cores: farthest-point heuristic for coverage.
+  while (chosen.size() < k) {
+    NodeId farthest = routers.front();
+    double farthest_dist = -1.0;
+    for (const NodeId candidate : routers) {
+      if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) {
+        continue;
+      }
+      double dist = routing::RouteManager::kInfinity;
+      for (const NodeId c : chosen) {
+        dist = std::min(dist, routes.Distance(candidate, c));
+      }
+      if (dist > farthest_dist && dist < routing::RouteManager::kInfinity) {
+        farthest_dist = dist;
+        farthest = candidate;
+      }
+    }
+    chosen.push_back(farthest);
+  }
+  return chosen;
+}
+
+std::vector<NodeId> SelectDelayCentreCores(routing::RouteManager& routes,
+                                           const std::vector<NodeId>& routers,
+                                           std::size_t k) {
+  assert(k >= 1 && k <= routers.size());
+  std::vector<NodeId> chosen;
+
+  NodeId best = routers.front();
+  SimDuration best_ecc = std::numeric_limits<SimDuration>::max();
+  for (const NodeId candidate : routers) {
+    SimDuration ecc = 0;
+    for (const NodeId other : routers) {
+      if (routes.Distance(candidate, other) ==
+          routing::RouteManager::kInfinity) {
+        ecc = std::numeric_limits<SimDuration>::max();
+        break;
+      }
+      ecc = std::max(ecc, routes.PathDelay(candidate, other));
+    }
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      best = candidate;
+    }
+  }
+  chosen.push_back(best);
+
+  while (chosen.size() < k) {
+    NodeId farthest = routers.front();
+    SimDuration farthest_delay = -1;
+    for (const NodeId candidate : routers) {
+      if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) {
+        continue;
+      }
+      SimDuration delay = std::numeric_limits<SimDuration>::max();
+      for (const NodeId c : chosen) {
+        delay = std::min(delay, routes.PathDelay(candidate, c));
+      }
+      if (delay > farthest_delay &&
+          delay != std::numeric_limits<SimDuration>::max()) {
+        farthest_delay = delay;
+        farthest = candidate;
+      }
+    }
+    chosen.push_back(farthest);
+  }
+  return chosen;
+}
+
+std::vector<NodeId> OrderCoresByGroupHash(const std::vector<NodeId>& candidates,
+                                          Ipv4Address group) {
+  assert(!candidates.empty());
+  std::vector<NodeId> out = candidates;
+  // Knuth multiplicative hash of the group address picks the primary.
+  const std::size_t index =
+      static_cast<std::size_t>((group.bits() * 2654435761u) >> 16) %
+      out.size();
+  std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(index),
+              out.end());
+  return out;
+}
+
+}  // namespace cbt::core

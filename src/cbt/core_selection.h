@@ -1,0 +1,53 @@
+// Core placement strategies.
+//
+// The spec externalizes core selection ("work is currently in progress to
+// address the issue of core placement"); the CBT architecture and the
+// SIGCOMM'93 evaluation discuss how placement quality drives the shared
+// tree's delay and traffic concentration. These strategies are the knobs
+// the delay-ratio experiment (E3) sweeps:
+//  * random — the pessimistic baseline;
+//  * highest-degree — a cheap structural heuristic;
+//  * topological centre — greedy k-center over router distances (the
+//    best static placement a management entity could compute);
+//  * hash-based group→core mapping over a candidate set, modelling the
+//    HPIM-style "function used to map a group address onto a particular
+//    core" ([8], section 2.4 note).
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "netsim/simulator.h"
+#include "routing/route_manager.h"
+
+namespace cbt::core {
+
+/// k distinct routers drawn uniformly.
+std::vector<NodeId> SelectRandomCores(const std::vector<NodeId>& routers,
+                                      std::size_t k, Rng& rng);
+
+/// k routers with the most attached subnets (ties by lower id).
+std::vector<NodeId> SelectHighestDegreeCores(const netsim::Simulator& sim,
+                                             const std::vector<NodeId>& routers,
+                                             std::size_t k);
+
+/// Greedy k-center: first pick minimizes the maximum distance to any
+/// router; subsequent picks maximize distance to the chosen set.
+std::vector<NodeId> SelectCentreCores(routing::RouteManager& routes,
+                                      const std::vector<NodeId>& routers,
+                                      std::size_t k);
+
+/// Like SelectCentreCores but minimizes the maximum *propagation delay*
+/// instead of the routing cost — the placement that directly bounds the
+/// shared tree's delay penalty (experiment E3).
+std::vector<NodeId> SelectDelayCentreCores(routing::RouteManager& routes,
+                                           const std::vector<NodeId>& routers,
+                                           std::size_t k);
+
+/// Deterministic group→core mapping over a candidate set (HPIM-style):
+/// the selected core is rotated to the front of the returned list.
+std::vector<NodeId> OrderCoresByGroupHash(const std::vector<NodeId>& candidates,
+                                          Ipv4Address group);
+
+}  // namespace cbt::core

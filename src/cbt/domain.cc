@@ -1,0 +1,90 @@
+#include "cbt/domain.h"
+
+#include <cassert>
+
+namespace cbt::core {
+
+CbtDomain::CbtDomain(netsim::Simulator& sim, netsim::Topology& topo,
+                     CbtConfig config, igmp::IgmpConfig igmp_config)
+    : sim_(&sim),
+      topo_(&topo),
+      routes_(sim),
+      config_(config),
+      igmp_config_(igmp_config) {
+  for (const NodeId id : topo.routers) {
+    auto router = std::make_unique<CbtRouter>(sim, id, routes_, directory_,
+                                              config_, igmp_config_);
+    sim.SetAgent(id, router.get());
+    routers_[id] = std::move(router);
+    router_ids_.push_back(id);
+  }
+  for (const NodeId id : topo.hosts) {
+    auto host = std::make_unique<HostAgent>(sim, id, &directory_);
+    sim.SetAgent(id, host.get());
+    hosts_[id] = std::move(host);
+    host_ids_.push_back(id);
+  }
+}
+
+CbtRouter& CbtDomain::router(NodeId id) {
+  const auto it = routers_.find(id);
+  assert(it != routers_.end());
+  return *it->second;
+}
+
+CbtRouter& CbtDomain::router(const std::string& name) {
+  return router(topo_->node(name));
+}
+
+HostAgent& CbtDomain::host(NodeId id) {
+  const auto it = hosts_.find(id);
+  assert(it != hosts_.end());
+  return *it->second;
+}
+
+HostAgent& CbtDomain::host(const std::string& name) {
+  return host(topo_->node(name));
+}
+
+HostAgent& CbtDomain::AddHost(SubnetId lan, const std::string& name) {
+  const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
+  auto host = std::make_unique<HostAgent>(*sim_, id, &directory_);
+  sim_->SetAgent(id, host.get());
+  HostAgent& ref = *host;
+  hosts_[id] = std::move(host);
+  host_ids_.push_back(id);
+  return ref;
+}
+
+std::vector<Ipv4Address> CbtDomain::RegisterGroup(
+    Ipv4Address group, const std::vector<NodeId>& cores) {
+  std::vector<Ipv4Address> addresses;
+  addresses.reserve(cores.size());
+  for (const NodeId id : cores) addresses.push_back(sim_->PrimaryAddress(id));
+  directory_.SetGroup(group, addresses);
+  return addresses;
+}
+
+std::size_t CbtDomain::TotalFibState() const {
+  std::size_t total = 0;
+  for (const auto& [id, router] : routers_) total += router->fib().StateUnits();
+  return total;
+}
+
+std::uint64_t CbtDomain::TotalControlMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, router] : routers_) {
+    total += router->stats().ControlMessagesSent();
+  }
+  return total;
+}
+
+std::vector<NodeId> CbtDomain::OnTreeRouters(Ipv4Address group) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, router] : routers_) {
+    if (router->IsOnTree(group)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cbt::core

@@ -1,0 +1,72 @@
+// CbtDomain: wires a topology into a running CBT "cloud".
+//
+// Creates one CbtRouter per router node and one HostAgent per host node,
+// sharing a RouteManager and a GroupDirectory — the standard harness used
+// by tests, examples, and benchmarks. Hosts attached later (AddHost) get
+// agents too.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cbt/config.h"
+#include "cbt/group_directory.h"
+#include "cbt/host.h"
+#include "cbt/router.h"
+#include "netsim/topologies.h"
+#include "routing/route_manager.h"
+
+namespace cbt::core {
+
+class CbtDomain {
+ public:
+  CbtDomain(netsim::Simulator& sim, netsim::Topology& topo,
+            CbtConfig config = {}, igmp::IgmpConfig igmp_config = {});
+
+  /// Starts every agent (IGMP startup queries, timers). Call once.
+  void Start() { sim_->StartAgents(); }
+
+  CbtRouter& router(NodeId id);
+  CbtRouter& router(const std::string& name);
+  HostAgent& host(NodeId id);
+  HostAgent& host(const std::string& name);
+
+  /// Attaches a brand-new host to `lan` and registers its agent.
+  HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  GroupDirectory& directory() { return directory_; }
+  routing::RouteManager& routes() { return routes_; }
+  netsim::Simulator& sim() { return *sim_; }
+  netsim::Topology& topology() { return *topo_; }
+
+  /// Registers a group in the directory with cores given by node ids
+  /// (primary first) and returns the core address list.
+  std::vector<Ipv4Address> RegisterGroup(Ipv4Address group,
+                                         const std::vector<NodeId>& cores);
+
+  const std::vector<NodeId>& router_ids() const { return router_ids_; }
+  const std::vector<NodeId>& host_ids() const { return host_ids_; }
+
+  /// Sum of FIB state units across all routers (experiment E1).
+  std::size_t TotalFibState() const;
+  /// Sum of control messages sent across all routers (experiment E6).
+  std::uint64_t TotalControlMessages() const;
+  /// Routers holding a FIB entry for `group`.
+  std::vector<NodeId> OnTreeRouters(Ipv4Address group) const;
+
+ private:
+  netsim::Simulator* sim_;
+  netsim::Topology* topo_;
+  routing::RouteManager routes_;
+  GroupDirectory directory_;
+  CbtConfig config_;
+  igmp::IgmpConfig igmp_config_;
+  std::map<NodeId, std::unique_ptr<CbtRouter>> routers_;
+  std::map<NodeId, std::unique_ptr<HostAgent>> hosts_;
+  std::vector<NodeId> router_ids_;
+  std::vector<NodeId> host_ids_;
+};
+
+}  // namespace cbt::core

@@ -1,0 +1,88 @@
+#include "cbt/fib.h"
+
+#include <algorithm>
+
+namespace cbt::core {
+
+ChildEntry* FibEntry::FindChild(Ipv4Address address) {
+  for (ChildEntry& c : children) {
+    if (c.address == address) return &c;
+  }
+  return nullptr;
+}
+
+const ChildEntry* FibEntry::FindChild(Ipv4Address address) const {
+  for (const ChildEntry& c : children) {
+    if (c.address == address) return &c;
+  }
+  return nullptr;
+}
+
+void FibEntry::AddChild(Ipv4Address address, VifIndex vif, SimTime now) {
+  if (ChildEntry* existing = FindChild(address)) {
+    existing->vif = vif;
+    existing->last_heard = now;
+    return;
+  }
+  children.push_back(ChildEntry{address, vif, now});
+}
+
+bool FibEntry::RemoveChild(Ipv4Address address) {
+  const auto it =
+      std::find_if(children.begin(), children.end(),
+                   [&](const ChildEntry& c) { return c.address == address; });
+  if (it == children.end()) return false;
+  children.erase(it);
+  return true;
+}
+
+bool FibEntry::HasChildOnVif(VifIndex vif) const {
+  return std::any_of(children.begin(), children.end(),
+                     [&](const ChildEntry& c) { return c.vif == vif; });
+}
+
+std::vector<VifIndex> FibEntry::ChildVifs() const {
+  std::vector<VifIndex> out;
+  for (const ChildEntry& c : children) {
+    if (std::find(out.begin(), out.end(), c.vif) == out.end()) {
+      out.push_back(c.vif);
+    }
+  }
+  return out;
+}
+
+std::vector<const ChildEntry*> FibEntry::ChildrenOnVif(VifIndex vif) const {
+  std::vector<const ChildEntry*> out;
+  for (const ChildEntry& c : children) {
+    if (c.vif == vif) out.push_back(&c);
+  }
+  return out;
+}
+
+FibEntry* Fib::Find(Ipv4Address group) {
+  const auto it = entries_.find(group);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const FibEntry* Fib::Find(Ipv4Address group) const {
+  const auto it = entries_.find(group);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+FibEntry& Fib::Create(Ipv4Address group) {
+  FibEntry& entry = entries_[group];
+  entry.group = group;
+  return entry;
+}
+
+bool Fib::Remove(Ipv4Address group) { return entries_.erase(group) > 0; }
+
+std::size_t Fib::StateUnits() const {
+  std::size_t units = 0;
+  for (const auto& [group, entry] : entries_) {
+    units += 1 + entry.children.size();
+  }
+  return units;
+}
+
+}  // namespace cbt::core

@@ -1,0 +1,96 @@
+// The CBT Forwarding Information Base (spec section 5, Figure 4).
+//
+// One entry per group describes the router's position on that group's
+// shared tree: the parent (towards the group's core backbone) and the set
+// of children, each recorded as <address, vif> exactly as in Figure 4.
+// "CBT routers create FIB entries whenever they send or receive a
+// JOIN_ACK (with the exception of a proxy-ack)."
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbt::core {
+
+struct ChildEntry {
+  Ipv4Address address;
+  VifIndex vif = kInvalidVif;
+  /// Last time this child proved liveness (join or CBT-ECHO-REQUEST);
+  /// parents expire children after CHILD-ASSERT-EXPIRE-TIME.
+  SimTime last_heard = 0;
+};
+
+struct FibEntry {
+  Ipv4Address group;
+
+  /// Parent link; unset (parent_vif == kInvalidVif) at the tree root
+  /// (the primary core, or a reconnecting router between parents).
+  Ipv4Address parent_address;
+  VifIndex parent_vif = kInvalidVif;
+  /// Last CBT-ECHO-REPLY (or establishment) time from the parent.
+  SimTime last_parent_reply = 0;
+
+  std::vector<ChildEntry> children;
+
+  /// Ordered core list carried by joins/acks; cores[0] is the primary.
+  std::vector<Ipv4Address> cores;
+  /// This router is itself a core for the group (learned from receiving a
+  /// join that targets it — section 6.2).
+  bool is_core = false;
+  bool is_primary_core = false;
+
+  bool HasParent() const { return parent_vif != kInvalidVif; }
+
+  ChildEntry* FindChild(Ipv4Address address);
+  const ChildEntry* FindChild(Ipv4Address address) const;
+
+  /// Adds or refreshes a child (spec's "No. of children" grows).
+  void AddChild(Ipv4Address address, VifIndex vif, SimTime now);
+  bool RemoveChild(Ipv4Address address);
+
+  bool HasChildOnVif(VifIndex vif) const;
+
+  /// Distinct vifs that have at least one child.
+  std::vector<VifIndex> ChildVifs() const;
+  /// Children reachable via a particular vif.
+  std::vector<const ChildEntry*> ChildrenOnVif(VifIndex vif) const;
+
+  /// A vif is "on-tree" if it is the parent vif or hosts a child
+  /// (section 7's valid-interface check for data packets).
+  bool IsTreeVif(VifIndex vif) const {
+    return (HasParent() && vif == parent_vif) || HasChildOnVif(vif);
+  }
+};
+
+/// Group-indexed FIB. In a real router this is mirrored into the kernel
+/// (section 3); here it is the single source of truth.
+class Fib {
+ public:
+  FibEntry* Find(Ipv4Address group);
+  const FibEntry* Find(Ipv4Address group) const;
+
+  /// Creates an (empty) entry; returns the existing one if present.
+  FibEntry& Create(Ipv4Address group);
+
+  bool Remove(Ipv4Address group);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Total state footprint: entries plus child slots — the quantity the
+  /// state-scaling experiment (E1) counts.
+  std::size_t StateUnits() const;
+
+  auto begin() { return entries_.begin(); }
+  auto end() { return entries_.end(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::map<Ipv4Address, FibEntry> entries_;
+};
+
+}  // namespace cbt::core

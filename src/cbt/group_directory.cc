@@ -1,0 +1,35 @@
+#include "cbt/group_directory.h"
+
+#include <cassert>
+
+namespace cbt::core {
+
+void GroupDirectory::SetGroup(Ipv4Address group,
+                              std::vector<Ipv4Address> cores) {
+  assert(group.IsMulticast());
+  assert(!cores.empty());
+  groups_[group] = std::move(cores);
+}
+
+void GroupDirectory::RemoveGroup(Ipv4Address group) { groups_.erase(group); }
+
+std::vector<Ipv4Address> GroupDirectory::CoresFor(Ipv4Address group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? std::vector<Ipv4Address>{} : it->second;
+}
+
+std::optional<Ipv4Address> GroupDirectory::PrimaryCore(
+    Ipv4Address group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::vector<Ipv4Address> GroupDirectory::Groups() const {
+  std::vector<Ipv4Address> out;
+  out.reserve(groups_.size());
+  for (const auto& [group, cores] : groups_) out.push_back(group);
+  return out;
+}
+
+}  // namespace cbt::core

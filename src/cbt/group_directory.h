@@ -1,0 +1,42 @@
+// The <core, group> mapping service.
+//
+// The spec deliberately externalizes core advertisement: "It is assumed
+// that hosts receive <core,group> mapping advertisements via some protocol
+// external to CBT" (section 2.2), and routers performing non-member
+// forwarding "require access to a mapping mechanism between group
+// addresses and core routers ... beyond the scope of this document"
+// (sections 5.1/5.3). GroupDirectory is that external mechanism: an
+// instantly-consistent registry shared by hosts and routers — the idealized
+// stand-in for HPIM-style core distribution [8].
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbt::core {
+
+class GroupDirectory {
+ public:
+  /// Registers (or replaces) a group's ordered core list; cores[0] is the
+  /// primary core. This is the "group initiation" act of section 2.1.
+  void SetGroup(Ipv4Address group, std::vector<Ipv4Address> cores);
+
+  void RemoveGroup(Ipv4Address group);
+
+  /// Ordered candidate cores for the group; empty when unknown.
+  std::vector<Ipv4Address> CoresFor(Ipv4Address group) const;
+
+  std::optional<Ipv4Address> PrimaryCore(Ipv4Address group) const;
+
+  bool Knows(Ipv4Address group) const { return groups_.contains(group); }
+
+  std::vector<Ipv4Address> Groups() const;
+
+ private:
+  std::map<Ipv4Address, std::vector<Ipv4Address>> groups_;
+};
+
+}  // namespace cbt::core

@@ -1,0 +1,1500 @@
+#include "cbt/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace cbt::core {
+
+using packet::AckSubcode;
+using packet::ControlPacket;
+using packet::ControlType;
+using packet::IgmpMessage;
+using packet::IpProtocol;
+using packet::JoinSubcode;
+
+CbtRouter::CbtRouter(netsim::Simulator& sim, NodeId self,
+                     routing::RouteManager& routes,
+                     const GroupDirectory& directory, CbtConfig config,
+                     igmp::IgmpConfig igmp_config)
+    : sim_(&sim),
+      self_(self),
+      routes_(&routes),
+      directory_(&directory),
+      config_(config),
+      primary_address_(sim.PrimaryAddress(self)),
+      igmp_(sim, self, igmp_config,
+            igmp::RouterIgmp::Callbacks{
+                [this](VifIndex vif, Ipv4Address group, Ipv4Address reporter,
+                       bool newly) {
+                  OnMemberReport(vif, group, reporter, newly);
+                },
+                [this](VifIndex vif, const IgmpMessage& msg) {
+                  OnCoreReport(vif, msg);
+                },
+                [this](VifIndex vif, Ipv4Address group) {
+                  OnGroupExpired(vif, group);
+                },
+                [this](VifIndex vif, Ipv4Address dst, const IgmpMessage& msg) {
+                  SendIgmp(vif, dst, msg);
+                }}) {
+  echo_timer_.BindTo(sim);
+  child_scan_timer_.BindTo(sim);
+  iff_scan_timer_.BindTo(sim);
+}
+
+void CbtRouter::Start() {
+  igmp_.Start();
+  echo_timer_.Schedule(config_.echo_interval, [this] { OnEchoTick(); });
+  child_scan_timer_.Schedule(config_.child_assert_interval,
+                             [this] { OnChildScan(); });
+  iff_scan_timer_.Schedule(config_.iff_scan_interval, [this] { OnIffScan(); });
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void CbtRouter::OnDatagram(VifIndex vif, Ipv4Address /*link_src*/,
+                           Ipv4Address /*link_dst*/,
+                           std::span<const std::uint8_t> datagram) {
+  const auto parsed = packet::ParseDatagram(datagram);
+  if (!parsed) {
+    ++stats_.malformed_control;
+    return;
+  }
+  const packet::Ipv4Header& ip = parsed->ip;
+
+  switch (ip.protocol) {
+    case IpProtocol::kIgmp: {
+      const auto igmp_msg = packet::ExtractIgmp(*parsed);
+      if (!igmp_msg) {
+        ++stats_.malformed_control;
+        return;
+      }
+      igmp_.OnMessage(vif, ip.src, *igmp_msg);
+      return;
+    }
+    case IpProtocol::kUdp: {
+      if (!OwnsAddress(ip.dst) && !ip.dst.IsMulticast()) {
+        // Transit: e.g. the primary core's direct REJOIN-NACTIVE ack.
+        ForwardUnicast(ip, datagram);
+        return;
+      }
+      const auto control = packet::ExtractControl(*parsed);
+      if (!control) {
+        ++stats_.malformed_control;
+        return;
+      }
+      HandleControl(vif, ip, *control);
+      return;
+    }
+    case IpProtocol::kCbt:
+      HandleCbtData(vif, ip, datagram);
+      return;
+    default:
+      if (ip.dst.IsMulticast()) {
+        if (!ip.dst.IsLinkLocalMulticast()) HandleNativeData(vif, ip, datagram);
+      } else if (!OwnsAddress(ip.dst)) {
+        ForwardUnicast(ip, datagram);
+      }
+      return;
+  }
+}
+
+void CbtRouter::HandleControl(VifIndex vif, const packet::Ipv4Header& ip,
+                              const ControlPacket& pkt) {
+  switch (pkt.type) {
+    case ControlType::kJoinRequest:
+      HandleJoinRequest(vif, ip, pkt);
+      return;
+    case ControlType::kJoinAck:
+      HandleJoinAck(vif, ip, pkt);
+      return;
+    case ControlType::kJoinNack:
+      HandleJoinNack(vif, ip, pkt);
+      return;
+    case ControlType::kQuitRequest:
+      HandleQuitRequest(vif, ip, pkt);
+      return;
+    case ControlType::kQuitAck:
+      HandleQuitAck(pkt);
+      return;
+    case ControlType::kFlushTree:
+      HandleFlush(vif, ip, pkt);
+      return;
+    case ControlType::kEchoRequest:
+      HandleEchoRequest(vif, ip, pkt);
+      return;
+    case ControlType::kEchoReply:
+      HandleEchoReply(vif, ip, pkt);
+      return;
+    case ControlType::kCorePing:
+      HandleCorePing(ip, pkt);
+      return;
+    case ControlType::kPingReply:
+      HandlePingReply(pkt);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join handling (sections 2.5, 2.6, 6.2, 6.3).
+// ---------------------------------------------------------------------------
+
+void CbtRouter::HandleJoinRequest(VifIndex vif, const packet::Ipv4Header& ip,
+                                  const ControlPacket& pkt) {
+  ++stats_.joins_received;
+  CBT_TRACE("[%s %s] rx %s from %s", FormatSimTime(sim_->Now()).c_str(),
+            sim_->node(self_).name.c_str(), pkt.Describe().c_str(),
+            ip.src.ToString().c_str());
+  if (pkt.join_subcode() == JoinSubcode::kRejoinNactive) {
+    HandleRejoinNactive(vif, ip, pkt);
+    return;
+  }
+
+  const Ipv4Address group = pkt.group;
+  FibEntry* entry = fib_.Find(group);
+  const DownstreamRequester requester{vif, ip.src, pkt.origin,
+                                      pkt.join_subcode()};
+
+  // Section 2.5: a router awaiting its own JOIN-ACK "is not permitted to
+  // acknowledge any subsequent joins ... rather, the router caches such
+  // joins". This must be checked before the on-tree test: a reconnecting
+  // router still holds a (parentless) FIB entry but is NOT attached, and
+  // acking from it would graft the requester onto a detached subtree.
+  // Cores are exempt — they are valid anchors as soon as they know their
+  // role, even while re-joining the primary.
+  const bool anchored =
+      entry != nullptr && (entry->is_core || entry->HasParent());
+  if (!anchored) {
+    if (const auto it = pending_.find(group); it != pending_.end()) {
+      PendingJoin& p = *it->second;
+      const bool duplicate = std::any_of(
+          p.requesters.begin(), p.requesters.end(),
+          [&](const DownstreamRequester& r) {
+            return r.from == requester.from && r.origin == requester.origin;
+          });
+      if (!duplicate) {
+        p.requesters.push_back(requester);
+        ++stats_.joins_cached;
+      }
+      return;
+    }
+  }
+
+  if (anchored) {
+    // Already on-tree: terminate the join here (section 2.2).
+    const bool convert =
+        pkt.join_subcode() == JoinSubcode::kRejoinActive && !entry->is_core &&
+        !OwnsAddress(pkt.target_core);
+    TerminateJoin(vif, ip, pkt, *entry);
+    if (convert && entry->HasParent()) {
+      // Section 6.3: first on-tree router converts a REJOIN-ACTIVE to
+      // REJOIN-NACTIVE, keeps the origin, inserts its own address in the
+      // core-address field, and forwards over its parent interface.
+      ++stats_.rejoins_converted;
+      ControlPacket nactive;
+      nactive.type = ControlType::kJoinRequest;
+      nactive.code = static_cast<std::uint8_t>(JoinSubcode::kRejoinNactive);
+      nactive.group = group;
+      nactive.origin = pkt.origin;
+      nactive.target_core = VifAddress(entry->parent_vif);
+      nactive.cores = pkt.cores;
+      ++stats_.joins_forwarded;
+      SendControl(entry->parent_vif, entry->parent_address,
+                  entry->parent_address, nactive);
+    }
+    return;
+  }
+
+  if (OwnsAddress(pkt.target_core)) {
+    // Section 6.2: "a core only becomes aware that it is such by receiving
+    // a JOIN-REQUEST". Install as tree (sub)root.
+    FibEntry& core_entry = fib_.Create(group);
+    core_entry.cores = pkt.cores;
+    core_entry.is_core = true;
+    core_entry.is_primary_core =
+        !pkt.cores.empty() && OwnsAddress(pkt.cores.front());
+    TerminateJoin(vif, ip, pkt, core_entry);
+    if (!core_entry.is_primary_core) {
+      // Non-primary core: ack first, then join the primary (section 2.5).
+      CoreRejoinPrimary(core_entry);
+    }
+    return;
+  }
+
+  // Off-tree transit router: create transient state and forward.
+  auto p = std::make_unique<PendingJoin>();
+  p->group = group;
+  p->cores = pkt.cores;
+  p->target_core = pkt.target_core;
+  const auto core_pos =
+      std::find(p->cores.begin(), p->cores.end(), pkt.target_core);
+  p->core_index = core_pos == p->cores.end()
+                      ? 0
+                      : static_cast<std::size_t>(core_pos - p->cores.begin());
+  p->subcode = pkt.join_subcode();
+  p->origin = pkt.origin;
+  p->locally_originated = false;
+  p->started = sim_->Now();
+  p->core_attempt_started = sim_->Now();
+  p->requesters.push_back(requester);
+  p->rtx_timer.BindTo(*sim_);
+  p->expire_timer.BindTo(*sim_);
+  PendingJoin& ref = *p;
+  pending_[group] = std::move(p);
+  ++stats_.joins_forwarded;
+  if (!ForwardJoin(ref)) {
+    PendingJoinFailed(group);
+  }
+}
+
+void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
+                                    const ControlPacket& pkt) {
+  (void)vif;
+  (void)ip;
+  const Ipv4Address group = pkt.group;
+
+  if (OwnsAddress(pkt.origin)) {
+    // Section 6.3: our own rejoin came back — a transient loop. Quit the
+    // newly-established parent (or abort the still-pending join; the
+    // NACTIVE can outrun our own JOIN-ACK) and retry.
+    ++stats_.loops_detected;
+    const auto quit_toward = [&](VifIndex out_vif, Ipv4Address parent) {
+      ControlPacket quit;
+      quit.type = ControlType::kQuitRequest;
+      quit.group = group;
+      quit.origin = primary_address_;
+      quit.target_core = parent;
+      ++stats_.quits_sent;
+      SendControl(out_vif, parent, parent, quit);
+    };
+    FibEntry* entry = fib_.Find(group);
+    if (entry != nullptr && entry->HasParent()) {
+      quit_toward(entry->parent_vif, entry->parent_address);
+      entry->parent_address = Ipv4Address{};
+      entry->parent_vif = kInvalidVif;
+    } else if (const auto it = pending_.find(group); it != pending_.end()) {
+      // Ack not yet back: cancel the transient join so the late ack is
+      // ignored, and tell the upstream hop to drop the branch it built.
+      quit_toward(it->second->upstream_vif, it->second->upstream_next_hop);
+      pending_.erase(it);
+    }
+    // "It then attempts to re-join again" (-02 section 5.3); retry after a
+    // backoff so unicast routing has a chance to reconverge.
+    sim_->Schedule(config_.pend_join_interval, [this, group] {
+      if (fib_.Find(group) != nullptr && !pending_.contains(group)) {
+        StartReconnect(group);
+      }
+    });
+    if (callbacks_.on_loop_detected) callbacks_.on_loop_detected(group);
+    return;
+  }
+
+  FibEntry* entry = fib_.Find(group);
+  if (entry == nullptr) return;  // stale; drop
+
+  if (!entry->is_primary_core && !entry->HasParent()) {
+    // Detached (re-joining) subtree root: we cannot forward the probe
+    // yet. Defer it until our own join resolves so concurrent subtree
+    // reconnects still detect mutual-adoption loops.
+    if (const auto it = pending_.find(group); it != pending_.end()) {
+      it->second->deferred_nactives.push_back(pkt);
+    }
+    return;
+  }
+
+  if (entry->is_primary_core) {
+    // Section 8.3.1: the primary core acks a REJOIN-NACTIVE directly to
+    // the converting router, whose address rides in the core-address field.
+    ControlPacket ack;
+    ack.type = ControlType::kJoinAck;
+    ack.code = static_cast<std::uint8_t>(AckSubcode::kRejoinNactive);
+    ack.group = group;
+    ack.origin = pkt.origin;
+    ack.target_core = pkt.target_core;
+    ack.cores = entry->cores;
+    const auto route = routes_->Lookup(self_, pkt.target_core);
+    if (route) {
+      ++stats_.acks_sent;
+      SendControl(route->vif, route->next_hop, pkt.target_core, ack);
+    }
+    return;
+  }
+
+  if (entry->HasParent()) {
+    // Loop-detection packet continues up the tree unchanged.
+    ++stats_.joins_forwarded;
+    ControlPacket fwd = pkt;
+    SendControl(entry->parent_vif, entry->parent_address,
+                entry->parent_address, fwd);
+  }
+}
+
+void CbtRouter::TerminateJoin(VifIndex vif, const packet::Ipv4Header& ip,
+                              const ControlPacket& pkt, FibEntry& entry) {
+  if (entry.cores.empty()) entry.cores = pkt.cores;
+  SendAckTo(DownstreamRequester{vif, ip.src, pkt.origin, pkt.join_subcode()},
+            entry);
+}
+
+bool CbtRouter::ShouldProxyAck(const DownstreamRequester& req) const {
+  if (!config_.enable_proxy_ack) return false;
+  // Section 2.6: the final ack hop travels over the very subnet the origin
+  // D-DR sits on, the requester *is* the origin, and the subnet is a
+  // multi-access LAN (a branch rooted at us serves its members directly).
+  // Rejoining routers have children and must keep their state.
+  if (req.subcode != JoinSubcode::kActiveJoin) return false;
+  if (req.from != req.origin) return false;
+  if (!SubnetContains(req.vif, req.origin)) return false;
+  return sim_->subnet(VifSubnet(req.vif)).multi_access;
+}
+
+void CbtRouter::SendAckTo(const DownstreamRequester& req, FibEntry& entry) {
+  ControlPacket ack;
+  ack.type = ControlType::kJoinAck;
+  ack.group = entry.group;
+  ack.origin = req.origin;
+  // "Actual core affiliation" — the core this tree hangs from, which is
+  // the primary core once the backbone is built.
+  ack.target_core = entry.cores.empty() ? Ipv4Address{} : entry.cores.front();
+  ack.cores = entry.cores;
+
+  if (ShouldProxyAck(req)) {
+    ack.code = static_cast<std::uint8_t>(AckSubcode::kProxyAck);
+    ++stats_.proxy_acks_sent;
+    // We become the G-DR for the group on this LAN; the origin keeps no
+    // state and no child entry is created (section 2.6).
+    gdr_.insert({entry.group, VifSubnet(req.vif)});
+  } else {
+    ack.code = static_cast<std::uint8_t>(AckSubcode::kNormal);
+    ++stats_.acks_sent;
+    entry.AddChild(req.from, req.vif, sim_->Now());
+  }
+  SendControl(req.vif, req.from, req.from, ack);
+}
+
+void CbtRouter::AckRequesters(PendingJoin& pending, FibEntry& entry) {
+  for (const DownstreamRequester& req : pending.requesters) {
+    SendAckTo(req, entry);
+    if (req.subcode == JoinSubcode::kRejoinActive &&
+        pending.subcode != JoinSubcode::kRejoinActive && !entry.is_core &&
+        entry.HasParent()) {
+      // A cached rejoin resolved here while the join we ourselves
+      // forwarded was a plain ACTIVE-JOIN: no upstream router saw the
+      // rejoin, so the loop-detection conversion must happen here. (When
+      // the forwarded join was itself a REJOIN-ACTIVE, the terminating
+      // router already converted it — converting again would duplicate
+      // the NACTIVE probe.)
+      ++stats_.rejoins_converted;
+      ControlPacket nactive;
+      nactive.type = ControlType::kJoinRequest;
+      nactive.code = static_cast<std::uint8_t>(JoinSubcode::kRejoinNactive);
+      nactive.group = entry.group;
+      nactive.origin = req.origin;
+      nactive.target_core = VifAddress(entry.parent_vif);
+      nactive.cores = entry.cores;
+      ++stats_.joins_forwarded;
+      SendControl(entry.parent_vif, entry.parent_address,
+                  entry.parent_address, nactive);
+    }
+  }
+  pending.requesters.clear();
+}
+
+void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
+                              const ControlPacket& pkt) {
+  ++stats_.acks_received;
+  CBT_TRACE("[%s %s] rx %s from %s", FormatSimTime(sim_->Now()).c_str(),
+            sim_->node(self_).name.c_str(), pkt.Describe().c_str(),
+            ip.src.ToString().c_str());
+  if (pkt.ack_subcode() == AckSubcode::kRejoinNactive) {
+    // Primary core's direct confirmation of a NACTIVE rejoin we converted;
+    // our state was already fixed when we converted, nothing to update.
+    return;
+  }
+
+  const Ipv4Address group = pkt.group;
+  const auto it = pending_.find(group);
+  if (it == pending_.end()) return;  // duplicate/stale ack
+  PendingJoin& p = *it->second;
+  if (vif != p.upstream_vif || ip.src != p.upstream_next_hop) {
+    return;  // not from the hop we joined through
+  }
+
+  if (pkt.ack_subcode() == AckSubcode::kProxyAck) {
+    ++stats_.proxy_acks_received;
+    // Section 2.6: cancel all transient state; the sender is now G-DR.
+    proxied_groups_[group] = sim_->Now();
+    const bool fire = p.locally_originated;
+    pending_.erase(it);
+    if (fire) {
+      NotifyHostsJoined(group);
+      if (callbacks_.on_group_established) {
+        callbacks_.on_group_established(group);
+      }
+    }
+    return;
+  }
+
+  // Normal ack: "the receipt of a JOIN-ACK ... actually creates a tree
+  // branch."
+  FibEntry& entry = fib_.Create(group);
+  entry.cores = !pkt.cores.empty() ? pkt.cores : p.cores;
+  entry.parent_address = ip.src;
+  entry.parent_vif = vif;
+  entry.last_parent_reply = sim_->Now();
+  for (const Ipv4Address& c : entry.cores) {
+    if (OwnsAddress(c)) entry.is_core = true;
+  }
+  entry.is_primary_core =
+      !entry.cores.empty() && OwnsAddress(entry.cores.front());
+
+  const bool was_reconnect = p.reconnect;
+  const bool locally = p.locally_originated;
+  AckRequesters(p, entry);
+  // Re-emit loop probes that were waiting for us to gain a parent.
+  const std::vector<ControlPacket> deferred =
+      std::move(p.deferred_nactives);
+  pending_.erase(it);
+  for (const ControlPacket& probe : deferred) {
+    HandleRejoinNactive(entry.parent_vif, ip, probe);
+  }
+
+  // "Immediately subsequent to a parent/child relationship being
+  // established, a child unicasts a CBT-ECHO-REQUEST to its parent."
+  ControlPacket echo;
+  echo.type = ControlType::kEchoRequest;
+  echo.group = group;
+  echo.origin = VifAddress(entry.parent_vif);
+  ++stats_.echo_requests_sent;
+  SendControl(entry.parent_vif, entry.parent_address, entry.parent_address,
+              echo);
+
+  if (locally) {
+    if (was_reconnect) {
+      ++stats_.reconnects_succeeded;
+      if (callbacks_.on_reconnected) callbacks_.on_reconnected(group);
+    } else {
+      NotifyHostsJoined(group);
+      if (callbacks_.on_group_established) {
+        callbacks_.on_group_established(group);
+      }
+    }
+  }
+}
+
+void CbtRouter::NotifyHostsJoined(Ipv4Address group) {
+  if (!config_.notify_hosts_on_join) return;
+  // Section 2.5 (-03) proposal: tell waiting member hosts the tree is up.
+  for (const VifIndex vif : igmp_.MemberVifs(group)) {
+    IgmpMessage note;
+    note.type = packet::IgmpType::kJoinConfirmation;
+    note.group = group;
+    SendIgmp(vif, group, note);
+  }
+}
+
+void CbtRouter::HandleJoinNack(VifIndex /*vif*/, const packet::Ipv4Header& ip,
+                               const ControlPacket& pkt) {
+  ++stats_.nacks_received;
+  const auto it = pending_.find(pkt.group);
+  if (it == pending_.end()) return;
+  PendingJoin& p = *it->second;
+  if (ip.src != p.upstream_next_hop) return;
+
+  if (p.locally_originated && p.cores.size() > 1) {
+    // Try the remaining candidate cores in order.
+    for (std::size_t attempt = 1; attempt < p.cores.size(); ++attempt) {
+      p.core_index = (p.core_index + 1) % p.cores.size();
+      p.target_core = p.cores[p.core_index];
+      p.core_attempt_started = sim_->Now();
+      if (!OwnsAddress(p.target_core) && ForwardJoin(p)) return;
+    }
+  }
+  PendingJoinFailed(pkt.group);
+}
+
+// ---------------------------------------------------------------------------
+// Join origination and transit forwarding.
+// ---------------------------------------------------------------------------
+
+void CbtRouter::InitiateJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
+                             std::size_t target_index) {
+  StartJoin(group, std::move(cores), target_index, /*reconnect=*/false);
+}
+
+void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
+                          std::size_t target_index, bool reconnect) {
+  if (cores.empty() || pending_.contains(group)) return;
+  if (target_index >= cores.size()) target_index = 0;
+
+  const Ipv4Address target = cores[target_index];
+  if (OwnsAddress(target)) {
+    // We are the target core ourselves: instant tree (sub)root.
+    FibEntry& entry = fib_.Create(group);
+    if (entry.cores.empty()) entry.cores = cores;
+    entry.is_core = true;
+    entry.is_primary_core = OwnsAddress(cores.front());
+    if (!entry.is_primary_core && !entry.HasParent()) {
+      CoreRejoinPrimary(entry);
+    }
+    if (!reconnect && callbacks_.on_group_established) {
+      callbacks_.on_group_established(group);
+    }
+    return;
+  }
+
+  auto p = std::make_unique<PendingJoin>();
+  p->group = group;
+  p->cores = std::move(cores);
+  p->core_index = target_index;
+  p->target_core = target;
+  p->locally_originated = true;
+  p->reconnect = reconnect;
+  p->started = sim_->Now();
+  p->core_attempt_started = sim_->Now();
+  p->rtx_timer.BindTo(*sim_);
+  p->expire_timer.BindTo(*sim_);
+
+  FibEntry* entry = fib_.Find(group);
+  p->subcode = (entry != nullptr && !entry->children.empty())
+                   ? JoinSubcode::kRejoinActive
+                   : JoinSubcode::kActiveJoin;
+
+  // Origin address selection: use the member LAN's address when the group
+  // has exactly one local member subnet, so that the section 2.6 proxy-ack
+  // check fires only when the join's first hop crosses that same LAN.
+  const std::vector<VifIndex> member_vifs = igmp_.MemberVifs(group);
+  p->origin = member_vifs.size() == 1 ? VifAddress(member_vifs.front())
+                                      : primary_address_;
+
+  PendingJoin& ref = *p;
+  pending_[group] = std::move(p);
+  ++stats_.joins_originated;
+  // Section 6.1: if a core is unreachable, "an alternate core is
+  // arbitrarily elected from the core list" — cycle until one routes.
+  for (std::size_t attempt = 0; attempt < ref.cores.size(); ++attempt) {
+    if (!OwnsAddress(ref.target_core) && ForwardJoin(ref)) return;
+    ref.core_index = (ref.core_index + 1) % ref.cores.size();
+    ref.target_core = ref.cores[ref.core_index];
+    ref.core_attempt_started = sim_->Now();
+  }
+  PendingJoinFailed(group);
+}
+
+std::optional<routing::Route> CbtRouter::ResolveToward(Ipv4Address target) {
+  if (tunnels_.HasRankingFor(target)) {
+    const auto endpoint = tunnels_.SelectPath(*sim_, self_, target);
+    if (!endpoint) return std::nullopt;
+    routing::Route route;
+    route.vif = endpoint->vif;
+    route.next_hop = !endpoint->remote.IsUnspecified()
+                         ? endpoint->remote
+                         : NeighborAddressOn(endpoint->vif, target);
+    if (route.next_hop.IsUnspecified()) return std::nullopt;
+    route.cost = 1.0;
+    route.hop_count = 1;
+    return route;
+  }
+  return routes_->Lookup(self_, target);
+}
+
+Ipv4Address CbtRouter::NeighborAddressOn(VifIndex vif,
+                                         Ipv4Address target) const {
+  if (SubnetContains(vif, target)) return target;
+  Ipv4Address best;
+  const netsim::SubnetRecord& subnet = sim_->subnet(VifSubnet(vif));
+  for (const auto& [peer, peer_vif] : subnet.attachments) {
+    if (peer == self_ || !sim_->node(peer).is_router) continue;
+    const Ipv4Address addr = sim_->interface(peer, peer_vif).address;
+    if (best.IsUnspecified() || addr < best) best = addr;
+  }
+  return best;
+}
+
+VifMode CbtRouter::EffectiveMode(VifIndex vif) const {
+  return tunnels_.ModeOf(
+      vif, config_.native_mode ? VifMode::kNative : VifMode::kCbtTunnel);
+}
+
+bool CbtRouter::ForwardJoin(PendingJoin& p) {
+  const auto route = ResolveToward(p.target_core);
+  if (!route || route->vif == kInvalidVif) return false;
+
+  // Section 2.7 re-configuration: if the best next-hop is one of our
+  // children, tear that branch down (FLUSH) before joining through it.
+  // (A core's rejoin only reaches here after a successful CBT-CORE-PING,
+  // so flushing a child branch to route through it will re-converge.)
+  if (FibEntry* entry = fib_.Find(p.group);
+      entry != nullptr && entry->FindChild(route->next_hop) != nullptr) {
+    ControlPacket flush;
+    flush.type = ControlType::kFlushTree;
+    flush.group = p.group;
+    flush.origin = primary_address_;
+    ++stats_.flushes_sent;
+    SendControl(route->vif, route->next_hop, route->next_hop, flush);
+    entry->RemoveChild(route->next_hop);
+  }
+
+  p.upstream_vif = route->vif;
+  p.upstream_next_hop = route->next_hop;
+
+  ControlPacket join;
+  join.type = ControlType::kJoinRequest;
+  join.code = static_cast<std::uint8_t>(p.subcode);
+  join.group = p.group;
+  join.origin = p.origin;
+  join.target_core = p.target_core;
+  join.cores = p.cores;
+  SendControl(p.upstream_vif, p.upstream_next_hop, p.upstream_next_hop, join);
+
+  const Ipv4Address group = p.group;
+  p.rtx_timer.Schedule(config_.pend_join_interval,
+                       [this, group] { RetransmitJoin(group); });
+  const SimDuration lifetime = p.locally_originated && p.reconnect
+                                   ? config_.reconnect_timeout
+                                   : config_.expire_pending_join;
+  p.expire_timer.Schedule(lifetime, [this, group] { PendingJoinFailed(group); });
+  return true;
+}
+
+void CbtRouter::RetransmitJoin(Ipv4Address group) {
+  const auto it = pending_.find(group);
+  if (it == pending_.end()) return;
+  PendingJoin& p = *it->second;
+
+  if (p.locally_originated &&
+      sim_->Now() - p.core_attempt_started >= config_.pend_join_timeout &&
+      p.cores.size() > 1) {
+    // PEND-JOIN-TIMEOUT: elect a different core (section 6.1).
+    p.core_index = (p.core_index + 1) % p.cores.size();
+    p.target_core = p.cores[p.core_index];
+    p.core_attempt_started = sim_->Now();
+  }
+
+  ++stats_.join_retransmits;
+  ControlPacket join;
+  join.type = ControlType::kJoinRequest;
+  join.code = static_cast<std::uint8_t>(p.subcode);
+  join.group = p.group;
+  join.origin = p.origin;
+  join.target_core = p.target_core;
+  join.cores = p.cores;
+  const auto route = ResolveToward(p.target_core);
+  if (route && route->vif != kInvalidVif) {
+    p.upstream_vif = route->vif;
+    p.upstream_next_hop = route->next_hop;
+    SendControl(p.upstream_vif, p.upstream_next_hop, p.upstream_next_hop,
+                join);
+  }
+  p.rtx_timer.Schedule(config_.pend_join_interval,
+                       [this, group] { RetransmitJoin(group); });
+}
+
+void CbtRouter::PendingJoinFailed(Ipv4Address group) {
+  const auto it = pending_.find(group);
+  if (it == pending_.end()) return;
+  PendingJoin& p = *it->second;
+  CBT_TRACE("[%s %s] pending join for %s failed (origin=%d reconnect=%d)",
+            FormatSimTime(sim_->Now()).c_str(), sim_->node(self_).name.c_str(),
+            group.ToString().c_str(), p.locally_originated, p.reconnect);
+
+  // Propagate failure downstream so cached requesters stop waiting.
+  for (const DownstreamRequester& req : p.requesters) {
+    ControlPacket nack;
+    nack.type = ControlType::kJoinNack;
+    nack.group = group;
+    nack.origin = req.origin;
+    nack.target_core = p.target_core;
+    nack.cores = p.cores;
+    ++stats_.nacks_sent;
+    SendControl(req.vif, req.from, req.from, nack);
+  }
+
+  const bool was_reconnect = p.reconnect && p.locally_originated;
+  const bool was_core_rejoin = p.core_rejoin;
+  pending_.erase(it);
+
+  if (was_core_rejoin) {
+    // The primary stopped answering between ping and join. Keep
+    // anchoring the group and retry (ping-first) after a long backoff —
+    // "the core tree is built on-demand".
+    sim_->Schedule(config_.reconnect_timeout, [this, group] {
+      FibEntry* entry = fib_.Find(group);
+      if (entry != nullptr && entry->is_core && !entry->is_primary_core &&
+          !entry->HasParent() && !pending_.contains(group)) {
+        CoreRejoinPrimary(*entry);
+      }
+    });
+    return;
+  }
+
+  if (was_reconnect) {
+    ++stats_.reconnects_failed;
+    // RECONNECT-TIMEOUT elapsed: give up, flush the subordinate branch so
+    // downstream routers re-attach on their own (section 6.1 fallout).
+    if (FibEntry* entry = fib_.Find(group)) {
+      SendFlushToChildren(*entry);
+    }
+    RemoveGroupState(group);
+  }
+}
+
+void CbtRouter::SimulateRestart() {
+  std::vector<Ipv4Address> groups;
+  for (const auto& [group, entry] : fib_) groups.push_back(group);
+  for (const Ipv4Address& group : groups) RemoveGroupState(group);
+  pending_.clear();
+  quitting_.clear();
+  core_pings_.clear();
+  proxied_groups_.clear();
+  gdr_.clear();
+  learned_cores_.clear();
+}
+
+void CbtRouter::CoreRejoinPrimary(FibEntry& entry) {
+  if (entry.cores.empty() || pending_.contains(entry.group) ||
+      core_pings_.contains(entry.group)) {
+    return;
+  }
+  // Probe first: the rejoin may have to flush a child branch to route
+  // through it, which must not happen while the primary is unreachable
+  // (it would livelock the subtree in flush/join cycles).
+  auto ping = std::make_unique<CorePingState>();
+  ping->target = entry.cores.front();
+  ping->timer.BindTo(*sim_);
+  core_pings_[entry.group] = std::move(ping);
+  SendCorePing(entry.group);
+}
+
+void CbtRouter::SendCorePing(Ipv4Address group) {
+  const auto it = core_pings_.find(group);
+  if (it == core_pings_.end()) return;
+  CorePingState& state = *it->second;
+
+  if (state.attempts >= 3) {
+    // Primary unreachable: stay a standalone anchor, re-probe later
+    // ("the core tree is built on-demand").
+    state.attempts = 0;
+    state.timer.Schedule(config_.reconnect_timeout,
+                         [this, group] { SendCorePing(group); });
+    return;
+  }
+  ++state.attempts;
+
+  const auto route = ResolveToward(state.target);
+  if (route && route->vif != kInvalidVif) {
+    ControlPacket ping;
+    ping.type = ControlType::kCorePing;
+    ping.group = group;
+    ping.origin = primary_address_;
+    ping.target_core = state.target;
+    ++stats_.core_pings_sent;
+    SendControl(route->vif, route->next_hop, state.target, ping);
+  }
+  state.timer.Schedule(config_.pend_join_interval,
+                       [this, group] { SendCorePing(group); });
+}
+
+void CbtRouter::HandleCorePing(const packet::Ipv4Header& ip,
+                               const ControlPacket& pkt) {
+  // Addressed to us (dispatch guarantees it): answer toward the origin.
+  ++stats_.core_pings_received;
+  ControlPacket reply;
+  reply.type = ControlType::kPingReply;
+  reply.group = pkt.group;
+  reply.origin = pkt.origin;
+  reply.target_core = ip.dst;
+  const auto route = ResolveToward(pkt.origin);
+  if (route && route->vif != kInvalidVif) {
+    ++stats_.ping_replies_sent;
+    SendControl(route->vif, route->next_hop, pkt.origin, reply);
+  }
+}
+
+void CbtRouter::HandlePingReply(const ControlPacket& pkt) {
+  ++stats_.ping_replies_received;
+  const auto it = core_pings_.find(pkt.group);
+  if (it == core_pings_.end()) return;
+  core_pings_.erase(it);
+  FibEntry* entry = fib_.Find(pkt.group);
+  if (entry != nullptr && entry->is_core && !entry->is_primary_core &&
+      !entry->HasParent() && !pending_.contains(pkt.group)) {
+    LaunchCoreRejoin(*entry);
+  }
+}
+
+void CbtRouter::LaunchCoreRejoin(FibEntry& entry) {
+  auto p = std::make_unique<PendingJoin>();
+  p->group = entry.group;
+  p->cores = entry.cores;
+  p->core_index = 0;
+  p->target_core = entry.cores.front();  // the primary core
+  p->subcode = JoinSubcode::kRejoinActive;
+  p->origin = primary_address_;
+  p->locally_originated = true;
+  p->core_rejoin = true;
+  p->started = sim_->Now();
+  p->core_attempt_started = sim_->Now();
+  p->rtx_timer.BindTo(*sim_);
+  p->expire_timer.BindTo(*sim_);
+  PendingJoin& ref = *p;
+  pending_[entry.group] = std::move(p);
+  ++stats_.joins_originated;
+  if (!ForwardJoin(ref)) {
+    PendingJoinFailed(entry.group);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Teardown (section 2.7) and flush.
+// ---------------------------------------------------------------------------
+
+void CbtRouter::HandleQuitRequest(VifIndex vif, const packet::Ipv4Header& ip,
+                                  const ControlPacket& pkt) {
+  ++stats_.quits_received;
+  CBT_TRACE("[%s %s] rx QUIT from %s", FormatSimTime(sim_->Now()).c_str(),
+            sim_->node(self_).name.c_str(), ip.src.ToString().c_str());
+  FibEntry* entry = fib_.Find(pkt.group);
+  if (entry != nullptr) entry->RemoveChild(ip.src);
+
+  ControlPacket ack;
+  ack.type = ControlType::kQuitAck;
+  ack.group = pkt.group;
+  ack.origin = pkt.origin;
+  ++stats_.quit_acks_sent;
+  SendControl(vif, ip.src, ip.src, ack);
+
+  // "R3 subsequently checks whether it in turn can send a quit."
+  if (entry != nullptr) QuitCheck(pkt.group);
+}
+
+void CbtRouter::HandleQuitAck(const ControlPacket& pkt) {
+  ++stats_.quit_acks_received;
+  const auto it = quitting_.find(pkt.group);
+  if (it == quitting_.end()) return;
+  quitting_.erase(it);
+  RemoveGroupState(pkt.group);
+}
+
+void CbtRouter::QuitCheck(Ipv4Address group) {
+  FibEntry* entry = fib_.Find(group);
+  if (entry == nullptr) return;
+  // The primary core is the group's permanent anchor. Non-primary cores
+  // tear their backbone link down like any leaf once nothing hangs off
+  // them — "the core tree is built on-demand" (-03 authors' note) — and
+  // re-learn their role from the next join that targets them (6.2).
+  if (entry->is_primary_core) return;
+  if (!entry->children.empty()) return;
+  if (igmp_.AnyMembers(group)) return;
+  if (quitting_.contains(group) || pending_.contains(group)) return;
+
+  if (!entry->HasParent()) {
+    RemoveGroupState(group);  // detached root with nothing below
+    return;
+  }
+  SendQuit(group);
+}
+
+void CbtRouter::SendQuit(Ipv4Address group) {
+  FibEntry* entry = fib_.Find(group);
+  if (entry == nullptr || !entry->HasParent()) return;
+
+  auto q = std::make_unique<QuitState>();
+  q->parent = entry->parent_address;
+  q->vif = entry->parent_vif;
+  q->timer.BindTo(*sim_);
+  QuitState& ref = *q;
+  quitting_[group] = std::move(q);
+
+  // Retry loop: "the child nevertheless removes the parent information
+  // after some small number (typically 3) of re-tries."
+  const auto send = [this, group](auto&& self_fn) -> void {
+    const auto it = quitting_.find(group);
+    if (it == quitting_.end()) return;
+    QuitState& q = *it->second;
+    if (q.attempts >= config_.quit_retries) {
+      quitting_.erase(it);
+      RemoveGroupState(group);
+      return;
+    }
+    ++q.attempts;
+    ControlPacket quit;
+    quit.type = ControlType::kQuitRequest;
+    quit.group = group;
+    quit.origin = primary_address_;
+    quit.target_core = q.parent;
+    ++stats_.quits_sent;
+    SendControl(q.vif, q.parent, q.parent, quit);
+    q.timer.Schedule(config_.pend_join_interval,
+                     [this, self_fn]() { self_fn(self_fn); });
+  };
+  (void)ref;
+  send(send);
+}
+
+void CbtRouter::SendFlushToChildren(FibEntry& entry) {
+  for (const ChildEntry& child : entry.children) {
+    ControlPacket flush;
+    flush.type = ControlType::kFlushTree;
+    flush.group = entry.group;
+    flush.origin = primary_address_;
+    ++stats_.flushes_sent;
+    SendControl(child.vif, child.address, child.address, flush);
+  }
+}
+
+void CbtRouter::HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
+                            const ControlPacket& pkt) {
+  ++stats_.flushes_received;
+  CBT_TRACE("[%s %s] rx FLUSH from %s", FormatSimTime(sim_->Now()).c_str(),
+            sim_->node(self_).name.c_str(), ip.src.ToString().c_str());
+  FibEntry* entry = fib_.Find(pkt.group);
+  if (entry == nullptr) return;
+  // Only the parent may flush us.
+  if (!entry->HasParent() || vif != entry->parent_vif ||
+      ip.src != entry->parent_address) {
+    return;
+  }
+  SendFlushToChildren(*entry);
+
+  const bool had_members = igmp_.AnyMembers(pkt.group);
+  std::vector<Ipv4Address> cores = entry->cores;
+  RemoveGroupState(pkt.group);
+
+  if (had_members && !cores.empty()) {
+    // "Routers that have received a flush message will re-establish
+    // themselves on the delivery tree if they have directly connected
+    // subnets with group presence."
+    const Ipv4Address group = pkt.group;
+    sim_->Schedule(config_.flush_rejoin_delay,
+                   [this, group, cores = std::move(cores)] {
+                     if (!IsOnTree(group) && !IsPending(group)) {
+                       StartJoin(group, cores, 0, /*reconnect=*/false);
+                     }
+                   });
+  }
+}
+
+void CbtRouter::RemoveGroupState(Ipv4Address group) {
+  fib_.Remove(group);
+  pending_.erase(group);
+  quitting_.erase(group);
+  core_pings_.erase(group);
+  proxied_groups_.erase(group);
+  for (auto it = gdr_.begin(); it != gdr_.end();) {
+    if (it->first == group) {
+      it = gdr_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Keepalives and failure detection (sections 6, 8.4, 9).
+// ---------------------------------------------------------------------------
+
+void CbtRouter::OnEchoTick() {
+  // Child -> parent echoes, optionally aggregated per parent neighbour.
+  // Aggregation carries the covered group range as <low group, mask>
+  // (Figure 9): the narrowest common prefix of all groups sharing the
+  // parent — "provided aggregation is at all possible; this depends on
+  // coordinated multicast address assignment". Disjoint assignments
+  // degrade to mask 0 (all groups via this neighbour).
+  if (config_.aggregate_echo) {
+    std::map<std::pair<Ipv4Address, VifIndex>, std::vector<Ipv4Address>>
+        parents;
+    for (const auto& [group, entry] : fib_) {
+      if (entry.HasParent()) {
+        parents[{entry.parent_address, entry.parent_vif}].push_back(group);
+      }
+    }
+    for (const auto& [parent, groups] : parents) {
+      const auto& [addr, vif] = parent;
+      // Common-prefix mask over the covered groups.
+      std::uint32_t mask = 0xFFFFFFFFu;
+      Ipv4Address low = groups.front();
+      for (const Ipv4Address g : groups) {
+        if (g < low) low = g;
+        const std::uint32_t diff = g.bits() ^ groups.front().bits();
+        while ((diff & mask) != 0) mask <<= 1;
+      }
+      ControlPacket echo;
+      echo.type = ControlType::kEchoRequest;
+      echo.aggregate = true;
+      echo.group = low;
+      echo.group_mask = mask;
+      ++stats_.echo_requests_sent;
+      SendControl(vif, addr, addr, echo);
+    }
+  } else {
+    for (const auto& [group, entry] : fib_) {
+      if (!entry.HasParent()) continue;
+      ControlPacket echo;
+      echo.type = ControlType::kEchoRequest;
+      echo.group = group;
+      ++stats_.echo_requests_sent;
+      SendControl(entry.parent_vif, entry.parent_address,
+                  entry.parent_address, echo);
+    }
+  }
+
+  // Parent-liveness: CBT-ECHO-TIMEOUT after the last reply means the
+  // parent (or the path to it) failed (section 6.1).
+  std::vector<Ipv4Address> lost;
+  for (const auto& [group, entry] : fib_) {
+    if (entry.HasParent() &&
+        sim_->Now() - entry.last_parent_reply > config_.echo_timeout) {
+      lost.push_back(group);
+    }
+  }
+  for (const Ipv4Address& group : lost) {
+    ++stats_.parent_losses;
+    CBT_DEBUG("cbt[%s]: parent unreachable for %s, reconnecting",
+              sim_->node(self_).name.c_str(), group.ToString().c_str());
+    if (callbacks_.on_parent_lost) callbacks_.on_parent_lost(group);
+    StartReconnect(group);
+  }
+
+  echo_timer_.Schedule(config_.echo_interval, [this] { OnEchoTick(); });
+}
+
+void CbtRouter::HandleEchoRequest(VifIndex vif, const packet::Ipv4Header& ip,
+                                  const ControlPacket& pkt) {
+  ++stats_.echo_requests_received;
+  // Refresh matching child entries. Reply only when we actually hold
+  // parent state for the sender: a restarted / stateless router must stay
+  // silent so the child's CBT-ECHO-TIMEOUT fires and it re-joins
+  // (section 6.2 non-core restart depends on this).
+  const auto covered = [&](Ipv4Address group) {
+    if (!pkt.aggregate) return group == pkt.group;
+    // Figure 9 range match; mask 0 covers every group via this neighbour.
+    return (group.bits() & pkt.group_mask) ==
+           (pkt.group.bits() & pkt.group_mask);
+  };
+  bool known_child = false;
+  for (auto& [group, entry] : fib_) {
+    if (!covered(group)) continue;
+    if (ChildEntry* child = entry.FindChild(ip.src);
+        child != nullptr && child->vif == vif) {
+      child->last_heard = sim_->Now();
+      known_child = true;
+    }
+  }
+  if (!known_child) return;
+  ControlPacket reply;
+  reply.type = ControlType::kEchoReply;
+  reply.aggregate = pkt.aggregate;
+  reply.group = pkt.group;
+  reply.group_mask = pkt.group_mask;
+  ++stats_.echo_replies_sent;
+  SendControl(vif, ip.src, ip.src, reply);
+}
+
+void CbtRouter::HandleEchoReply(VifIndex vif, const packet::Ipv4Header& ip,
+                                const ControlPacket& pkt) {
+  ++stats_.echo_replies_received;
+  for (auto& [group, entry] : fib_) {
+    if (!pkt.aggregate) {
+      if (group != pkt.group) continue;
+    } else if ((group.bits() & pkt.group_mask) !=
+               (pkt.group.bits() & pkt.group_mask)) {
+      continue;
+    }
+    if (entry.HasParent() && entry.parent_vif == vif &&
+        entry.parent_address == ip.src) {
+      entry.last_parent_reply = sim_->Now();
+    }
+  }
+}
+
+void CbtRouter::OnChildScan() {
+  std::vector<Ipv4Address> affected;
+  for (auto& [group, entry] : fib_) {
+    const SimTime now = sim_->Now();
+    const auto stale = [&](const ChildEntry& c) {
+      return now - c.last_heard > config_.child_assert_expire;
+    };
+    const auto removed =
+        std::count_if(entry.children.begin(), entry.children.end(), stale);
+    if (removed > 0) {
+      stats_.children_expired += static_cast<std::uint64_t>(removed);
+      entry.children.erase(
+          std::remove_if(entry.children.begin(), entry.children.end(), stale),
+          entry.children.end());
+      affected.push_back(group);
+    }
+  }
+  for (const Ipv4Address& group : affected) QuitCheck(group);
+  child_scan_timer_.Schedule(config_.child_assert_interval,
+                             [this] { OnChildScan(); });
+}
+
+void CbtRouter::OnIffScan() {
+  std::vector<Ipv4Address> groups;
+  for (const auto& [group, entry] : fib_) groups.push_back(group);
+  for (const Ipv4Address& group : groups) QuitCheck(group);
+  iff_scan_timer_.Schedule(config_.iff_scan_interval, [this] { OnIffScan(); });
+}
+
+void CbtRouter::StartReconnect(Ipv4Address group) {
+  FibEntry* entry = fib_.Find(group);
+  if (entry == nullptr || pending_.contains(group)) return;
+  CBT_TRACE("[%s %s] reconnect for %s", FormatSimTime(sim_->Now()).c_str(),
+            sim_->node(self_).name.c_str(), group.ToString().c_str());
+
+  entry->parent_address = Ipv4Address{};
+  entry->parent_vif = kInvalidVif;
+
+  std::vector<Ipv4Address> cores = entry->cores;
+  if (cores.empty()) cores = directory_->CoresFor(group);
+  if (cores.empty()) {
+    SendFlushToChildren(*entry);
+    RemoveGroupState(group);
+    return;
+  }
+  // "arbitrarily choosing an alternate core from its list of cores".
+  const std::size_t index =
+      cores.size() == 1
+          ? 0
+          : static_cast<std::size_t>(sim_->rng().NextBelow(cores.size()));
+  StartJoin(group, std::move(cores), index, /*reconnect=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// IGMP-driven behaviour (sections 2.3, 2.5, 2.7).
+// ---------------------------------------------------------------------------
+
+void CbtRouter::OnMemberReport(VifIndex vif, Ipv4Address group,
+                               Ipv4Address /*reporter*/, bool /*newly*/) {
+  if (!group.IsMulticast() || group.IsLinkLocalMulticast()) return;
+  if (!igmp_.IsQuerier(vif)) return;  // only the D-DR originates joins
+  if (IsOnTree(group) || IsPending(group)) return;
+  if (const auto it = proxied_groups_.find(group);
+      it != proxied_groups_.end()) {
+    // A G-DR covered this LAN at it->second; confirm it still does by
+    // re-joining once the marker goes stale (a fresh proxy-ack renews it,
+    // a normal ack or a new G-DR repairs a silent G-DR loss).
+    if (sim_->Now() - it->second < config_.proxy_refresh_interval) return;
+    proxied_groups_.erase(it);
+  }
+  // Core information: from a previously heard RP/Core-Report, falling back
+  // to the external directory ("or by some other means", section 2.5).
+  std::vector<Ipv4Address> cores;
+  std::size_t target_index = 0;
+  if (const auto it = learned_cores_.find(group); it != learned_cores_.end()) {
+    cores = it->second.first;
+    target_index = it->second.second;
+  } else {
+    cores = directory_->CoresFor(group);
+  }
+  if (cores.empty()) return;  // no <core,group> mapping yet
+  StartJoin(group, std::move(cores), target_index, /*reconnect=*/false);
+}
+
+void CbtRouter::OnCoreReport(VifIndex vif, const IgmpMessage& msg) {
+  if (msg.cores.empty()) return;
+  learned_cores_[msg.group] = {msg.cores, msg.target_core_index};
+  // The RP/Core-Report may arrive after the membership report (section
+  // 2.5 tolerates either order); if membership is already known, join
+  // now. Never join on the core report alone — "the receipt of an IGMP
+  // group membership report ... triggers the tree joining process".
+  if (igmp_.AnyMembers(msg.group)) {
+    OnMemberReport(vif, msg.group, Ipv4Address{}, false);
+  }
+}
+
+void CbtRouter::OnGroupExpired(VifIndex /*vif*/, Ipv4Address group) {
+  proxied_groups_.erase(group);
+  QuitCheck(group);
+}
+
+// ---------------------------------------------------------------------------
+// Data plane (sections 4, 5, 7).
+// ---------------------------------------------------------------------------
+
+void CbtRouter::HandleNativeData(VifIndex vif, const packet::Ipv4Header& ip,
+                                 std::span<const std::uint8_t> datagram) {
+  const Ipv4Address group = ip.dst;
+  const bool local_origin = SubnetContains(vif, ip.src);
+  FibEntry* entry = fib_.Find(group);
+
+  if (entry == nullptr) {
+    // Sections 5.1/5.3 non-member sending: the subnet's DR encapsulates
+    // the packet and unicasts it toward a core for the group.
+    if (local_origin && IsSubnetDr(group, vif) &&
+        !proxied_groups_.contains(group)) {
+      RelayNonMemberData(vif, ip, datagram);
+    }
+    return;
+  }
+
+  // Section 7: native data must arrive over a valid on-tree interface; the
+  // only other acceptable source is a locally-originated packet on a LAN
+  // we are DR for.
+  const bool from_tree = entry->IsTreeVif(vif);
+  const bool from_local_lan = local_origin && IsSubnetDr(group, vif);
+  if (!from_tree && !from_local_lan) {
+    // Either a non-local source forged onto a leaf LAN (the section 5
+    // local-origin check) or an off-tree arrival (section 7).
+    if (!local_origin) {
+      ++stats_.data_dropped_not_local;
+    } else {
+      ++stats_.data_dropped_off_tree;
+    }
+    return;
+  }
+
+  const auto forwarded = packet::WithDecrementedTtl(datagram);
+  if (!forwarded) {
+    ++stats_.data_dropped_ttl;
+    return;
+  }
+  ForwardAlongTree(vif, ip.src, *entry, ip, *forwarded, nullptr);
+}
+
+void CbtRouter::HandleCbtData(VifIndex vif, const packet::Ipv4Header& outer,
+                              std::span<const std::uint8_t> datagram) {
+  const auto parsed = packet::ParseDatagram(datagram);
+  if (!parsed) return;
+  const auto data = packet::ExtractCbtModeData(*parsed);
+  if (!data) {
+    ++stats_.malformed_control;
+    return;
+  }
+
+  FibEntry* entry = fib_.Find(data->header.group);
+  if (entry == nullptr) {
+    if (!OwnsAddress(outer.dst)) {
+      // Transit hop of a non-member sender's unicast toward the core.
+      ++stats_.data_nonmember_relayed;
+      ForwardUnicast(outer, datagram);
+    } else {
+      ++stats_.data_dropped_no_state;
+    }
+    return;
+  }
+
+  // Section 7: an on-tree packet arriving over an off-tree interface has
+  // wandered; discard. Off-tree (0x00) arrivals are legitimate non-member
+  // data reaching the tree.
+  if (data->header.on_tree && !entry->IsTreeVif(vif)) {
+    ++stats_.data_dropped_off_tree;
+    return;
+  }
+
+  packet::CbtDataHeader hdr = data->header;
+  hdr.on_tree = true;  // first on-tree router flips 0x00 -> 0xff
+  if (hdr.ip_ttl <= 1) {
+    ++stats_.data_dropped_ttl;
+    return;
+  }
+  hdr.ip_ttl = static_cast<std::uint8_t>(hdr.ip_ttl - 1);
+
+  const auto inner = packet::ParseDatagram(data->original_datagram);
+  if (!inner) return;
+  ForwardAlongTree(vif, outer.src, *entry, inner->ip, data->original_datagram,
+                   &hdr);
+}
+
+void CbtRouter::ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
+                                 const FibEntry& entry,
+                                 const packet::Ipv4Header& inner_ip,
+                                 std::span<const std::uint8_t> inner_datagram,
+                                 const packet::CbtDataHeader* cbt) {
+  // Effective CBT header for any encapsulated output (and the TTL source
+  // for native outputs of a packet that arrived encapsulated).
+  packet::CbtDataHeader hdr;
+  if (cbt != nullptr) {
+    hdr = *cbt;
+  } else {
+    // First-hop state for a packet sourced on a local LAN; the caller
+    // already decremented the inner datagram's TTL.
+    hdr.group = entry.group;
+    hdr.core = entry.cores.empty() ? Ipv4Address{} : entry.cores.front();
+    hdr.origin = inner_ip.src;
+    hdr.ip_ttl = inner_ip.ttl;
+    hdr.on_tree = true;
+  }
+
+  // Collect outputs per interface mode (section 5.2 mixed operation):
+  // native interfaces get one IP multicast each — shared by parent,
+  // children and members on that LAN (section 4); CBT interfaces get
+  // per-neighbour encapsulated unicasts, or a single CBT multicast when
+  // several children sit behind one interface (section 5).
+  std::vector<VifIndex> native_tree_vifs;
+  const auto add_native = [&](VifIndex v) {
+    if (v != arrival_vif &&
+        std::find(native_tree_vifs.begin(), native_tree_vifs.end(), v) ==
+            native_tree_vifs.end()) {
+      native_tree_vifs.push_back(v);
+    }
+  };
+  struct CbtTarget {
+    VifIndex vif;
+    Ipv4Address dst;
+  };
+  std::vector<CbtTarget> cbt_targets;
+
+  if (entry.HasParent() && !(entry.parent_vif == arrival_vif &&
+                             entry.parent_address == arrival_src)) {
+    if (EffectiveMode(entry.parent_vif) == VifMode::kNative) {
+      add_native(entry.parent_vif);
+    } else {
+      cbt_targets.push_back({entry.parent_vif, entry.parent_address});
+    }
+  }
+  for (const VifIndex v : entry.ChildVifs()) {
+    if (EffectiveMode(v) == VifMode::kNative) {
+      add_native(v);
+      continue;
+    }
+    std::vector<const ChildEntry*> kids = entry.ChildrenOnVif(v);
+    kids.erase(std::remove_if(kids.begin(), kids.end(),
+                              [&](const ChildEntry* c) {
+                                return v == arrival_vif &&
+                                       c->address == arrival_src;
+                              }),
+               kids.end());
+    if (kids.empty()) continue;
+    cbt_targets.push_back(
+        {v, kids.size() == 1 ? kids.front()->address : entry.group});
+  }
+
+  for (const VifIndex v : native_tree_vifs) {
+    std::vector<std::uint8_t> bytes =
+        cbt != nullptr
+            ? packet::WithTtl(inner_datagram, hdr.ip_ttl)
+            : std::vector<std::uint8_t>(inner_datagram.begin(),
+                                        inner_datagram.end());
+    stats_.data_bytes_sent += bytes.size();
+    ++stats_.data_forwarded_tree;
+    sim_->SendDatagram(self_, v, entry.group, std::move(bytes));
+  }
+  if (!cbt_targets.empty() && cbt == nullptr) ++stats_.data_encapsulated;
+  for (const CbtTarget& target : cbt_targets) {
+    auto bytes = packet::BuildCbtModeDatagram(VifAddress(target.vif),
+                                              target.dst, hdr,
+                                              inner_datagram);
+    stats_.data_bytes_sent += bytes.size();
+    ++stats_.data_forwarded_tree;
+    sim_->SendDatagram(self_, target.vif, target.dst, std::move(bytes));
+  }
+
+  // Member LANs: always native IP multicast. In CBT-mode operation the
+  // inner TTL "is set to one before forwarding" (section 5); in a native
+  // domain the already-decremented datagram goes out as-is. LANs covered
+  // by a native tree transmission above already carried the packet.
+  const bool force_ttl_one = cbt != nullptr || !config_.native_mode;
+  for (const VifIndex v : igmp_.MemberVifs(entry.group)) {
+    if (!IsSubnetDr(entry.group, v)) continue;
+    if (SubnetContains(v, inner_ip.src)) continue;  // origin LAN saw it
+    if (cbt == nullptr && v == arrival_vif) continue;  // already on wire
+    if (std::find(native_tree_vifs.begin(), native_tree_vifs.end(), v) !=
+        native_tree_vifs.end()) {
+      continue;
+    }
+    std::vector<std::uint8_t> bytes =
+        force_ttl_one ? packet::WithTtl(inner_datagram, 1)
+                      : std::vector<std::uint8_t>(inner_datagram.begin(),
+                                                  inner_datagram.end());
+    stats_.data_bytes_sent += bytes.size();
+    ++stats_.data_delivered_lan;
+    if (cbt != nullptr) ++stats_.data_decapsulated;
+    sim_->SendDatagram(self_, v, entry.group, std::move(bytes));
+  }
+}
+
+void CbtRouter::RelayNonMemberData(VifIndex /*vif*/,
+                                   const packet::Ipv4Header& ip,
+                                   std::span<const std::uint8_t> datagram) {
+  const std::vector<Ipv4Address> cores = directory_->CoresFor(ip.dst);
+  if (cores.empty()) {
+    ++stats_.data_dropped_no_state;
+    return;
+  }
+  const auto route = ResolveToward(cores.front());
+  if (!route || route->vif == kInvalidVif) {
+    ++stats_.data_dropped_no_state;
+    return;
+  }
+  packet::CbtDataHeader hdr;
+  hdr.group = ip.dst;
+  hdr.core = cores.front();
+  hdr.origin = ip.src;
+  hdr.ip_ttl = ip.ttl;
+  hdr.on_tree = false;  // flips to 0xff at the first on-tree router
+  auto bytes = packet::BuildCbtModeDatagram(VifAddress(route->vif),
+                                            cores.front(), hdr, datagram);
+  stats_.data_bytes_sent += bytes.size();
+  ++stats_.data_encapsulated;
+  ++stats_.data_nonmember_relayed;
+  sim_->SendDatagram(self_, route->vif, route->next_hop, std::move(bytes));
+}
+
+void CbtRouter::ForwardUnicast(const packet::Ipv4Header& ip,
+                               std::span<const std::uint8_t> datagram) {
+  const auto route = routes_->Lookup(self_, ip.dst);
+  if (!route || route->vif == kInvalidVif) return;
+  const auto forwarded = packet::WithDecrementedTtl(datagram);
+  if (!forwarded) {
+    ++stats_.data_dropped_ttl;
+    return;
+  }
+  const Ipv4Address link_dst =
+      route->next_hop == ip.dst || route->hop_count == 0 ? ip.dst
+                                                         : route->next_hop;
+  sim_->SendDatagram(self_, route->vif, link_dst, *forwarded);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+void CbtRouter::SendControl(VifIndex vif, Ipv4Address link_dst,
+                            Ipv4Address ip_dst, const ControlPacket& pkt) {
+  auto bytes = packet::BuildControlDatagram(VifAddress(vif), ip_dst, pkt);
+  stats_.control_bytes_sent += bytes.size();
+  sim_->SendDatagram(self_, vif, link_dst, std::move(bytes));
+}
+
+void CbtRouter::SendIgmp(VifIndex vif, Ipv4Address dst,
+                         const IgmpMessage& msg) {
+  sim_->SendDatagram(self_, vif, dst,
+                     packet::BuildIgmpDatagram(VifAddress(vif), dst, msg));
+}
+
+bool CbtRouter::IsGdr(Ipv4Address group, VifIndex vif) const {
+  return gdr_.contains({group, VifSubnet(vif)});
+}
+
+bool CbtRouter::IsSubnetDr(Ipv4Address group, VifIndex vif) const {
+  if (IsGdr(group, vif)) return true;
+  if (proxied_groups_.contains(group)) return false;  // a G-DR covers us
+  return igmp_.IsQuerier(vif);
+}
+
+bool CbtRouter::OwnsAddress(Ipv4Address addr) const {
+  for (const netsim::Interface& iface : sim_->node(self_).interfaces) {
+    if (iface.address == addr) return true;
+  }
+  return false;
+}
+
+Ipv4Address CbtRouter::VifAddress(VifIndex vif) const {
+  return sim_->interface(self_, vif).address;
+}
+
+SubnetId CbtRouter::VifSubnet(VifIndex vif) const {
+  return sim_->interface(self_, vif).subnet;
+}
+
+bool CbtRouter::SubnetContains(VifIndex vif, Ipv4Address addr) const {
+  return sim_->subnet(VifSubnet(vif)).address.Contains(addr);
+}
+
+}  // namespace cbt::core

@@ -1,0 +1,312 @@
+// CbtRouter: a complete CBT multicast router per the protocol
+// specification (draft-ietf-idmr-cbt-spec-03, with -02 fallbacks).
+//
+// Control plane (sections 2, 6, 8):
+//  * D-DR duty — the router is D-DR on a subnet iff it is that subnet's
+//    IGMP querier (section 2.3); the D-DR originates JOIN-REQUESTs when an
+//    IGMP RP/Core-Report + membership report arrive for an unknown group;
+//  * hop-by-hop JOIN-REQUEST / JOIN-ACK processing with transient
+//    pending-join state, caching of joins received while pending, and
+//    join-request retransmission (PEND-JOIN-INTERVAL);
+//  * PROXY-ACK / G-DR handling (section 2.6) so a D-DR whose first hop is
+//    on the member LAN keeps no group state;
+//  * QUIT-REQUEST/QUIT-ACK teardown and FLUSH-TREE (section 2.7);
+//  * CBT-ECHO keepalives, child expiry, parent-failure reconnection
+//    cycling through the core list (section 6.1), optional aggregation;
+//  * core and router restart behaviour (section 6.2) — a router learns it
+//    is a core by receiving a join that targets it; non-primary cores
+//    rejoin the primary;
+//  * REJOIN-ACTIVE → REJOIN-NACTIVE loop detection (section 6.3).
+//
+// Data plane (sections 4, 5, 7):
+//  * native-mode forwarding over tree interfaces with the valid-on-tree-
+//    interface acceptance check;
+//  * CBT-mode encapsulation (Figure 3) with CBT-header TTL decrement,
+//    CBT unicast vs CBT multicast per child fan-out, and the on-tree bit
+//    (0x00→0xff) data-loop suppression of section 7;
+//  * member-LAN delivery as plain IP multicast (inner TTL forced to 1 in
+//    CBT mode) gated on DR-ship to avoid LAN duplicates;
+//  * non-member sending (sections 5.1/5.3): the D-DR encapsulates and
+//    unicasts toward the group's core, any on-tree router intercepts.
+//
+// Deviations from the (ambiguous) draft are noted inline and in DESIGN.md.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "cbt/config.h"
+#include "cbt/fib.h"
+#include "cbt/group_directory.h"
+#include "cbt/stats.h"
+#include "cbt/tunnel_config.h"
+#include "igmp/router_igmp.h"
+#include "netsim/simulator.h"
+#include "netsim/timer.h"
+#include "packet/encap.h"
+#include "routing/route_manager.h"
+
+namespace cbt::core {
+
+class CbtRouter : public netsim::NetworkAgent {
+ public:
+  /// Experiment hooks; all optional.
+  struct Callbacks {
+    /// This router, as D-DR, completed a join for a locally-triggered
+    /// membership (normal ack, proxy ack, or instant when already
+    /// on-tree). Fired once per transition onto the tree.
+    std::function<void(Ipv4Address group)> on_group_established;
+    /// Parent declared unreachable (echo timeout).
+    std::function<void(Ipv4Address group)> on_parent_lost;
+    /// Reconnect finished (re-acked onto the tree).
+    std::function<void(Ipv4Address group)> on_reconnected;
+    /// Own REJOIN-NACTIVE returned: transient loop broken with a quit.
+    std::function<void(Ipv4Address group)> on_loop_detected;
+  };
+
+  CbtRouter(netsim::Simulator& sim, NodeId self,
+            routing::RouteManager& routes, const GroupDirectory& directory,
+            CbtConfig config = {}, igmp::IgmpConfig igmp_config = {});
+
+  // --- NetworkAgent ---------------------------------------------------------
+  void Start() override;
+  void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
+                  std::span<const std::uint8_t> datagram) override;
+
+  // --- Introspection (tests & experiments) -----------------------------------
+  NodeId id() const { return self_; }
+  const Fib& fib() const { return fib_; }
+  const RouterStats& stats() const { return stats_; }
+  RouterStats& mutable_stats() { return stats_; }
+  const igmp::RouterIgmp& igmp() const { return igmp_; }
+  const CbtConfig& config() const { return config_; }
+
+  bool IsOnTree(Ipv4Address group) const { return fib_.Find(group) != nullptr; }
+  bool IsPending(Ipv4Address group) const { return pending_.contains(group); }
+  /// True when this router declined FIB state after a proxy-ack (2.6).
+  bool JoinedViaGdr(Ipv4Address group) const {
+    return proxied_groups_.contains(group);
+  }
+  /// True when this router granted a proxy-ack and is group DR for the
+  /// subnet of `vif`.
+  bool IsGdr(Ipv4Address group, VifIndex vif) const;
+
+  bool OwnsAddress(Ipv4Address addr) const;
+  Ipv4Address primary_address() const { return primary_address_; }
+
+  /// True if this router is the group's DR on the vif's subnet (IGMP
+  /// querier D-DR, or proxy-ack G-DR) — the role that forwards data on
+  /// and off that subnet.
+  bool IsSubnetDr(Ipv4Address group, VifIndex vif) const;
+
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Section 5.2 virtual-topology configuration: per-interface modes,
+  /// tunnels, and ranked interfaces per core. When a ranking exists for a
+  /// join's target core, it replaces the unicast routing lookup.
+  TunnelConfig& tunnel_config() { return tunnels_; }
+  const TunnelConfig& tunnel_config() const { return tunnels_; }
+
+  /// Force-join a group (bypasses IGMP; used by tests and by cores that
+  /// should pre-build the backbone).
+  void InitiateJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
+                    std::size_t target_index = 0);
+
+  /// Operational hook: abandon the current parent and re-join (the same
+  /// path a CBT-ECHO timeout takes, section 6.1). Used by management
+  /// tooling and the loop-detection tests to force a re-configuration.
+  void TriggerReconnect(Ipv4Address group) { StartReconnect(group); }
+
+  /// Operational hook: drop all protocol state as if the router process
+  /// restarted (section 6.2). IGMP/odometer counters survive; the tree
+  /// state does not — a core re-learns its role from the next join.
+  void SimulateRestart();
+
+ private:
+  struct DownstreamRequester {
+    VifIndex vif = kInvalidVif;
+    Ipv4Address from;    // previous hop = prospective child
+    Ipv4Address origin;  // join's origin field
+    packet::JoinSubcode subcode = packet::JoinSubcode::kActiveJoin;
+  };
+
+  struct PendingJoin {
+    Ipv4Address group;
+    std::vector<Ipv4Address> cores;
+    std::size_t core_index = 0;
+    Ipv4Address target_core;
+    VifIndex upstream_vif = kInvalidVif;
+    Ipv4Address upstream_next_hop;
+    packet::JoinSubcode subcode = packet::JoinSubcode::kActiveJoin;
+    Ipv4Address origin;
+    bool locally_originated = false;
+    bool reconnect = false;
+    /// A non-primary core's rejoin toward the primary (section 2.5).
+    /// Never tears down children and retries with a long backoff.
+    bool core_rejoin = false;
+    SimTime started = 0;
+    SimTime core_attempt_started = 0;
+    std::vector<DownstreamRequester> requesters;
+    /// REJOIN-NACTIVE probes that reached us while we had no parent to
+    /// forward them over; re-emitted once our own join resolves (keeps
+    /// section 6.3 loop detection alive across concurrent reconnects).
+    std::vector<packet::ControlPacket> deferred_nactives;
+    netsim::Timer rtx_timer;
+    netsim::Timer expire_timer;
+  };
+
+  struct QuitState {
+    Ipv4Address parent;
+    VifIndex vif = kInvalidVif;
+    int attempts = 0;
+    netsim::Timer timer;
+  };
+
+  /// Outstanding CBT-CORE-PING toward the primary core (pre-rejoin
+  /// reachability probe — the -02 mechanism; see packet/cbt_control.h).
+  struct CorePingState {
+    Ipv4Address target;
+    int attempts = 0;
+    netsim::Timer timer;
+  };
+
+  // --- Control-plane handlers. ---
+  void HandleControl(VifIndex vif, const packet::Ipv4Header& ip,
+                     const packet::ControlPacket& pkt);
+  void HandleJoinRequest(VifIndex vif, const packet::Ipv4Header& ip,
+                         const packet::ControlPacket& pkt);
+  void HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
+                           const packet::ControlPacket& pkt);
+  void HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
+                     const packet::ControlPacket& pkt);
+  void HandleJoinNack(VifIndex vif, const packet::Ipv4Header& ip,
+                      const packet::ControlPacket& pkt);
+  void HandleQuitRequest(VifIndex vif, const packet::Ipv4Header& ip,
+                         const packet::ControlPacket& pkt);
+  void HandleQuitAck(const packet::ControlPacket& pkt);
+  void HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
+                   const packet::ControlPacket& pkt);
+  void HandleEchoRequest(VifIndex vif, const packet::Ipv4Header& ip,
+                         const packet::ControlPacket& pkt);
+  void HandleEchoReply(VifIndex vif, const packet::Ipv4Header& ip,
+                       const packet::ControlPacket& pkt);
+
+  // --- Join machinery. ---
+  /// D-DR origination (section 2.5) or reconnection (section 6.1).
+  void StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
+                 std::size_t target_index, bool reconnect);
+  /// Creates transient state + forwards a join one hop toward its core.
+  /// Returns false (and sends NACK downstream) when unroutable.
+  bool ForwardJoin(PendingJoin& pending);
+  void RetransmitJoin(Ipv4Address group);
+  void PendingJoinFailed(Ipv4Address group);
+  /// Terminates a join here: ack the sender and adopt it as child.
+  void TerminateJoin(VifIndex vif, const packet::Ipv4Header& ip,
+                     const packet::ControlPacket& pkt, FibEntry& entry);
+  /// Acks every requester cached on a pending join once it resolves.
+  void AckRequesters(PendingJoin& pending, FibEntry& entry);
+  /// Sends a JOIN-ACK (deciding normal vs proxy per section 2.6).
+  void SendAckTo(const DownstreamRequester& req, FibEntry& entry);
+  /// True when acking `req` must use PROXY-ACK (section 2.6).
+  bool ShouldProxyAck(const DownstreamRequester& req) const;
+  /// Non-primary core joins the primary after learning core status.
+  /// Probes reachability with CBT-CORE-PING first; the destructive
+  /// (child-flushing) rejoin only starts once the primary answers.
+  void CoreRejoinPrimary(FibEntry& entry);
+  void SendCorePing(Ipv4Address group);
+  void HandleCorePing(const packet::Ipv4Header& ip,
+                      const packet::ControlPacket& pkt);
+  void HandlePingReply(const packet::ControlPacket& pkt);
+  /// The actual rejoin join-request (after a successful ping).
+  void LaunchCoreRejoin(FibEntry& entry);
+
+  // --- Teardown / maintenance. ---
+  void QuitCheck(Ipv4Address group);
+  void SendQuit(Ipv4Address group);
+  void SendFlushToChildren(FibEntry& entry);
+  void RemoveGroupState(Ipv4Address group);
+  void StartReconnect(Ipv4Address group);
+  void OnEchoTick();
+  void OnChildScan();
+  void OnIffScan();
+  /// IGMP callbacks.
+  void OnMemberReport(VifIndex vif, Ipv4Address group, Ipv4Address reporter,
+                      bool newly_present);
+  void OnCoreReport(VifIndex vif, const packet::IgmpMessage& msg);
+  void OnGroupExpired(VifIndex vif, Ipv4Address group);
+  /// Section 2.5 (-03) proposal: multicast an IGMP join-confirmation onto
+  /// the member LANs once the tree is joined.
+  void NotifyHostsJoined(Ipv4Address group);
+
+  // --- Data plane. ---
+  void HandleNativeData(VifIndex vif, const packet::Ipv4Header& ip,
+                        std::span<const std::uint8_t> datagram);
+  void HandleCbtData(VifIndex vif, const packet::Ipv4Header& outer,
+                     std::span<const std::uint8_t> datagram);
+  /// Forwards a data packet along the tree (both modes). `inner` is the
+  /// original IP datagram; `cbt` carries CBT-mode header state when the
+  /// packet arrived encapsulated (nullptr for native arrivals).
+  void ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
+                        const FibEntry& entry,
+                        const packet::Ipv4Header& inner_ip,
+                        std::span<const std::uint8_t> inner_datagram,
+                        const packet::CbtDataHeader* cbt);
+  /// Section 5.1/5.3 non-member sending: encapsulate toward a core.
+  void RelayNonMemberData(VifIndex vif, const packet::Ipv4Header& ip,
+                          std::span<const std::uint8_t> datagram);
+  void ForwardUnicast(const packet::Ipv4Header& ip,
+                      std::span<const std::uint8_t> datagram);
+
+  // --- Send helpers. ---
+  /// Next hop toward `target`: the section 5.2 interface ranking when one
+  /// is configured for it, otherwise the unicast routing table.
+  std::optional<routing::Route> ResolveToward(Ipv4Address target);
+  /// Lowest-addressed neighbouring router on `vif` (tunnel-less ranked
+  /// interfaces), or `target` itself when the vif's subnet contains it.
+  Ipv4Address NeighborAddressOn(VifIndex vif, Ipv4Address target) const;
+  /// Effective forwarding mode of an interface (per-vif override or the
+  /// router-wide default from CbtConfig::native_mode).
+  VifMode EffectiveMode(VifIndex vif) const;
+  void SendControl(VifIndex vif, Ipv4Address link_dst, Ipv4Address ip_dst,
+                   const packet::ControlPacket& pkt);
+  void SendIgmp(VifIndex vif, Ipv4Address dst, const packet::IgmpMessage& msg);
+  Ipv4Address VifAddress(VifIndex vif) const;
+  SubnetId VifSubnet(VifIndex vif) const;
+  bool SubnetContains(VifIndex vif, Ipv4Address addr) const;
+
+  netsim::Simulator* sim_;
+  NodeId self_;
+  routing::RouteManager* routes_;
+  const GroupDirectory* directory_;
+  CbtConfig config_;
+  Callbacks callbacks_;
+
+  Ipv4Address primary_address_;
+  Fib fib_;
+  RouterStats stats_;
+  igmp::RouterIgmp igmp_;
+  TunnelConfig tunnels_;
+
+  std::map<Ipv4Address, std::unique_ptr<PendingJoin>> pending_;
+  std::map<Ipv4Address, std::unique_ptr<QuitState>> quitting_;
+  std::map<Ipv4Address, std::unique_ptr<CorePingState>> core_pings_;
+  /// Groups joined via a proxy-ack: we are D-DR but hold no FIB state.
+  /// Soft state — the value is the last proxy-ack time; once stale the
+  /// D-DR re-originates a join to confirm a G-DR still covers the LAN
+  /// (the G-DR may have quit or died while we were none the wiser).
+  std::map<Ipv4Address, SimTime> proxied_groups_;
+  /// (group, subnet) pairs where we granted a proxy-ack and act as G-DR.
+  std::set<std::pair<Ipv4Address, SubnetId>> gdr_;
+  /// <group, cores> gleaned from RP/Core-Reports (section 2.5).
+  std::map<Ipv4Address, std::pair<std::vector<Ipv4Address>, std::size_t>>
+      learned_cores_;
+
+  netsim::Timer echo_timer_;
+  netsim::Timer child_scan_timer_;
+  netsim::Timer iff_scan_timer_;
+};
+
+}  // namespace cbt::core

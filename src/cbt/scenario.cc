@@ -1,0 +1,384 @@
+#include "cbt/scenario.h"
+
+#include <charconv>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace cbt::core {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::optional<SimTime> ParseTime(const std::string& token) {
+  std::size_t suffix = token.size();
+  SimDuration unit = kSecond;
+  if (token.size() >= 2 && token.ends_with("ms")) {
+    unit = kMillisecond;
+    suffix = token.size() - 2;
+  } else if (token.ends_with("s")) {
+    suffix = token.size() - 1;
+  }
+  double value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + suffix;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return static_cast<SimTime>(value * static_cast<double>(unit));
+}
+
+std::optional<std::uint64_t> ParseCount(const std::string& token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<Scenario> Scenario::Parse(const std::string& text,
+                                        std::string* error) {
+  Scenario scenario;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "topology") {
+      if (tok.size() < 2) return fail("topology needs a kind");
+      std::string spec = tok[1];
+      for (std::size_t i = 2; i < tok.size(); ++i) spec += " " + tok[i];
+      scenario.topology_spec_ = spec;
+      continue;
+    }
+    if (tok[0] == "config") {
+      if (tok.size() != 3 || (tok[2] != "on" && tok[2] != "off")) {
+        return fail("config <flag> on|off");
+      }
+      const bool on = tok[2] == "on";
+      if (tok[1] == "native") {
+        scenario.config_.native_mode = on;
+      } else if (tok[1] == "proxy-ack") {
+        scenario.config_.enable_proxy_ack = on;
+      } else if (tok[1] == "echo-aggregate") {
+        scenario.config_.aggregate_echo = on;
+      } else {
+        return fail("unknown config flag '" + tok[1] + "'");
+      }
+      continue;
+    }
+    if (tok[0] == "group") {
+      if (tok.size() < 4) return fail("group <name> <addr> <core...>");
+      GroupDecl decl;
+      decl.name = tok[1];
+      const auto addr = Ipv4Address::Parse(tok[2]);
+      if (!addr || !addr->IsMulticast()) {
+        return fail("'" + tok[2] + "' is not a multicast address");
+      }
+      decl.address = *addr;
+      decl.core_routers.assign(tok.begin() + 3, tok.end());
+      scenario.groups_.push_back(std::move(decl));
+      continue;
+    }
+    if (tok[0] == "host") {
+      if (tok.size() != 3) return fail("host <name> <router>");
+      scenario.hosts_.push_back(HostDecl{tok[1], tok[2]});
+      continue;
+    }
+    if (tok[0] == "run") {
+      if (tok.size() != 2) return fail("run <time>");
+      const auto t = ParseTime(tok[1]);
+      if (!t) return fail("bad time '" + tok[1] + "'");
+      scenario.run_until_ = *t;
+      continue;
+    }
+    if (tok[0] == "at") {
+      if (tok.size() < 3) return fail("at <time> <verb> ...");
+      const auto t = ParseTime(tok[1]);
+      if (!t) return fail("bad time '" + tok[1] + "'");
+      Event ev;
+      ev.at = *t;
+      const std::string& verb = tok[2];
+      const auto need = [&](std::size_t n) { return tok.size() == n; };
+      if (verb == "join") {
+        if (!need(6)) return fail("join <host> <router> <group>");
+        ev.kind = Event::Kind::kJoin;
+        ev.host = tok[3];
+        ev.router = tok[4];
+        ev.group = tok[5];
+      } else if (verb == "leave") {
+        if (!need(5)) return fail("leave <host> <group>");
+        ev.kind = Event::Kind::kLeave;
+        ev.host = tok[3];
+        ev.group = tok[4];
+      } else if (verb == "send") {
+        if (!need(6)) return fail("send <host> <group> <bytes>");
+        ev.kind = Event::Kind::kSend;
+        ev.host = tok[3];
+        ev.group = tok[4];
+        const auto n = ParseCount(tok[5]);
+        if (!n || *n == 0 || *n > 60000) return fail("bad payload size");
+        ev.amount = *n;
+      } else if (verb == "fail-node" || verb == "heal-node") {
+        if (!need(4)) return fail(verb + " <router>");
+        ev.kind = verb == "fail-node" ? Event::Kind::kFailNode
+                                      : Event::Kind::kHealNode;
+        ev.router = tok[3];
+      } else if (verb == "fail-link" || verb == "heal-link") {
+        if (!need(5)) return fail(verb + " <routerA> <routerB>");
+        ev.kind = verb == "fail-link" ? Event::Kind::kFailLink
+                                      : Event::Kind::kHealLink;
+        ev.router = tok[3];
+        ev.router2 = tok[4];
+      } else if (verb == "expect-delivered") {
+        if (!need(6)) return fail("expect-delivered <host> <group> <count>");
+        ev.kind = Event::Kind::kExpectDelivered;
+        ev.host = tok[3];
+        ev.group = tok[4];
+        const auto n = ParseCount(tok[5]);
+        if (!n) return fail("bad count");
+        ev.amount = *n;
+      } else if (verb == "expect-on-tree") {
+        if (!need(6) || (tok[5] != "yes" && tok[5] != "no")) {
+          return fail("expect-on-tree <router> <group> yes|no");
+        }
+        ev.kind = Event::Kind::kExpectOnTree;
+        ev.router = tok[3];
+        ev.group = tok[4];
+        ev.flag = tok[5] == "yes";
+      } else {
+        return fail("unknown verb '" + verb + "'");
+      }
+      scenario.events_.push_back(std::move(ev));
+      continue;
+    }
+    return fail("unknown statement '" + tok[0] + "'");
+  }
+
+  if (scenario.topology_spec_.empty()) {
+    line_no = 0;
+    return fail("no 'topology' statement");
+  }
+  if (scenario.groups_.empty()) {
+    line_no = 0;
+    return fail("no 'group' statement");
+  }
+  if (scenario.run_until_ == 0) {
+    SimTime latest = 0;
+    for (const Event& ev : scenario.events_) latest = std::max(latest, ev.at);
+    scenario.run_until_ = latest + 30 * kSecond;
+  }
+  return scenario;
+}
+
+Scenario::RunResult Scenario::Run(std::ostream* trace) const {
+  netsim::Simulator sim(1);
+
+  // --- Topology. ---
+  std::istringstream spec(topology_spec_);
+  std::string kind;
+  spec >> kind;
+  netsim::Topology topo;
+  if (kind == "line") {
+    int n = 0;
+    spec >> n;
+    topo = netsim::MakeLine(sim, std::max(n, 1));
+  } else if (kind == "star") {
+    int n = 0;
+    spec >> n;
+    topo = netsim::MakeStar(sim, std::max(n, 1));
+  } else if (kind == "grid") {
+    int w = 0, h = 0;
+    spec >> w >> h;
+    topo = netsim::MakeGrid(sim, std::max(w, 1), std::max(h, 1));
+  } else if (kind == "tree") {
+    int depth = 0;
+    spec >> depth;
+    topo = netsim::MakeBinaryTree(sim, std::max(depth, 1));
+  } else if (kind == "waxman") {
+    netsim::WaxmanParams params;
+    spec >> params.n >> params.seed;
+    params.n = std::max(params.n, 2);
+    topo = netsim::MakeWaxman(sim, params);
+  } else if (kind == "figure5") {
+    topo = netsim::MakeFigure5Loop(sim);
+  } else {
+    topo = netsim::MakeFigure1(sim);
+  }
+
+  netsim::Topology& topo_ref = topo;
+  CbtDomain domain(sim, topo_ref, config_);
+
+  // --- Groups. ---
+  std::map<std::string, Ipv4Address> group_addr;
+  for (const GroupDecl& decl : groups_) {
+    std::vector<NodeId> cores;
+    for (const std::string& name : decl.core_routers) {
+      cores.push_back(topo_ref.node(name));
+    }
+    domain.RegisterGroup(decl.address, cores);
+    group_addr[decl.name] = decl.address;
+  }
+
+  domain.Start();
+
+  // --- Helpers resolving names lazily at event time. ---
+  std::map<std::string, HostAgent*> hosts;
+  const auto host_for = [&](const std::string& name,
+                            const std::string& router) -> HostAgent& {
+    if (const auto it = hosts.find(name); it != hosts.end()) {
+      return *it->second;
+    }
+    // Figure-1 letter hosts already exist in the topology.
+    if (topo_ref.nodes.contains(name) &&
+        !sim.node(topo_ref.node(name)).is_router) {
+      HostAgent& h = domain.host(name);
+      hosts[name] = &h;
+      return h;
+    }
+    SubnetId lan;
+    if (!router.empty()) {
+      const NodeId r = topo_ref.node(router);
+      // Prefer the router's stub LAN; otherwise its first LAN subnet.
+      bool found = false;
+      for (std::size_t i = 0; i < topo_ref.routers.size(); ++i) {
+        if (topo_ref.routers[i] == r && i < topo_ref.router_lans.size()) {
+          lan = topo_ref.router_lans[i];
+          found = true;
+        }
+      }
+      if (!found) {
+        for (const auto& iface : sim.node(r).interfaces) {
+          if (sim.subnet(iface.subnet).multi_access) {
+            lan = iface.subnet;
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!lan.IsValid() && !topo_ref.router_lans.empty()) {
+      lan = topo_ref.router_lans.front();  // orphan reference: first LAN
+    }
+    HostAgent& h = domain.AddHost(lan, name);
+    hosts[name] = &h;
+    return h;
+  };
+  const auto link_between = [&](const std::string& a, const std::string& b) {
+    const NodeId na = topo_ref.node(a);
+    const NodeId nb = topo_ref.node(b);
+    for (const auto& iface : sim.node(na).interfaces) {
+      for (const auto& [peer, pv] : sim.subnet(iface.subnet).attachments) {
+        if (peer == nb) return iface.subnet;
+      }
+    }
+    return SubnetId{};
+  };
+
+  // Pre-declared hosts.
+  for (const HostDecl& decl : hosts_) {
+    host_for(decl.name, decl.router);
+  }
+
+  RunResult result;
+  const auto log = [&](const std::string& message) {
+    if (trace != nullptr) {
+      *trace << "t=" << FormatSimTime(sim.Now()) << "  " << message << "\n";
+    }
+  };
+
+  // --- Schedule events. ---
+  for (const Event& ev : events_) {
+    sim.ScheduleAt(ev.at, [&, ev] {
+      switch (ev.kind) {
+        case Event::Kind::kJoin: {
+          log(ev.host + " joins " + ev.group + " behind " + ev.router);
+          host_for(ev.host, ev.router).JoinGroup(group_addr.at(ev.group));
+          return;
+        }
+        case Event::Kind::kLeave:
+          log(ev.host + " leaves " + ev.group);
+          host_for(ev.host, "").LeaveGroup(group_addr.at(ev.group));
+          return;
+        case Event::Kind::kSend:
+          log(ev.host + " sends " + std::to_string(ev.amount) + "B to " +
+              ev.group);
+          host_for(ev.host, "")
+              .SendToGroup(group_addr.at(ev.group),
+                           std::vector<std::uint8_t>(ev.amount, 0xDA));
+          return;
+        case Event::Kind::kFailNode:
+          log("node " + ev.router + " fails");
+          sim.SetNodeUp(topo_ref.node(ev.router), false);
+          return;
+        case Event::Kind::kHealNode:
+          log("node " + ev.router + " heals");
+          sim.SetNodeUp(topo_ref.node(ev.router), true);
+          return;
+        case Event::Kind::kFailLink:
+        case Event::Kind::kHealLink: {
+          const SubnetId link = link_between(ev.router, ev.router2);
+          const bool up = ev.kind == Event::Kind::kHealLink;
+          log("link " + ev.router + "-" + ev.router2 +
+              (up ? " heals" : " fails"));
+          if (link.IsValid()) sim.SetSubnetUp(link, up);
+          return;
+        }
+        case Event::Kind::kExpectDelivered: {
+          const auto count =
+              host_for(ev.host, "").ReceivedCount(group_addr.at(ev.group));
+          ExpectationResult res;
+          res.description = ev.host + " delivered " + ev.group;
+          res.passed = count == ev.amount;
+          res.detail = "expected " + std::to_string(ev.amount) + ", got " +
+                       std::to_string(count);
+          log("expect-delivered: " + res.detail +
+              (res.passed ? " [ok]" : " [FAIL]"));
+          result.expectations.push_back(std::move(res));
+          return;
+        }
+        case Event::Kind::kExpectOnTree: {
+          const bool on_tree = domain.router(ev.router).IsOnTree(
+              group_addr.at(ev.group));
+          ExpectationResult res;
+          res.description = ev.router + " on-tree for " + ev.group;
+          res.passed = on_tree == ev.flag;
+          res.detail = std::string("expected ") + (ev.flag ? "yes" : "no") +
+                       ", got " + (on_tree ? "yes" : "no");
+          log("expect-on-tree: " + res.detail +
+              (res.passed ? " [ok]" : " [FAIL]"));
+          result.expectations.push_back(std::move(res));
+          return;
+        }
+      }
+    });
+  }
+
+  sim.RunUntil(run_until_);
+  result.end_time = sim.Now();
+  return result;
+}
+
+}  // namespace cbt::core

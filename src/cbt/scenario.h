@@ -1,0 +1,108 @@
+// Scripted scenario runner: drive a CBT domain from a small line-oriented
+// scenario description — the reproducible-experiment front end used by
+// the scenario_runner example and handy for regression capture.
+//
+// Format (one statement per line, '#' comments):
+//
+//   topology line 5             # or: star N | grid W H | tree DEPTH |
+//                               #     waxman N SEED | figure1 | figure5
+//   config native off           # optional: native|proxy-ack|echo-aggregate
+//   group g1 239.1.2.3 R4 R9    # group name, address, cores (primary 1st)
+//   host src R2                 # place a host on R2's LAN up front
+//   at 1s   join  h1 R0 g1      # host h1 on R0's LAN joins g1
+//   at 5s   send  h1 g1 100     # h1 multicasts a 100-byte packet
+//   at 9s   leave h1 g1
+//   at 10s  fail-node R1
+//   at 60s  heal-node R1
+//   at 70s  fail-link R1 R2     # the subnet joining the two routers
+//   at 99s  expect-delivered h2 g1 3   # assertion, checked at that time
+//   at 99s  expect-on-tree R4 g1 yes   # or: no
+//   run 120s
+//
+// Times accept s/ms suffixes. Hosts are created on first mention; for
+// figure1, host letters (A..L) and router names (R1..R12) from the spec
+// topology may be used directly.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+
+/// A parsed scenario, ready to execute.
+class Scenario {
+ public:
+  /// Parses the script; returns nullopt and fills `error` (with a line
+  /// number) on malformed input.
+  static std::optional<Scenario> Parse(const std::string& text,
+                                       std::string* error);
+
+  struct ExpectationResult {
+    std::string description;
+    bool passed = false;
+    std::string detail;  // measured vs expected
+  };
+
+  struct RunResult {
+    std::vector<ExpectationResult> expectations;
+    SimTime end_time = 0;
+    bool AllPassed() const {
+      for (const auto& e : expectations) {
+        if (!e.passed) return false;
+      }
+      return !expectations.empty() || true;
+    }
+  };
+
+  /// Builds the world and replays every event. `trace` echoes each event
+  /// as it executes.
+  RunResult Run(std::ostream* trace = nullptr) const;
+
+ private:
+  struct GroupDecl {
+    std::string name;
+    Ipv4Address address;
+    std::vector<std::string> core_routers;
+  };
+
+  struct HostDecl {
+    std::string name;
+    std::string router;
+  };
+
+  struct Event {
+    SimTime at = 0;
+    enum class Kind {
+      kJoin,
+      kLeave,
+      kSend,
+      kFailNode,
+      kHealNode,
+      kFailLink,
+      kHealLink,
+      kExpectDelivered,
+      kExpectOnTree,
+    } kind = Kind::kJoin;
+    std::string host;      // join/leave/send/expect-delivered
+    std::string router;    // join (attachment), fail/heal, expect-on-tree
+    std::string router2;   // fail/heal-link peer
+    std::string group;     // group name
+    std::uint64_t amount = 0;  // payload size / expected count
+    bool flag = false;         // expect-on-tree yes/no
+  };
+
+  std::string topology_spec_;
+  CbtConfig config_;
+  std::vector<GroupDecl> groups_;
+  std::vector<HostDecl> hosts_;
+  std::vector<Event> events_;
+  SimTime run_until_ = 0;
+};
+
+}  // namespace cbt::core

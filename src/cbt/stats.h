@@ -1,0 +1,64 @@
+// Per-router protocol counters, consumed by the experiment harness.
+#pragma once
+
+#include <cstdint>
+
+namespace cbt::core {
+
+struct RouterStats {
+  // Control plane.
+  std::uint64_t joins_originated = 0;
+  std::uint64_t joins_forwarded = 0;
+  std::uint64_t joins_received = 0;
+  std::uint64_t joins_cached = 0;  // arrived while pending (section 2.5)
+  std::uint64_t join_retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t proxy_acks_sent = 0;
+  std::uint64_t proxy_acks_received = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t quits_sent = 0;
+  std::uint64_t quits_received = 0;
+  std::uint64_t quit_acks_sent = 0;
+  std::uint64_t quit_acks_received = 0;
+  std::uint64_t flushes_sent = 0;
+  std::uint64_t flushes_received = 0;
+  std::uint64_t echo_requests_sent = 0;
+  std::uint64_t echo_requests_received = 0;
+  std::uint64_t echo_replies_sent = 0;
+  std::uint64_t echo_replies_received = 0;
+  std::uint64_t rejoins_converted = 0;   // REJOIN-ACTIVE -> REJOIN-NACTIVE
+  std::uint64_t loops_detected = 0;      // own NACTIVE came back (section 6.3)
+  std::uint64_t parent_losses = 0;
+  std::uint64_t reconnects_succeeded = 0;
+  std::uint64_t reconnects_failed = 0;
+  std::uint64_t children_expired = 0;
+  std::uint64_t core_pings_sent = 0;
+  std::uint64_t core_pings_received = 0;
+  std::uint64_t ping_replies_sent = 0;
+  std::uint64_t ping_replies_received = 0;
+  std::uint64_t malformed_control = 0;
+  std::uint64_t control_bytes_sent = 0;
+
+  // Data plane.
+  std::uint64_t data_forwarded_tree = 0;     // onto parent/child interfaces
+  std::uint64_t data_delivered_lan = 0;      // IP multicast onto member LANs
+  std::uint64_t data_encapsulated = 0;       // CBT-mode encaps performed
+  std::uint64_t data_decapsulated = 0;
+  std::uint64_t data_nonmember_relayed = 0;  // off-tree unicast toward core
+  std::uint64_t data_dropped_off_tree = 0;   // section 7 on-tree-bit check
+  std::uint64_t data_dropped_ttl = 0;
+  std::uint64_t data_dropped_no_state = 0;
+  std::uint64_t data_dropped_not_local = 0;  // section 5 local-origin check
+  std::uint64_t data_bytes_sent = 0;
+
+  std::uint64_t ControlMessagesSent() const {
+    return joins_originated + joins_forwarded + join_retransmits + acks_sent +
+           proxy_acks_sent + nacks_sent + quits_sent + quit_acks_sent +
+           flushes_sent + echo_requests_sent + echo_replies_sent +
+           core_pings_sent + ping_replies_sent;
+  }
+};
+
+}  // namespace cbt::core

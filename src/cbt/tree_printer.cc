@@ -1,0 +1,92 @@
+#include "cbt/tree_printer.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <vector>
+
+namespace cbt::core {
+namespace {
+
+struct TreeView {
+  std::map<NodeId, std::vector<NodeId>> children;
+  std::vector<NodeId> roots;  // parentless on-tree routers
+};
+
+void PrintNode(CbtDomain& domain, Ipv4Address group, NodeId node,
+               const TreeView& view, const std::string& prefix, bool last,
+               bool is_root, std::ostream& os, std::size_t* printed) {
+  auto& sim = domain.sim();
+  auto& router = domain.router(node);
+  const FibEntry* entry = router.fib().Find(group);
+
+  if (is_root) {
+    os << prefix << sim.node(node).name;
+  } else {
+    os << prefix << (last ? "`- " : "+- ") << sim.node(node).name;
+  }
+  if (entry != nullptr && entry->is_primary_core) {
+    os << " [primary core]";
+  } else if (entry != nullptr && entry->is_core) {
+    os << " [core]";
+  }
+  // Member LANs this router serves (DR-gated, like the data plane).
+  std::vector<std::string> lans;
+  for (const VifIndex vif : router.igmp().MemberVifs(group)) {
+    if (router.IsSubnetDr(group, vif)) {
+      lans.push_back(sim.subnet(sim.interface(node, vif).subnet).name);
+    }
+  }
+  if (!lans.empty()) {
+    os << "  members:";
+    for (const auto& lan : lans) os << " " << lan;
+  }
+  os << "\n";
+  ++*printed;
+
+  const auto it = view.children.find(node);
+  if (it == view.children.end()) return;
+  const std::string child_prefix =
+      is_root ? prefix : prefix + (last ? "   " : "|  ");
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    PrintNode(domain, group, it->second[i], view, child_prefix,
+              i + 1 == it->second.size(), false, os, printed);
+  }
+}
+
+}  // namespace
+
+std::size_t PrintTree(CbtDomain& domain, Ipv4Address group,
+                      std::ostream& os) {
+  auto& sim = domain.sim();
+  TreeView view;
+  std::set<NodeId> on_tree;
+  for (const NodeId id : domain.router_ids()) {
+    const FibEntry* entry = domain.router(id).fib().Find(group);
+    if (entry == nullptr) continue;
+    on_tree.insert(id);
+    if (entry->HasParent()) {
+      if (const auto parent = sim.FindNodeByAddress(entry->parent_address)) {
+        view.children[*parent].push_back(id);
+        continue;
+      }
+    }
+    view.roots.push_back(id);
+  }
+  for (auto& [node, kids] : view.children) std::sort(kids.begin(), kids.end());
+  std::sort(view.roots.begin(), view.roots.end());
+
+  std::size_t printed = 0;
+  bool first = true;
+  for (const NodeId root : view.roots) {
+    if (!first) os << "(detached)\n";
+    PrintNode(domain, group, root, view, "", true, true, os, &printed);
+    first = false;
+  }
+  if (printed == 0) os << "(no routers on-tree for " << group.ToString()
+                       << ")\n";
+  return printed;
+}
+
+}  // namespace cbt::core

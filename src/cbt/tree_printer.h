@@ -1,0 +1,25 @@
+// Human-readable dump of a group's distribution tree, reconstructed from
+// the routers' live FIB state — the operational "show multicast tree"
+// a router vendor would ship.
+#pragma once
+
+#include <iosfwd>
+
+#include "cbt/domain.h"
+
+namespace cbt::core {
+
+/// Prints the tree for `group` as an indented hierarchy:
+///
+///   R4 [primary core]  members: S5 S6 S7
+///   +- R3
+///   |  +- R1  members: S1 S3
+///   |  +- R2 (G-DR)  members: S4
+///   +- R8  members: S10 S14
+///   ...
+///   (detached) R9 ...        <- parentless non-root entries, if any
+///
+/// Returns the number of on-tree routers printed.
+std::size_t PrintTree(CbtDomain& domain, Ipv4Address group, std::ostream& os);
+
+}  // namespace cbt::core

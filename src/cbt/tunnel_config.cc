@@ -1,0 +1,22 @@
+#include "cbt/tunnel_config.h"
+
+namespace cbt::core {
+
+std::optional<TunnelEndpoint> TunnelConfig::SelectPath(
+    const netsim::Simulator& sim, NodeId self, Ipv4Address core) const {
+  const auto it = rankings_.find(core);
+  if (it == rankings_.end()) return std::nullopt;
+  for (const VifIndex vif : it->second) {
+    const netsim::Interface& iface = sim.interface(self, vif);
+    if (!iface.up || !sim.subnet(iface.subnet).up) continue;
+    TunnelEndpoint endpoint;
+    endpoint.vif = vif;
+    if (const auto remote = TunnelRemote(vif)) {
+      endpoint.remote = *remote;
+    }
+    return endpoint;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cbt::core

@@ -1,0 +1,92 @@
+// Section 5.2: "Eliminating the Topology-Discovery Protocol in the
+// Presence of Tunnels".
+//
+// CBT can run over a virtual topology (tunnels between CBT islands)
+// without any multicast topology-discovery protocol: each router
+// pre-configures its tunnels, marks every interface as native or CBT
+// mode, and replaces unicast routing toward a core with a *ranking* of
+// interfaces per core — "if the highest-ranked route is unavailable ...
+// then the next-highest ranked available route is selected".
+//
+// TunnelConfig is that per-router configuration table (the spec's
+// `intf/type/mode/remote` and `core/backup-intfs` tables). Interface
+// liveness stands in for the spec's "Hello-like protocol between tunnel
+// end-points": the simulator knows whether the interface/subnet is up,
+// which is exactly what a hello exchange would establish.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "netsim/simulator.h"
+
+namespace cbt::core {
+
+/// Forwarding mode of one interface (the spec's `mode` column).
+enum class VifMode {
+  kNative,     // plain IP multicast over the link (section 4)
+  kCbtTunnel,  // CBT-header encapsulation (section 5), e.g. a tunnel
+};
+
+struct TunnelEndpoint {
+  VifIndex vif = kInvalidVif;
+  /// Remote tunnel endpoint ("remote addr" column); unspecified for
+  /// physical interfaces where the link-level target is the packet's
+  /// own next hop.
+  Ipv4Address remote;
+};
+
+class TunnelConfig {
+ public:
+  /// Marks an interface's forwarding mode; unset interfaces use the
+  /// router-wide default (CbtConfig::native_mode).
+  void SetVifMode(VifIndex vif, VifMode mode) { modes_[vif] = mode; }
+
+  VifMode ModeOf(VifIndex vif, VifMode fallback) const {
+    const auto it = modes_.find(vif);
+    return it == modes_.end() ? fallback : it->second;
+  }
+
+  /// Declares `vif` a configured tunnel to `remote` (the spec's
+  /// `tunnel cbt <remote addr>` row). Implies CBT mode on the vif.
+  void AddTunnel(VifIndex vif, Ipv4Address remote) {
+    tunnels_[vif] = remote;
+    modes_[vif] = VifMode::kCbtTunnel;
+  }
+
+  std::optional<Ipv4Address> TunnelRemote(VifIndex vif) const {
+    const auto it = tunnels_.find(vif);
+    if (it == tunnels_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Ranked interface list toward `core` — primary first, then the
+  /// "backup-intfs" entries.
+  void SetCoreRanking(Ipv4Address core, std::vector<VifIndex> ranked) {
+    rankings_[core] = std::move(ranked);
+  }
+
+  bool HasRankingFor(Ipv4Address core) const {
+    return rankings_.contains(core);
+  }
+
+  /// True once any ranking/tunnel is configured — the router then uses
+  /// rankings instead of unicast routing for join forwarding.
+  bool Active() const { return !rankings_.empty(); }
+
+  /// Highest-ranked *available* path toward `core`: the first ranked
+  /// interface that is up (with a live subnet). nullopt when no ranking
+  /// exists or every ranked interface is down.
+  std::optional<TunnelEndpoint> SelectPath(const netsim::Simulator& sim,
+                                           NodeId self,
+                                           Ipv4Address core) const;
+
+ private:
+  std::map<VifIndex, VifMode> modes_;
+  std::map<VifIndex, Ipv4Address> tunnels_;
+  std::map<Ipv4Address, std::vector<VifIndex>> rankings_;
+};
+
+}  // namespace cbt::core

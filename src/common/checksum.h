@@ -1,0 +1,19 @@
+// RFC 1071 Internet checksum: the 16-bit one's complement of the one's
+// complement sum, used by the CBT data and control headers (section 8)
+// and by the simulated IP/IGMP headers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cbt {
+
+/// Computes the Internet checksum over `data`. Any embedded checksum field
+/// must be zero when computing, so that Verify (sum == 0xFFFF complement)
+/// holds on receive.
+std::uint16_t InternetChecksum(std::span<const std::uint8_t> data);
+
+/// True if a buffer that *includes* its checksum field sums correctly.
+bool VerifyInternetChecksum(std::span<const std::uint8_t> data);
+
+}  // namespace cbt

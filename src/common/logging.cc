@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace cbt {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+Logger::Sink g_sink;  // empty → default stderr sink
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::SetLevel(LogLevel level) { g_level = level; }
+void Logger::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Logger::Write(LogLevel level, std::string message) {
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+namespace logging_detail {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace logging_detail
+}  // namespace cbt

@@ -1,0 +1,58 @@
+// Minimal leveled logger for protocol tracing.
+//
+// Routers log control-plane transitions (join forwarded, branch created,
+// parent lost...) at Debug/Trace; experiments run with logging off so
+// measured message counts are unaffected. The sink is injectable so tests
+// can capture and assert on trace output.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace cbt {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide logging configuration (the simulator is single-threaded).
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void SetLevel(LogLevel level);
+
+  /// Replaces the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default.
+  static void SetSink(Sink sink);
+
+  static void Write(LogLevel level, std::string message);
+
+  static bool Enabled(LogLevel level) { return level >= Logger::level(); }
+};
+
+namespace logging_detail {
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace logging_detail
+
+// Callsite macros: arguments are not evaluated when the level is disabled.
+#define CBT_LOG(level, ...)                                                  \
+  do {                                                                       \
+    if (::cbt::Logger::Enabled(level)) {                                     \
+      ::cbt::Logger::Write(level, ::cbt::logging_detail::Format(__VA_ARGS__)); \
+    }                                                                        \
+  } while (false)
+
+#define CBT_TRACE(...) CBT_LOG(::cbt::LogLevel::kTrace, __VA_ARGS__)
+#define CBT_DEBUG(...) CBT_LOG(::cbt::LogLevel::kDebug, __VA_ARGS__)
+#define CBT_INFO(...) CBT_LOG(::cbt::LogLevel::kInfo, __VA_ARGS__)
+#define CBT_WARN(...) CBT_LOG(::cbt::LogLevel::kWarning, __VA_ARGS__)
+#define CBT_ERROR(...) CBT_LOG(::cbt::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace cbt

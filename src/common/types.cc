@@ -1,0 +1,50 @@
+#include "common/types.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace cbt {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds",
+                static_cast<long long>(t / kSecond),
+                static_cast<long long>(t % kSecond));
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::Parse(const std::string& dotted) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = dotted.data();
+  const char* end = p + dotted.size();
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = value;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address((octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) |
+                     octets[3]);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xFF,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+  return buf;
+}
+
+std::string SubnetAddress::ToString() const {
+  int prefix = 0;
+  for (std::uint32_t m = mask_; m & 0x80000000u; m <<= 1) ++prefix;
+  return network_.ToString() + "/" + std::to_string(prefix);
+}
+
+}  // namespace cbt

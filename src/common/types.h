@@ -1,0 +1,165 @@
+// Fundamental strong types shared by every CBT module.
+//
+// The simulator models an IPv4 internetwork, so addresses are real 32-bit
+// IPv4 values with textual parsing/printing, and simulated time is a
+// signed 64-bit microsecond count (deterministic, no wall clock).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace cbt {
+
+// ---------------------------------------------------------------------------
+// Simulated time.
+// ---------------------------------------------------------------------------
+
+/// A point in simulated time, microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A duration in simulated time, microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Renders "12.345s" style human-readable time for logs.
+std::string FormatSimTime(SimTime t);
+
+// ---------------------------------------------------------------------------
+// IPv4 addressing.
+// ---------------------------------------------------------------------------
+
+/// An IPv4 address held in host byte order.
+///
+/// Regular value type: totally ordered (the spec's tie-breakers elect the
+/// *lowest-addressed* router, so ordering is semantically meaningful).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(const std::string& dotted);
+
+  constexpr std::uint32_t bits() const { return bits_; }
+  std::string ToString() const;
+
+  constexpr bool IsUnspecified() const { return bits_ == 0; }
+
+  /// True for 224.0.0.0/4, the IPv4 class-D multicast range.
+  constexpr bool IsMulticast() const { return (bits_ & 0xF0000000u) == 0xE0000000u; }
+
+  /// True for link-local multicast 224.0.0.0/24 (never forwarded off-link).
+  constexpr bool IsLinkLocalMulticast() const {
+    return (bits_ & 0xFFFFFF00u) == 0xE0000000u;
+  }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// 224.0.0.1 — the all-systems group.
+inline constexpr Ipv4Address kAllSystemsGroup{224, 0, 0, 1};
+/// 224.0.0.2 — the all-routers group (IGMP leave target).
+inline constexpr Ipv4Address kAllRoutersGroup{224, 0, 0, 2};
+/// 224.0.0.7 — the all-CBT-routers group (spec section 2.2 of -02).
+inline constexpr Ipv4Address kAllCbtRoutersGroup{224, 0, 0, 7};
+
+/// An IPv4 subnet: network prefix plus mask, both host byte order.
+class SubnetAddress {
+ public:
+  constexpr SubnetAddress() = default;
+  constexpr SubnetAddress(Ipv4Address network, std::uint32_t mask)
+      : network_(Ipv4Address(network.bits() & mask)), mask_(mask) {}
+
+  /// Builds from prefix length, e.g. {10.1.2.0, 24}.
+  static constexpr SubnetAddress FromPrefix(Ipv4Address network, int prefix_len) {
+    const std::uint32_t mask =
+        prefix_len == 0 ? 0u : (0xFFFFFFFFu << (32 - prefix_len));
+    return SubnetAddress(network, mask);
+  }
+
+  constexpr Ipv4Address network() const { return network_; }
+  constexpr std::uint32_t mask() const { return mask_; }
+
+  /// The spec's "subnet mask ANDed with the packet's source address" check
+  /// (section 5, local-origin test).
+  constexpr bool Contains(Ipv4Address addr) const {
+    return (addr.bits() & mask_) == network_.bits();
+  }
+
+  /// Address of host index `n` within the subnet (n=1 is the first host).
+  constexpr Ipv4Address HostAddress(std::uint32_t n) const {
+    return Ipv4Address(network_.bits() | n);
+  }
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(SubnetAddress, SubnetAddress) = default;
+
+ private:
+  Ipv4Address network_;
+  std::uint32_t mask_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Simulator entity identifiers (strong index types).
+// ---------------------------------------------------------------------------
+
+namespace detail {
+/// CRTP-free strong integer id; Tag distinguishes unrelated id spaces.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::int32_t v) : value_(v) {}
+
+  constexpr std::int32_t value() const { return value_; }
+  constexpr bool IsValid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  std::int32_t value_ = -1;
+};
+}  // namespace detail
+
+struct NodeIdTag {};
+struct SubnetIdTag {};
+struct GroupCtxTag {};
+
+/// Identifies a node (router or host) within a Simulator.
+using NodeId = detail::StrongId<NodeIdTag>;
+/// Identifies a subnet (multi-access LAN or point-to-point link).
+using SubnetId = detail::StrongId<SubnetIdTag>;
+
+/// Interface index local to a node: the spec's "vif" (virtual interface).
+using VifIndex = std::int32_t;
+constexpr VifIndex kInvalidVif = -1;
+
+}  // namespace cbt
+
+// Hash support so strong types can key unordered containers.
+template <>
+struct std::hash<cbt::Ipv4Address> {
+  std::size_t operator()(const cbt::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <typename Tag>
+struct std::hash<cbt::detail::StrongId<Tag>> {
+  std::size_t operator()(const cbt::detail::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

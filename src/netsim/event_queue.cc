@@ -1,0 +1,46 @@
+#include "netsim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cbt::netsim {
+
+EventId EventQueue::ScheduleAt(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // The heap entry stays behind and is skipped lazily when it surfaces.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+bool EventQueue::RunNext(SimTime& clock) {
+  DropCancelledHead();
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the entry is about to be popped, so
+  // moving the closure out is safe.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(entry.id);
+  assert(entry.when >= clock && "events must not be scheduled in the past");
+  clock = entry.when;
+  entry.fn();
+  return true;
+}
+
+}  // namespace cbt::netsim

@@ -1,0 +1,63 @@
+// Discrete-event scheduler core.
+//
+// Events are closures ordered by (time, insertion sequence); the sequence
+// tie-break makes simultaneous events run in schedule order, which keeps
+// every run bit-for-bit deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace cbt::netsim {
+
+/// Handle for cancelling a scheduled event (e.g. a protocol timer that was
+/// answered before it fired).
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`; returns a cancellation handle.
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran/was cancelled.
+  bool Cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) events remain.
+  bool Empty() const { return pending_.empty(); }
+
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event; only valid when !Empty().
+  SimTime NextTime();
+
+  /// Pops and runs the earliest event, advancing `clock` to its time.
+  /// Returns false if the queue was empty.
+  bool RunNext(SimTime& clock);
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+
+    // min-heap by (when, id): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  /// Discards heap entries whose ids were cancelled.
+  void DropCancelledHead();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<EventId> pending_;  // scheduled, not yet run or cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace cbt::netsim

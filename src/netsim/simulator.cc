@@ -1,0 +1,231 @@
+#include "netsim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cbt::netsim {
+namespace {
+
+// Point-to-point subnets are carved from 10.255.0.0/16 as /30s; LANs are
+// expected to use distinct prefixes supplied by the caller.
+constexpr std::uint32_t kP2pBase = (10u << 24) | (255u << 16);
+
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+NodeId Simulator::AddNode(std::string name, bool is_router) {
+  const NodeId id(static_cast<std::int32_t>(nodes_.size()));
+  nodes_.push_back(NodeRecord{id, std::move(name), is_router, true, {}, nullptr});
+  return id;
+}
+
+SubnetId Simulator::AddSubnet(std::string name, SubnetAddress address,
+                              SimDuration delay) {
+  const SubnetId id(static_cast<std::int32_t>(subnets_.size()));
+  SubnetRecord rec;
+  rec.id = id;
+  rec.name = std::move(name);
+  rec.address = address;
+  rec.delay = delay;
+  subnets_.push_back(std::move(rec));
+  return id;
+}
+
+VifIndex Simulator::Attach(NodeId node_id, SubnetId subnet_id) {
+  return AttachWithHostPart(node_id, subnet_id, subnet(subnet_id).next_host);
+}
+
+VifIndex Simulator::AttachWithHostPart(NodeId node_id, SubnetId subnet_id,
+                                       std::uint32_t host_part) {
+  NodeRecord& n = node(node_id);
+  SubnetRecord& s = subnet(subnet_id);
+  const Ipv4Address addr = s.address.HostAddress(host_part);
+  if (host_part >= s.next_host) s.next_host = host_part + 1;
+
+  Interface iface;
+  iface.node = node_id;
+  iface.subnet = subnet_id;
+  iface.vif = static_cast<VifIndex>(n.interfaces.size());
+  iface.address = addr;
+  n.interfaces.push_back(iface);
+  s.attachments.emplace_back(node_id, iface.vif);
+  ++topology_epoch_;
+  return iface.vif;
+}
+
+SubnetId Simulator::Connect(NodeId a, NodeId b, SimDuration delay, double cost) {
+  static_assert(kP2pBase != 0);
+  // Allocate the next /30 deterministically from the subnet count.
+  const std::uint32_t index = static_cast<std::uint32_t>(subnets_.size());
+  const SubnetAddress addr = SubnetAddress::FromPrefix(
+      Ipv4Address(kP2pBase | (index << 2)), 30);
+  const SubnetId sid =
+      AddSubnet("p2p-" + node(a).name + "-" + node(b).name, addr, delay);
+  subnet(sid).multi_access = false;
+  const VifIndex va = Attach(a, sid);
+  const VifIndex vb = Attach(b, sid);
+  node(a).interfaces[static_cast<std::size_t>(va)].cost = cost;
+  node(b).interfaces[static_cast<std::size_t>(vb)].cost = cost;
+  return sid;
+}
+
+void Simulator::SetAgent(NodeId node_id, NetworkAgent* agent) {
+  node(node_id).agent = agent;
+}
+
+void Simulator::StartAgents() {
+  for (NodeRecord& n : nodes_) {
+    if (n.agent != nullptr) n.agent->Start();
+  }
+}
+
+const NodeRecord& Simulator::node(NodeId id) const {
+  return nodes_.at(static_cast<std::size_t>(id.value()));
+}
+NodeRecord& Simulator::node(NodeId id) {
+  return nodes_.at(static_cast<std::size_t>(id.value()));
+}
+const SubnetRecord& Simulator::subnet(SubnetId id) const {
+  return subnets_.at(static_cast<std::size_t>(id.value()));
+}
+SubnetRecord& Simulator::subnet(SubnetId id) {
+  return subnets_.at(static_cast<std::size_t>(id.value()));
+}
+
+const Interface& Simulator::interface(NodeId node_id, VifIndex vif) const {
+  return node(node_id).interfaces.at(static_cast<std::size_t>(vif));
+}
+
+std::optional<NodeId> Simulator::FindNodeByAddress(Ipv4Address address) const {
+  for (const NodeRecord& n : nodes_) {
+    for (const Interface& iface : n.interfaces) {
+      if (iface.address == address) return n.id;
+    }
+  }
+  return std::nullopt;
+}
+
+Ipv4Address Simulator::PrimaryAddress(NodeId node_id) const {
+  const NodeRecord& n = node(node_id);
+  if (n.interfaces.empty()) return Ipv4Address{};
+  return n.interfaces.front().address;
+}
+
+std::optional<NodeId> Simulator::FindNodeByName(const std::string& name) const {
+  for (const NodeRecord& n : nodes_) {
+    if (n.name == name) return n.id;
+  }
+  return std::nullopt;
+}
+
+void Simulator::SetSubnetUp(SubnetId subnet_id, bool up) {
+  SubnetRecord& s = subnet(subnet_id);
+  if (s.up != up) {
+    s.up = up;
+    ++topology_epoch_;
+  }
+}
+
+void Simulator::SetInterfaceUp(NodeId node_id, VifIndex vif, bool up) {
+  Interface& iface =
+      node(node_id).interfaces.at(static_cast<std::size_t>(vif));
+  if (iface.up != up) {
+    iface.up = up;
+    ++topology_epoch_;
+  }
+}
+
+void Simulator::SetNodeUp(NodeId node_id, bool up) {
+  NodeRecord& n = node(node_id);
+  if (n.up != up) {
+    n.up = up;
+    ++topology_epoch_;
+  }
+}
+
+void Simulator::SetSubnetLossRate(SubnetId subnet_id, double loss_rate) {
+  subnet(subnet_id).loss_rate = loss_rate;
+}
+
+bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
+                             Ipv4Address link_dst,
+                             std::vector<std::uint8_t> datagram) {
+  const NodeRecord& sender = node(node_id);
+  if (!sender.up) return false;
+  const Interface& out = interface(node_id, vif);
+  SubnetRecord& s = subnet(out.subnet);
+  if (!out.up || !s.up) {
+    ++s.counters.frames_dropped;
+    return false;
+  }
+
+  ++s.counters.frames_sent;
+  s.counters.bytes_sent += datagram.size();
+  if (frame_observer_) {
+    frame_observer_(
+        FrameEvent{clock_, node_id, s.id, link_dst, datagram.size()});
+  }
+
+  // The payload is shared among all receivers of a multicast frame.
+  auto shared =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(datagram));
+  const bool multi = link_dst.IsMulticast() ||
+                     link_dst == Ipv4Address(0xFFFFFFFFu);  // broadcast
+
+  for (const auto& [peer, peer_vif] : s.attachments) {
+    if (peer == node_id && peer_vif == vif) continue;  // no self-delivery
+    const Interface& in = interface(peer, peer_vif);
+    if (!multi && in.address != link_dst) continue;
+    if (s.loss_rate > 0.0 && rng_.NextBool(s.loss_rate)) {
+      ++s.counters.frames_dropped;
+      continue;
+    }
+    const Ipv4Address link_src = out.address;
+    Schedule(s.delay, [this, peer, peer_vif, link_src, link_dst, shared] {
+      DeliverFrame(peer, peer_vif, link_src, link_dst, shared);
+    });
+    if (!multi) break;  // unicast reaches exactly one interface
+  }
+  return true;
+}
+
+void Simulator::DeliverFrame(
+    NodeId receiver, VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
+    std::shared_ptr<const std::vector<std::uint8_t>> datagram) {
+  NodeRecord& n = node(receiver);
+  const Interface& in = interface(receiver, vif);
+  SubnetRecord& s = subnet(in.subnet);
+  // Frames in flight die with the link or receiver.
+  if (!n.up || !in.up || !s.up) {
+    ++s.counters.frames_dropped;
+    return;
+  }
+  if (n.agent != nullptr) {
+    n.agent->OnDatagram(vif, link_src, link_dst, *datagram);
+  }
+}
+
+void Simulator::ResetCounters() {
+  for (SubnetRecord& s : subnets_) s.counters.Reset();
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!events_.Empty() && events_.NextTime() <= until) {
+    events_.RunNext(clock_);
+  }
+  if (clock_ < until) clock_ = until;
+}
+
+void Simulator::RunUntilIdle(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!events_.Empty() && executed < max_events) {
+    events_.RunNext(clock_);
+    ++executed;
+  }
+}
+
+}  // namespace cbt::netsim

@@ -1,0 +1,229 @@
+// The network simulator: nodes, interfaces, subnets, and frame delivery.
+//
+// Model
+// -----
+// A *subnet* is a broadcast segment — either a multi-access LAN (the spec's
+// S1..S15) or a point-to-point link / tunnel (a two-interface subnet). A
+// *node* (router or host) attaches to subnets through *interfaces*, each
+// with an IPv4 address and a node-local vif index (the spec's "vif").
+//
+// Frame delivery is link-layer-ish: a sender emits an IP datagram on one of
+// its vifs addressed to a link-level destination (the interface owning a
+// unicast IP on that subnet, or every other interface for a multicast /
+// broadcast destination). Delivery happens one subnet `delay` later.
+// There is no implicit forwarding — routers are protocol agents that parse
+// the datagram and re-emit it, exactly like a real hop-by-hop router.
+//
+// Failure injection: subnets, interfaces and whole nodes can be marked
+// down; frames in flight to a dead receiver are dropped at delivery time,
+// matching a real link cut.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "netsim/event_queue.h"
+
+namespace cbt::netsim {
+
+class Simulator;
+
+/// A protocol stack attached to a node. The simulator hands every frame
+/// that physically reaches one of the node's interfaces to its agent;
+/// promiscuity choices (e.g. routers receiving all multicasts, per spec
+/// section 2.2) are the agent's business.
+class NetworkAgent {
+ public:
+  virtual ~NetworkAgent() = default;
+
+  /// Called when an IP datagram arrives on `vif`. `link_src` is the
+  /// sending interface's address on this subnet (the link-layer source a
+  /// real NIC would report); `link_dst` is the link-level destination the
+  /// sender used (an interface address on this subnet, or a
+  /// multicast/broadcast group).
+  virtual void OnDatagram(VifIndex vif, Ipv4Address link_src,
+                          Ipv4Address link_dst,
+                          std::span<const std::uint8_t> datagram) = 0;
+
+  /// Called once after the agent is attached, with the simulator clock
+  /// running; protocols start their timers here.
+  virtual void Start() {}
+};
+
+/// One attachment point of a node to a subnet.
+struct Interface {
+  NodeId node;
+  SubnetId subnet;
+  VifIndex vif = kInvalidVif;
+  Ipv4Address address;
+  /// Routing metric *out* of this interface; asymmetric costs allowed.
+  double cost = 1.0;
+  bool up = true;
+};
+
+struct NodeRecord {
+  NodeId id;
+  std::string name;
+  bool is_router = false;
+  bool up = true;
+  std::vector<Interface> interfaces;
+  NetworkAgent* agent = nullptr;  // non-owning; set via SetAgent
+};
+
+/// Per-subnet transmission accounting, used by the traffic-concentration
+/// experiment (E4) and control-overhead experiment (E6).
+struct SubnetCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_dropped = 0;  // loss or down links
+
+  void Reset() { *this = SubnetCounters{}; }
+};
+
+struct SubnetRecord {
+  SubnetId id;
+  std::string name;
+  SubnetAddress address;
+  SimDuration delay = kMillisecond;
+  double loss_rate = 0.0;  // applied independently per receiver
+  /// True for LANs (hosts may attach, proxy-ack applies — section 2.6);
+  /// false for point-to-point links and tunnels created via Connect().
+  bool multi_access = true;
+  bool up = true;
+  std::uint32_t next_host = 1;  // next free host part
+  std::vector<std::pair<NodeId, VifIndex>> attachments;
+  SubnetCounters counters;
+};
+
+/// Observer invoked for every frame transmission (before delivery).
+struct FrameEvent {
+  SimTime time;
+  NodeId sender;
+  SubnetId subnet;
+  Ipv4Address link_dst;
+  std::size_t bytes;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // --- Topology construction -------------------------------------------
+
+  NodeId AddNode(std::string name, bool is_router);
+
+  SubnetId AddSubnet(std::string name, SubnetAddress address,
+                     SimDuration delay = kMillisecond);
+
+  /// Attaches `node` to `subnet`; the interface address is the next free
+  /// host address on the subnet. Returns the new vif index.
+  VifIndex Attach(NodeId node, SubnetId subnet);
+
+  /// Attaches with an explicit host part (e.g. to force address ordering
+  /// for DR-election tests).
+  VifIndex AttachWithHostPart(NodeId node, SubnetId subnet,
+                              std::uint32_t host_part);
+
+  /// Convenience: creates a /30 point-to-point subnet joining two nodes.
+  SubnetId Connect(NodeId a, NodeId b, SimDuration delay = kMillisecond,
+                   double cost = 1.0);
+
+  void SetAgent(NodeId node, NetworkAgent* agent);
+
+  /// Runs every agent's Start() hook; call once after topology setup.
+  void StartAgents();
+
+  // --- Accessors ---------------------------------------------------------
+
+  SimTime Now() const { return clock_; }
+  Rng& rng() { return rng_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t subnet_count() const { return subnets_.size(); }
+
+  const NodeRecord& node(NodeId id) const;
+  NodeRecord& node(NodeId id);
+  const SubnetRecord& subnet(SubnetId id) const;
+  SubnetRecord& subnet(SubnetId id);
+
+  const Interface& interface(NodeId node, VifIndex vif) const;
+
+  /// Looks up the node owning `address`, if any.
+  std::optional<NodeId> FindNodeByAddress(Ipv4Address address) const;
+
+  /// First interface address of a node — its conventional "router id".
+  Ipv4Address PrimaryAddress(NodeId node) const;
+
+  /// Finds a node by construction name (test convenience; linear scan).
+  std::optional<NodeId> FindNodeByName(const std::string& name) const;
+
+  // --- Failure injection -------------------------------------------------
+
+  void SetSubnetUp(SubnetId subnet, bool up);
+  void SetInterfaceUp(NodeId node, VifIndex vif, bool up);
+  /// A down node neither sends nor receives; its timers still fire but
+  /// SendDatagram becomes a no-op (agents may also be swapped out).
+  void SetNodeUp(NodeId node, bool up);
+  void SetSubnetLossRate(SubnetId subnet, double loss_rate);
+
+  /// Epoch counter bumped on every up/down change; routing watches this.
+  std::uint64_t topology_epoch() const { return topology_epoch_; }
+
+  // --- Data plane ----------------------------------------------------------
+
+  /// Emits `datagram` from `node` out of `vif`, link-addressed to
+  /// `link_dst`. Multicast/broadcast destinations reach every other live
+  /// attachment on the subnet; unicast reaches the owning interface.
+  /// Returns false if the frame could not be transmitted at all (node,
+  /// interface, or subnet down).
+  bool SendDatagram(NodeId node, VifIndex vif, Ipv4Address link_dst,
+                    std::vector<std::uint8_t> datagram);
+
+  void SetFrameObserver(std::function<void(const FrameEvent&)> observer) {
+    frame_observer_ = std::move(observer);
+  }
+
+  void ResetCounters();
+
+  // --- Scheduling ----------------------------------------------------------
+
+  EventId Schedule(SimDuration delay, std::function<void()> fn) {
+    return events_.ScheduleAt(clock_ + delay, std::move(fn));
+  }
+  EventId ScheduleAt(SimTime when, std::function<void()> fn) {
+    return events_.ScheduleAt(when, std::move(fn));
+  }
+  bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  /// Runs events until `until` (inclusive); leaves later events queued.
+  void RunUntil(SimTime until);
+
+  /// Runs until the event queue drains or `max_events` have executed.
+  /// Protocol keepalive timers re-arm forever, so most tests use RunUntil.
+  void RunUntilIdle(std::size_t max_events = 1'000'000);
+
+ private:
+  void DeliverFrame(NodeId receiver, VifIndex vif, Ipv4Address link_src,
+                    Ipv4Address link_dst,
+                    std::shared_ptr<const std::vector<std::uint8_t>> datagram);
+
+  SimTime clock_ = 0;
+  EventQueue events_;
+  Rng rng_;
+  std::vector<NodeRecord> nodes_;
+  std::vector<SubnetRecord> subnets_;
+  std::uint64_t topology_epoch_ = 0;
+  std::function<void(const FrameEvent&)> frame_observer_;
+};
+
+}  // namespace cbt::netsim

@@ -1,0 +1,59 @@
+// One-shot timer handle bound to the simulator event queue.
+//
+// Protocol state machines hold Timers as members; destroying or
+// re-scheduling a Timer cancels the previous pending event, which removes
+// a whole class of fire-after-free bugs.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "netsim/simulator.h"
+
+namespace cbt::netsim {
+
+class Timer {
+ public:
+  Timer() = default;
+  explicit Timer(Simulator& sim) : sim_(&sim) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& other) noexcept { *this = std::move(other); }
+  Timer& operator=(Timer&& other) noexcept {
+    if (this != &other) {
+      Cancel();
+      sim_ = other.sim_;
+      id_ = std::exchange(other.id_, kInvalidEventId);
+    }
+    return *this;
+  }
+
+  ~Timer() { Cancel(); }
+
+  void BindTo(Simulator& sim) { sim_ = &sim; }
+
+  /// Cancels any pending firing and schedules `fn` after `delay`.
+  void Schedule(SimDuration delay, std::function<void()> fn) {
+    Cancel();
+    id_ = sim_->Schedule(delay, [this, fn = std::move(fn)] {
+      id_ = kInvalidEventId;  // fired; a re-Schedule inside fn is fine
+      fn();
+    });
+  }
+
+  void Cancel() {
+    if (id_ != kInvalidEventId && sim_ != nullptr) {
+      sim_->Cancel(id_);
+      id_ = kInvalidEventId;
+    }
+  }
+
+  bool IsPending() const { return id_ != kInvalidEventId; }
+
+ private:
+  Simulator* sim_ = nullptr;
+  EventId id_ = kInvalidEventId;
+};
+
+}  // namespace cbt::netsim

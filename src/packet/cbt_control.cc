@@ -1,0 +1,120 @@
+#include "packet/cbt_control.h"
+
+#include <cstdio>
+
+#include "common/checksum.h"
+
+namespace cbt::packet {
+namespace {
+
+bool IsValidType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(ControlType::kJoinRequest) &&
+         t <= static_cast<std::uint8_t>(ControlType::kPingReply);
+}
+
+}  // namespace
+
+// Figure 8 layout:
+//   word 0: vers(4) unused(4) | type(8) | code(8) | #cores(8)
+//   word 1: hdr length(16) | checksum(16)
+//   group identifier | packet origin | target core address | core #1..#N
+// For echo messages (Figure 9) the #cores byte is the aggregate flag and a
+// single group-id-mask word stands in for the core list.
+std::vector<std::uint8_t> ControlPacket::Encode() const {
+  BufferWriter out(kControlFixedSize + 4 * cores.size());
+  out.WriteU8(static_cast<std::uint8_t>(version << 4));
+  out.WriteU8(static_cast<std::uint8_t>(type));
+  out.WriteU8(code);
+  if (IsEcho()) {
+    out.WriteU8(aggregate ? 0xFF : 0x00);
+  } else {
+    out.WriteU8(static_cast<std::uint8_t>(cores.size()));
+  }
+  const std::size_t length =
+      IsEcho() ? kControlFixedSize + 4  // group-mask word replaces core list
+               : kControlFixedSize + 4 * cores.size();
+  out.WriteU16(static_cast<std::uint16_t>(length));
+  const std::size_t checksum_offset = out.size();
+  out.WriteU16(0);
+  out.WriteAddress(group);
+  out.WriteAddress(origin);
+  out.WriteAddress(target_core);
+  if (IsEcho()) {
+    out.WriteU32(group_mask);
+  } else {
+    for (const Ipv4Address& c : cores) out.WriteAddress(c);
+  }
+  out.PatchU16(checksum_offset, InternetChecksum(out.View()));
+  return std::move(out).Take();
+}
+
+std::optional<ControlPacket> ControlPacket::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kControlFixedSize) return std::nullopt;
+  BufferReader peek(bytes);
+  peek.Skip(4);
+  const std::uint16_t length = peek.ReadU16();
+  if (!peek.ok() || length < kControlFixedSize || length > bytes.size()) {
+    return std::nullopt;
+  }
+  if (!VerifyInternetChecksum(bytes.subspan(0, length))) return std::nullopt;
+
+  BufferReader in(bytes.subspan(0, length));
+  ControlPacket pkt;
+  const std::uint8_t word0 = in.ReadU8();
+  pkt.version = static_cast<std::uint8_t>(word0 >> 4);
+  if (pkt.version != kCbtVersion) return std::nullopt;
+  const std::uint8_t raw_type = in.ReadU8();
+  if (!IsValidType(raw_type)) return std::nullopt;
+  pkt.type = static_cast<ControlType>(raw_type);
+  pkt.code = in.ReadU8();
+  const std::uint8_t count_or_aggregate = in.ReadU8();
+  in.ReadU16();  // length, consumed above
+  in.ReadU16();  // checksum, verified above
+  pkt.group = in.ReadAddress();
+  pkt.origin = in.ReadAddress();
+  pkt.target_core = in.ReadAddress();
+
+  if (pkt.IsEcho()) {
+    if (count_or_aggregate != 0x00 && count_or_aggregate != 0xFF) {
+      return std::nullopt;
+    }
+    if (length != kControlFixedSize + 4) return std::nullopt;
+    pkt.aggregate = count_or_aggregate == 0xFF;
+    pkt.group_mask = in.ReadU32();
+  } else {
+    const std::size_t n = count_or_aggregate;
+    if (n > kMaxCores) return std::nullopt;
+    if (length != kControlFixedSize + 4 * n) return std::nullopt;
+    pkt.cores.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) pkt.cores.push_back(in.ReadAddress());
+  }
+  if (!in.ok()) return std::nullopt;
+  return pkt;
+}
+
+const char* ControlTypeName(ControlType type) {
+  switch (type) {
+    case ControlType::kJoinRequest: return "JOIN-REQUEST";
+    case ControlType::kJoinAck: return "JOIN-ACK";
+    case ControlType::kJoinNack: return "JOIN-NACK";
+    case ControlType::kQuitRequest: return "QUIT-REQUEST";
+    case ControlType::kQuitAck: return "QUIT-ACK";
+    case ControlType::kFlushTree: return "FLUSH-TREE";
+    case ControlType::kEchoRequest: return "CBT-ECHO-REQUEST";
+    case ControlType::kEchoReply: return "CBT-ECHO-REPLY";
+    case ControlType::kCorePing: return "CBT-CORE-PING";
+    case ControlType::kPingReply: return "CBT-PING-REPLY";
+  }
+  return "?";
+}
+
+std::string ControlPacket::Describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s code=%u grp=%s origin=%s core=%s",
+                ControlTypeName(type), code, group.ToString().c_str(),
+                origin.ToString().c_str(), target_core.ToString().c_str());
+  return buf;
+}
+
+}  // namespace cbt::packet

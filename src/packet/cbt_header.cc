@@ -1,0 +1,63 @@
+#include "packet/cbt_header.h"
+
+#include "common/checksum.h"
+
+namespace cbt::packet {
+
+void CbtDataHeader::Encode(BufferWriter& out) const {
+  const std::size_t start = out.size();
+  out.WriteU8(static_cast<std::uint8_t>(version << 4));
+  out.WriteU8(static_cast<std::uint8_t>(CbtPacketType::kData));
+  out.WriteU8(kCbtDataHeaderSize);
+  out.WriteU8(on_tree ? kOnTree : kOffTree);
+  const std::size_t checksum_offset = out.size();
+  out.WriteU16(0);
+  out.WriteU8(ip_ttl);
+  out.WriteU8(0);  // unused
+  out.WriteAddress(group);
+  out.WriteAddress(core);
+  out.WriteAddress(origin);
+  out.WriteU32(flow_id);
+  out.WriteU32(0);  // security fields (T.B.D. in spec)
+  out.PatchU16(checksum_offset,
+               InternetChecksum(out.View().subspan(start, kCbtDataHeaderSize)));
+}
+
+std::optional<CbtDataHeader> CbtDataHeader::Decode(BufferReader& in) {
+  if (in.remaining() < kCbtDataHeaderSize) return std::nullopt;
+  // Checksum must verify over the exact header bytes.
+  // Reconstruct the view from the reader's current window.
+  CbtDataHeader h;
+  const auto bytes = in.ReadBytes(kCbtDataHeaderSize);
+  if (!in.ok()) return std::nullopt;
+  if (!VerifyInternetChecksum(bytes)) return std::nullopt;
+  BufferReader fields(bytes);
+  const std::uint8_t word0 = fields.ReadU8();
+  h.version = static_cast<std::uint8_t>(word0 >> 4);
+  if (h.version != kCbtVersion) return std::nullopt;
+  const auto type = static_cast<CbtPacketType>(fields.ReadU8());
+  if (type != CbtPacketType::kData) return std::nullopt;
+  const std::uint8_t hdr_length = fields.ReadU8();
+  if (hdr_length != kCbtDataHeaderSize) return std::nullopt;
+  const std::uint8_t on_tree_byte = fields.ReadU8();
+  if (on_tree_byte != kOnTree && on_tree_byte != kOffTree) return std::nullopt;
+  h.on_tree = on_tree_byte == kOnTree;
+  fields.ReadU16();  // checksum already verified
+  h.ip_ttl = fields.ReadU8();
+  fields.ReadU8();  // unused
+  h.group = fields.ReadAddress();
+  h.core = fields.ReadAddress();
+  h.origin = fields.ReadAddress();
+  h.flow_id = fields.ReadU32();
+  fields.ReadU32();  // security
+  if (!h.group.IsMulticast()) return std::nullopt;
+  return h;
+}
+
+std::vector<std::uint8_t> CbtDataHeader::EncodeToBytes() const {
+  BufferWriter out(kCbtDataHeaderSize);
+  Encode(out);
+  return std::move(out).Take();
+}
+
+}  // namespace cbt::packet

@@ -1,0 +1,63 @@
+// The CBT data header, spec section 8.1 (Figure 7).
+//
+// Used in "CBT mode": data packets crossing tree branches are encapsulated
+//   [ encaps IP hdr | CBT hdr | original IP hdr | data ]  (Figure 3/6)
+// The header carries the on-tree marker for data-loop suppression
+// (section 7), the origin's TTL, the group, and the target core.
+//
+// Layout note: Figure 7 draws the first word as
+//   vers(4) | unused(4) | type(8) | hdr length(8) | on-tree/unused(8)
+// and documents on-tree values as full-byte 0x00 / 0xff, so we implement
+// the trailing "on-tree|unused" pair as one byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace cbt::packet {
+
+/// Values of the type field shared by data and control headers.
+enum class CbtPacketType : std::uint8_t {
+  kData = 0,
+  kControl = 1,
+};
+
+/// Section 7: on-tree is 0x00 until the packet first reaches an on-tree
+/// router, 0xff afterwards, and never changes back.
+constexpr std::uint8_t kOffTree = 0x00;
+constexpr std::uint8_t kOnTree = 0xFF;
+
+constexpr std::uint8_t kCbtVersion = 1;
+
+/// 7 words: word0, checksum word, group, core, origin, flow id,
+/// security (T.B.D. — carried as one zero word so hdr length is honest).
+constexpr std::size_t kCbtDataHeaderSize = 28;
+
+struct CbtDataHeader {
+  std::uint8_t version = kCbtVersion;
+  bool on_tree = false;
+  /// "TTL value gleaned from the IP header where the packet originated",
+  /// decremented by each CBT router (section 5/8.1).
+  std::uint8_t ip_ttl = 0;
+  Ipv4Address group;
+  /// Target core, inserted by the first-hop router of the origin (the spec
+  /// says host, but see 5.1: host changes are "extremely undesirable", so
+  /// the encapsulating D-DR fills it in).
+  Ipv4Address core;
+  Ipv4Address origin;
+  std::uint32_t flow_id = 0;  // T.B.D. in the spec; carried verbatim
+
+  void Encode(BufferWriter& out) const;
+
+  /// Decodes + checksum-verifies; advances the reader past the header.
+  static std::optional<CbtDataHeader> Decode(BufferReader& in);
+
+  std::vector<std::uint8_t> EncodeToBytes() const;
+};
+
+}  // namespace cbt::packet

@@ -1,0 +1,132 @@
+#include "packet/encap.h"
+
+#include "common/checksum.h"
+
+namespace cbt::packet {
+
+std::vector<std::uint8_t> BuildControlDatagram(Ipv4Address src,
+                                               Ipv4Address dst,
+                                               const ControlPacket& pkt,
+                                               std::uint8_t ttl) {
+  const std::vector<std::uint8_t> control = pkt.Encode();
+  const bool auxiliary = pkt.IsEcho() ||
+                         pkt.type == ControlType::kCorePing ||
+                         pkt.type == ControlType::kPingReply;
+  const std::uint16_t port = auxiliary ? kCbtAuxiliaryPort : kCbtPrimaryPort;
+
+  BufferWriter out(kIpv4HeaderSize + kUdpHeaderSize + control.size());
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.ttl = ttl;
+  ip.protocol = IpProtocol::kUdp;
+  ip.Encode(out, kUdpHeaderSize + control.size());
+  UdpHeader udp{port, port};
+  udp.Encode(out, control.size());
+  out.WriteBytes(control);
+  return std::move(out).Take();
+}
+
+std::optional<ControlPacket> ExtractControl(const ParsedDatagram& dgram) {
+  if (dgram.ip.protocol != IpProtocol::kUdp) return std::nullopt;
+  BufferReader in(dgram.payload);
+  const auto udp = UdpHeader::Decode(in);
+  if (!udp) return std::nullopt;
+  if (udp->dst_port != kCbtPrimaryPort && udp->dst_port != kCbtAuxiliaryPort) {
+    return std::nullopt;
+  }
+  return ControlPacket::Decode(dgram.payload.subspan(kUdpHeaderSize));
+}
+
+std::vector<std::uint8_t> BuildIgmpDatagram(Ipv4Address src, Ipv4Address dst,
+                                            const IgmpMessage& msg) {
+  const std::vector<std::uint8_t> body = msg.Encode();
+  BufferWriter out(kIpv4HeaderSize + body.size());
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.ttl = 1;  // IGMP never leaves the subnet
+  ip.protocol = IpProtocol::kIgmp;
+  ip.Encode(out, body.size());
+  out.WriteBytes(body);
+  return std::move(out).Take();
+}
+
+std::optional<IgmpMessage> ExtractIgmp(const ParsedDatagram& dgram) {
+  if (dgram.ip.protocol != IpProtocol::kIgmp) return std::nullopt;
+  return IgmpMessage::Decode(dgram.payload);
+}
+
+std::vector<std::uint8_t> BuildCbtModeDatagram(
+    Ipv4Address outer_src, Ipv4Address outer_dst, const CbtDataHeader& hdr,
+    std::span<const std::uint8_t> original_datagram, std::uint8_t outer_ttl) {
+  BufferWriter out(kIpv4HeaderSize + kCbtDataHeaderSize +
+                   original_datagram.size());
+  Ipv4Header ip;
+  ip.src = outer_src;
+  ip.dst = outer_dst;
+  ip.ttl = outer_ttl;
+  ip.protocol = IpProtocol::kCbt;
+  ip.Encode(out, kCbtDataHeaderSize + original_datagram.size());
+  hdr.Encode(out);
+  out.WriteBytes(original_datagram);
+  return std::move(out).Take();
+}
+
+std::optional<CbtModeData> ExtractCbtModeData(const ParsedDatagram& dgram) {
+  if (dgram.ip.protocol != IpProtocol::kCbt) return std::nullopt;
+  BufferReader in(dgram.payload);
+  const auto hdr = CbtDataHeader::Decode(in);
+  if (!hdr) return std::nullopt;
+  const auto inner = dgram.payload.subspan(kCbtDataHeaderSize);
+  // The inner payload must itself be a well-formed IP datagram.
+  if (!ParseDatagram(inner)) return std::nullopt;
+  return CbtModeData{dgram.ip, *hdr, inner};
+}
+
+std::vector<std::uint8_t> BuildAppDatagram(Ipv4Address src, Ipv4Address group,
+                                           std::span<const std::uint8_t> payload,
+                                           std::uint8_t ttl) {
+  BufferWriter out(kIpv4HeaderSize + payload.size());
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = group;
+  ip.ttl = ttl;
+  ip.protocol = IpProtocol::kTest;
+  ip.Encode(out, payload.size());
+  out.WriteBytes(payload);
+  return std::move(out).Take();
+}
+
+namespace {
+
+/// Rewrites the TTL byte (offset 8) and re-computes the header checksum.
+std::vector<std::uint8_t> PatchTtl(std::span<const std::uint8_t> datagram,
+                                   std::uint8_t ttl) {
+  std::vector<std::uint8_t> out(datagram.begin(), datagram.end());
+  out[8] = ttl;
+  out[10] = 0;
+  out[11] = 0;
+  const std::uint16_t sum = InternetChecksum(
+      std::span<const std::uint8_t>(out).subspan(0, kIpv4HeaderSize));
+  out[10] = static_cast<std::uint8_t>(sum >> 8);
+  out[11] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> WithDecrementedTtl(
+    std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kIpv4HeaderSize) return std::nullopt;
+  const std::uint8_t ttl = datagram[8];
+  if (ttl <= 1) return std::nullopt;
+  return PatchTtl(datagram, static_cast<std::uint8_t>(ttl - 1));
+}
+
+std::vector<std::uint8_t> WithTtl(std::span<const std::uint8_t> datagram,
+                                  std::uint8_t ttl) {
+  return PatchTtl(datagram, ttl);
+}
+
+}  // namespace cbt::packet

@@ -1,0 +1,68 @@
+#include "packet/igmp.h"
+
+#include "common/checksum.h"
+
+namespace cbt::packet {
+namespace {
+
+constexpr std::size_t kBasicSize = 8;        // type, code, checksum, group
+constexpr std::size_t kCoreReportFixed = 12;  // + version/target/count word
+constexpr std::size_t kMaxReportCores = 8;
+
+}  // namespace
+
+std::vector<std::uint8_t> IgmpMessage::Encode() const {
+  BufferWriter out(kCoreReportFixed + 4 * cores.size());
+  out.WriteU8(static_cast<std::uint8_t>(type));
+  out.WriteU8(code);
+  const std::size_t checksum_offset = out.size();
+  out.WriteU16(0);
+  out.WriteAddress(group);
+  if (IsCoreReport()) {
+    out.WriteU8(version);
+    out.WriteU8(target_core_index);
+    out.WriteU16(static_cast<std::uint16_t>(cores.size()));
+    for (const Ipv4Address& c : cores) out.WriteAddress(c);
+  }
+  out.PatchU16(checksum_offset, InternetChecksum(out.View()));
+  return std::move(out).Take();
+}
+
+std::optional<IgmpMessage> IgmpMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kBasicSize) return std::nullopt;
+  if (!VerifyInternetChecksum(bytes)) return std::nullopt;
+  BufferReader in(bytes);
+  IgmpMessage msg;
+  const std::uint8_t raw_type = in.ReadU8();
+  switch (static_cast<IgmpType>(raw_type)) {
+    case IgmpType::kMembershipQuery:
+    case IgmpType::kMembershipReport:
+    case IgmpType::kLeaveGroup:
+    case IgmpType::kRpCoreReport:
+    case IgmpType::kJoinConfirmation:
+      msg.type = static_cast<IgmpType>(raw_type);
+      break;
+    default:
+      return std::nullopt;
+  }
+  msg.code = in.ReadU8();
+  in.ReadU16();  // checksum, verified above
+  msg.group = in.ReadAddress();
+  if (msg.IsCoreReport()) {
+    if (bytes.size() < kCoreReportFixed) return std::nullopt;
+    msg.version = in.ReadU8();
+    msg.target_core_index = in.ReadU8();
+    const std::uint16_t n = in.ReadU16();
+    if (n > kMaxReportCores || bytes.size() < kCoreReportFixed + 4u * n) {
+      return std::nullopt;
+    }
+    if (msg.target_core_index >= n) return std::nullopt;
+    msg.cores.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) msg.cores.push_back(in.ReadAddress());
+  }
+  if (!in.ok()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace cbt::packet

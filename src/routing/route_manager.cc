@@ -1,0 +1,222 @@
+#include "routing/route_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+namespace cbt::routing {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+bool ApproxEqual(double a, double b) { return std::fabs(a - b) < kEps; }
+
+}  // namespace
+
+void RouteManager::EnsureFresh() {
+  if (computed_epoch_ == sim_->topology_epoch() &&
+      tables_.size() == sim_->node_count()) {
+    return;
+  }
+  tables_.assign(sim_->node_count(), NodeRoutes{});
+  for (std::size_t i = 0; i < sim_->node_count(); ++i) {
+    ComputeFrom(NodeId(static_cast<std::int32_t>(i)));
+  }
+  computed_epoch_ = sim_->topology_epoch();
+}
+
+void RouteManager::ComputeFrom(NodeId source) {
+  const std::size_t n = sim_->node_count();
+  NodeRoutes& table = tables_[static_cast<std::size_t>(source.value())];
+  table.to_node.assign(n, Route{kInvalidVif, Ipv4Address{}, kInfinity, 0, 0});
+  table.to_subnet.assign(sim_->subnet_count(),
+                         Route{kInvalidVif, Ipv4Address{}, kInfinity, 0, 0});
+  table.predecessor.assign(n, NodeId{});
+
+  if (!sim_->node(source).up) return;
+
+  struct QueueEntry {
+    double dist;
+    std::uint32_t first_hop_addr;  // deterministic tie-break
+    std::int32_t node;
+    bool operator>(const QueueEntry& o) const {
+      return std::tie(dist, first_hop_addr, node) >
+             std::tie(o.dist, o.first_hop_addr, o.node);
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  std::vector<bool> done(n, false);
+
+  table.to_node[static_cast<std::size_t>(source.value())] =
+      Route{kInvalidVif, Ipv4Address{}, 0.0, 0, 0};
+  table.predecessor[static_cast<std::size_t>(source.value())] = source;
+  pq.push(QueueEntry{0.0, 0, source.value()});
+
+  while (!pq.empty()) {
+    const QueueEntry top = pq.top();
+    pq.pop();
+    const auto u_idx = static_cast<std::size_t>(top.node);
+    if (done[u_idx]) continue;
+    done[u_idx] = true;
+
+    const NodeId u(top.node);
+    const netsim::NodeRecord& u_rec = sim_->node(u);
+    // Hosts never transit traffic; only the source itself or routers expand.
+    if (u != source && !u_rec.is_router) continue;
+    if (!u_rec.up) continue;
+
+    const Route& u_route = table.to_node[u_idx];
+
+    for (const netsim::Interface& iface : u_rec.interfaces) {
+      if (!iface.up) continue;
+      const netsim::SubnetRecord& s = sim_->subnet(iface.subnet);
+      if (!s.up) continue;
+      for (const auto& [v, v_vif] : s.attachments) {
+        if (v == u) continue;
+        const netsim::Interface& in = sim_->interface(v, v_vif);
+        if (!in.up || !sim_->node(v).up) continue;
+
+        const double cand_dist = u_route.cost + iface.cost;
+        Route cand;
+        cand.cost = cand_dist;
+        cand.hop_count = u_route.hop_count + 1;
+        cand.delay = u_route.delay + s.delay;
+        if (u == source) {
+          cand.vif = iface.vif;
+          cand.next_hop = in.address;
+        } else {
+          cand.vif = u_route.vif;
+          cand.next_hop = u_route.next_hop;
+        }
+
+        const auto v_idx = static_cast<std::size_t>(v.value());
+        Route& cur = table.to_node[v_idx];
+        const bool better =
+            cand_dist + kEps < cur.cost ||
+            (ApproxEqual(cand_dist, cur.cost) &&
+             cand.next_hop.bits() < cur.next_hop.bits());
+        if (!done[v_idx] && better) {
+          cur = cand;
+          table.predecessor[v_idx] = u;
+          pq.push(QueueEntry{cand_dist, cand.next_hop.bits(), v.value()});
+        }
+      }
+    }
+  }
+
+  // Best route per destination subnet: any live attachment point, closest
+  // first, lowest first-hop address on ties.
+  for (std::size_t si = 0; si < sim_->subnet_count(); ++si) {
+    const netsim::SubnetRecord& s =
+        sim_->subnet(SubnetId(static_cast<std::int32_t>(si)));
+    if (!s.up) continue;
+    Route& best = table.to_subnet[si];
+    for (const auto& [z, z_vif] : s.attachments) {
+      const netsim::Interface& zi = sim_->interface(z, z_vif);
+      if (!zi.up || !sim_->node(z).up) continue;
+      if (z == source) {
+        // Directly attached: cost 0, deliver straight onto the subnet.
+        best = Route{z_vif, Ipv4Address{}, 0.0, 0, s.delay};
+        break;
+      }
+      // Only routers forward from the subnet entry point onward.
+      if (!sim_->node(z).is_router) continue;
+      const Route& rz = table.to_node[static_cast<std::size_t>(z.value())];
+      if (rz.cost == kInfinity) continue;
+      const bool better = rz.cost + kEps < best.cost ||
+                          (ApproxEqual(rz.cost, best.cost) &&
+                           rz.next_hop.bits() < best.next_hop.bits());
+      if (better) best = rz;
+    }
+  }
+}
+
+std::optional<SubnetId> RouteManager::ResolveSubnet(Ipv4Address dest) const {
+  std::optional<SubnetId> best;
+  std::uint32_t best_mask = 0;
+  for (std::size_t si = 0; si < sim_->subnet_count(); ++si) {
+    const SubnetId id(static_cast<std::int32_t>(si));
+    const netsim::SubnetRecord& s = sim_->subnet(id);
+    if (s.address.Contains(dest) &&
+        (!best || s.address.mask() > best_mask)) {
+      best = id;
+      best_mask = s.address.mask();
+    }
+  }
+  return best;
+}
+
+std::optional<Route> RouteManager::Lookup(NodeId from, Ipv4Address dest) {
+  EnsureFresh();
+  const auto subnet = ResolveSubnet(dest);
+  if (!subnet) return std::nullopt;
+
+  if (const auto it = overrides_.find({from, *subnet}); it != overrides_.end()) {
+    return it->second;
+  }
+
+  const NodeRoutes& table = tables_.at(static_cast<std::size_t>(from.value()));
+  Route route = table.to_subnet.at(static_cast<std::size_t>(subnet->value()));
+  if (route.cost == kInfinity) return std::nullopt;
+  if (route.next_hop.IsUnspecified()) {
+    // Directly attached: the link-level next hop is the destination itself.
+    route.next_hop = dest;
+  }
+  return route;
+}
+
+bool RouteManager::IsDirectlyAttached(NodeId node, Ipv4Address addr) {
+  for (const netsim::Interface& iface : sim_->node(node).interfaces) {
+    if (!iface.up) continue;
+    const netsim::SubnetRecord& s = sim_->subnet(iface.subnet);
+    if (s.up && s.address.Contains(addr)) return true;
+  }
+  return false;
+}
+
+void RouteManager::SetStaticNextHop(NodeId node, SubnetId dest_subnet,
+                                    VifIndex vif, Ipv4Address next_hop) {
+  Route route;
+  route.vif = vif;
+  route.next_hop = next_hop;
+  route.cost = 1.0;
+  route.hop_count = 1;
+  overrides_[{node, dest_subnet}] = route;
+}
+
+double RouteManager::Distance(NodeId from, NodeId to) {
+  EnsureFresh();
+  return tables_.at(static_cast<std::size_t>(from.value()))
+      .to_node.at(static_cast<std::size_t>(to.value()))
+      .cost;
+}
+
+SimDuration RouteManager::PathDelay(NodeId from, NodeId to) {
+  EnsureFresh();
+  return tables_.at(static_cast<std::size_t>(from.value()))
+      .to_node.at(static_cast<std::size_t>(to.value()))
+      .delay;
+}
+
+std::vector<NodeId> RouteManager::Path(NodeId from, NodeId to) {
+  EnsureFresh();
+  const NodeRoutes& table = tables_.at(static_cast<std::size_t>(from.value()));
+  if (table.to_node.at(static_cast<std::size_t>(to.value())).cost ==
+      kInfinity) {
+    return {};
+  }
+  std::vector<NodeId> reversed;
+  NodeId cur = to;
+  while (cur != from) {
+    reversed.push_back(cur);
+    cur = table.predecessor.at(static_cast<std::size_t>(cur.value()));
+    assert(cur.IsValid());
+  }
+  reversed.push_back(from);
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+}  // namespace cbt::routing

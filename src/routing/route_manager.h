@@ -1,0 +1,92 @@
+// Unicast routing substrate.
+//
+// CBT deliberately builds on whatever unicast routing exists ("the join is
+// sent to the next-hop on the path to the target core"). We model an
+// idealized link-state protocol: every router computes Dijkstra shortest
+// paths over the live topology, and tables refresh automatically when a
+// link/node goes up or down (the simulator bumps a topology epoch).
+//
+// Two behaviours matter to CBT and are modelled explicitly:
+//  * deterministic tie-breaking (lowest next-hop address) — the spec's
+//    Figure-1 narrative depends on R2 beating R5;
+//  * static next-hop overrides, used by tests to create the transient
+//    routing loop of Figure 5 and transient asymmetry.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "netsim/simulator.h"
+
+namespace cbt::routing {
+
+/// A resolved next hop for some destination.
+struct Route {
+  VifIndex vif = kInvalidVif;
+  /// Link-level next hop; equals the final destination when direct.
+  Ipv4Address next_hop;
+  double cost = 0.0;
+  int hop_count = 0;        // router-to-router hops (0 = directly attached)
+  SimDuration delay = 0;    // summed subnet delays along the chosen path
+};
+
+class RouteManager {
+ public:
+  explicit RouteManager(netsim::Simulator& sim) : sim_(&sim) {}
+
+  /// Next hop from router `from` toward address `dest` (host or router).
+  /// nullopt when dest is unreachable or not covered by any known subnet.
+  std::optional<Route> Lookup(NodeId from, Ipv4Address dest);
+
+  /// True when `addr` is on a subnet directly attached to `node` (and the
+  /// attachment is up).
+  bool IsDirectlyAttached(NodeId node, Ipv4Address addr);
+
+  /// Forces (node, destination-subnet) to resolve to the given next hop;
+  /// survives recomputes until cleared. Used to build the Figure-5 loop.
+  void SetStaticNextHop(NodeId node, SubnetId dest_subnet, VifIndex vif,
+                        Ipv4Address next_hop);
+  void ClearStaticNextHops() { overrides_.clear(); }
+
+  /// Shortest-path router cost between two nodes (for analysis/oracles);
+  /// infinity if disconnected.
+  double Distance(NodeId from, NodeId to);
+
+  /// Summed link delay along the chosen shortest path between two nodes.
+  SimDuration PathDelay(NodeId from, NodeId to);
+
+  /// Node sequence (inclusive of both endpoints) of the chosen shortest
+  /// path; empty when disconnected.
+  std::vector<NodeId> Path(NodeId from, NodeId to);
+
+  /// Forces recomputation on next query regardless of topology epoch.
+  void Invalidate() { computed_epoch_ = kNeverComputed; }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  struct NodeRoutes {
+    // Indexed by subnet id: best route from this node to that subnet.
+    std::vector<Route> to_subnet;
+    // Indexed by node id: best route/cost to that node's primary address.
+    std::vector<Route> to_node;
+    std::vector<NodeId> predecessor;  // for Path()
+  };
+
+  void EnsureFresh();
+  void ComputeFrom(NodeId source);
+  std::optional<SubnetId> ResolveSubnet(Ipv4Address dest) const;
+
+  static constexpr std::uint64_t kNeverComputed =
+      std::numeric_limits<std::uint64_t>::max();
+
+  netsim::Simulator* sim_;
+  std::uint64_t computed_epoch_ = kNeverComputed;
+  std::vector<NodeRoutes> tables_;  // indexed by node id
+  std::map<std::pair<NodeId, SubnetId>, Route> overrides_;
+};
+
+}  // namespace cbt::routing

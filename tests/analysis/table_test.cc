@@ -1,0 +1,62 @@
+#include "analysis/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cbt::analysis {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsRule) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "20000"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header present, rule line present, rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("20000"), std::string::npos);
+  // All lines share the same width (alignment).
+  std::istringstream lines(out);
+  std::string first, line;
+  std::getline(lines, first);
+  std::getline(lines, line);  // rule
+  EXPECT_EQ(first.size(), line.size());
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1", "2", "3"});
+  t.AddRow({"x", "y", "z"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,2,3\nx,y,z\n");
+}
+
+TEST(Table, NumFormatsIntegerTypes) {
+  EXPECT_EQ(Table::Num(42), "42");
+  EXPECT_EQ(Table::Num(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(Table::Num(std::size_t{7}), "7");
+  EXPECT_EQ(Table::Num(-3), "-3");
+}
+
+TEST(Table, FixedFormatsDoubles) {
+  EXPECT_EQ(Table::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fixed(3.14159, 0), "3");
+  EXPECT_EQ(Table::Fixed(2.0, 1), "2.0");
+  EXPECT_EQ(Table::Fixed(-1.5, 2), "-1.50");
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table t({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbt::analysis

@@ -1,0 +1,214 @@
+#include "analysis/tree_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/topologies.h"
+
+namespace cbt::analysis {
+namespace {
+
+using netsim::MakeGrid;
+using netsim::MakeLine;
+using netsim::MakeStar;
+using netsim::Simulator;
+using netsim::Topology;
+
+TEST(SharedTree, LineTreeIsThePath) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 5, 2 * kMillisecond);
+  routing::RouteManager routes(sim);
+  const Tree tree =
+      BuildSharedTree(routes, topo.routers[0], {topo.routers[4]});
+  EXPECT_EQ(tree.Cost(), 4u);
+  EXPECT_TRUE(tree.Contains(topo.routers[2]));
+  EXPECT_EQ(tree.DelayBetween(topo.routers[4], topo.routers[0]),
+            8 * kMillisecond);
+  EXPECT_EQ(tree.HopsBetween(topo.routers[4], topo.routers[0]), 4u);
+}
+
+TEST(SharedTree, JoinPathsShareSegments) {
+  // Star: members on 3 spokes, core on the hub: cost = 3 (not 3 separate
+  // full paths).
+  Simulator sim;
+  Topology topo = MakeStar(sim, 5);
+  routing::RouteManager routes(sim);
+  const Tree tree = BuildSharedTree(
+      routes, topo.routers[0],
+      {topo.routers[1], topo.routers[2], topo.routers[3]});
+  EXPECT_EQ(tree.Cost(), 3u);
+  EXPECT_EQ(tree.NodeCount(), 4u);
+}
+
+TEST(SharedTree, PathBetweenCrossesLca) {
+  Simulator sim;
+  Topology topo = MakeStar(sim, 4);
+  routing::RouteManager routes(sim);
+  const Tree tree = BuildSharedTree(routes, topo.routers[0],
+                                    {topo.routers[1], topo.routers[2]});
+  const auto path = tree.PathBetween(topo.routers[1], topo.routers[2]);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], topo.routers[1]);
+  EXPECT_EQ(path[1], topo.routers[0]);  // the hub is the LCA
+  EXPECT_EQ(path[2], topo.routers[2]);
+}
+
+TEST(SharedTree, MemberOnCoreCostsNothing) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 3);
+  routing::RouteManager routes(sim);
+  const Tree tree = BuildSharedTree(routes, topo.routers[1],
+                                    {topo.routers[1]});
+  EXPECT_EQ(tree.Cost(), 0u);
+  EXPECT_TRUE(tree.Contains(topo.routers[1]));
+}
+
+TEST(SourceTree, MatchesShortestPaths) {
+  Simulator sim;
+  Topology topo = MakeGrid(sim, 3, 3);
+  routing::RouteManager routes(sim);
+  const NodeId src = topo.routers[0];   // corner (0,0)
+  const NodeId far = topo.routers[8];   // corner (2,2)
+  const Tree spt = BuildSourceTree(routes, src, {far, topo.routers[2]});
+  // Tree paths from the source have shortest-path length.
+  EXPECT_EQ(spt.HopsBetween(src, far), 4u);
+  EXPECT_EQ(spt.HopsBetween(src, topo.routers[2]), 2u);
+}
+
+TEST(DelayRatio, SourceTreePathsAreOptimalFromRoot) {
+  // Any tree-vs-unicast ratio from the SPT root is exactly 1.
+  Simulator sim;
+  Topology topo = MakeGrid(sim, 3, 3);
+  routing::RouteManager routes(sim);
+  const NodeId src = topo.routers[4];  // centre
+  const Tree spt = BuildSourceTree(
+      routes, src, {topo.routers[0], topo.routers[8], topo.routers[2]});
+  for (const NodeId m : {topo.routers[0], topo.routers[8], topo.routers[2]}) {
+    EXPECT_EQ(spt.DelayBetween(src, m), routes.PathDelay(src, m));
+  }
+}
+
+TEST(DelayRatio, SharedTreeDetourMeasured) {
+  // Line 0-1-2-3-4 with core at 0: members 3 and 4 talk via their LCA
+  // (3), so member-to-member delay on the tree equals unicast — but a
+  // core at the END for members 0 and 4 forces ratio 1 too... use a star
+  // with a far core: members on spokes 1,2; core on spoke 3. Path 1->2 on
+  // tree goes via hub AND spoke3? No — LCA of 1,2 is the hub. Tree edges:
+  // 1-hub, 2-hub, hub-3 (core). Delay(1,2) = 2 links = unicast. Detour
+  // shows up only with deeper trees: line with core at end, members 0,2:
+  // tree path 0->2 via 1 is also unicast-shortest. True detours need a
+  // topology where the unicast path between members is NOT via the tree:
+  // a cycle.
+  Simulator sim;
+  // Square cycle a-b-c-d-a; core at a; members c (via b, tie-break) & d.
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", true);
+  const NodeId d = sim.AddNode("d", true);
+  sim.Connect(a, b);
+  sim.Connect(b, c);
+  sim.Connect(c, d);
+  sim.Connect(d, a);
+  routing::RouteManager routes(sim);
+
+  const Tree tree = BuildSharedTree(routes, a, {c, d});
+  // c joins via b (2 hops, tie-break by address) or via d; d joins via a
+  // directly. Either way c<->d unicast is 1 hop, but if their tree paths
+  // diverge the ratio exceeds 1.
+  const DelayRatio ratio = SharedTreeDelayRatio(routes, tree, {c, d});
+  EXPECT_GE(ratio.max_ratio, 1.0);
+  // The shared tree can at worst double-ish the path here.
+  EXPECT_LE(ratio.max_ratio, 4.0);
+}
+
+TEST(LinkLoad, SharedTreeConcentratesOnTreeLinks) {
+  Simulator sim;
+  Topology topo = MakeStar(sim, 4);
+  routing::RouteManager routes(sim);
+  const std::vector<NodeId> members{topo.routers[1], topo.routers[2],
+                                    topo.routers[3]};
+  const Tree tree = BuildSharedTree(routes, topo.routers[0], members);
+  const auto load = SharedTreeLinkLoad(routes, tree, members);
+  // 3 senders x every tree link once -> each of the 3 links carries 3.
+  ASSERT_EQ(load.size(), 3u);
+  for (const auto& [edge, packets] : load) {
+    EXPECT_EQ(packets, 3);
+  }
+}
+
+TEST(LinkLoad, SourceTreesSpreadLoad) {
+  Simulator sim;
+  Topology topo = MakeStar(sim, 4);
+  routing::RouteManager routes(sim);
+  const std::vector<NodeId> members{topo.routers[1], topo.routers[2],
+                                    topo.routers[3]};
+  const auto load = SourceTreesLinkLoad(routes, members, members);
+  // Sender i's SPT uses its own uplink once plus the receivers' uplinks;
+  // each spoke link carries: 1 (as sender) + 2 (as receiver) = 3, same
+  // total but identical here because the star is degenerate. The
+  // qualitative contrast (max load lower for SPT) appears on richer
+  // graphs — asserted in the benches; here just check structure.
+  int max_load = 0;
+  for (const auto& [edge, packets] : load) max_load = std::max(max_load, packets);
+  EXPECT_EQ(max_load, 3);
+}
+
+TEST(LinkLoad, OffTreeSenderAddsUnicastLegToCore) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 4);
+  routing::RouteManager routes(sim);
+  // Core at 0, member at 1; sender at 3 is off-tree.
+  const Tree tree = BuildSharedTree(routes, topo.routers[0],
+                                    {topo.routers[1]});
+  EXPECT_FALSE(tree.Contains(topo.routers[3]));
+  const auto load = SharedTreeLinkLoad(routes, tree, {topo.routers[3]});
+  // Unicast leg 3->2->1->0 (3 links) + the tree link 1-0 once more.
+  int total = 0;
+  for (const auto& [edge, packets] : load) total += packets;
+  EXPECT_EQ(total, 4);
+}
+
+TEST(UnidirectionalTree, LoadDoublesOnSenderUpLegs) {
+  // Star: members on spokes 1..3, RP at the hub. Bidirectional load on
+  // each spoke link: 3 (one per sender). Unidirectional: each sender
+  // additionally pays its up-leg, so its own link carries 1 (up) + 3
+  // (down) = 4.
+  Simulator sim;
+  Topology topo = MakeStar(sim, 4);
+  routing::RouteManager routes(sim);
+  const std::vector<NodeId> members{topo.routers[1], topo.routers[2],
+                                    topo.routers[3]};
+  const Tree tree = BuildSharedTree(routes, topo.routers[0], members);
+  const auto bidir = SharedTreeLinkLoad(routes, tree, members);
+  const auto unidir = UnidirectionalSharedTreeLinkLoad(routes, tree, members);
+  for (const auto& [edge, packets] : bidir) {
+    EXPECT_EQ(packets, 3);
+    EXPECT_EQ(unidir.at(edge), 4) << "up-leg adds one transmission";
+  }
+}
+
+TEST(UnidirectionalTree, DelayAlwaysDetoursViaRoot) {
+  // Line 0-1-2 with RP at 0, members 1 and 2: bidirectional delay(2,1) is
+  // the direct tree path (1 hop); unidirectional goes 2->0 then 0->1.
+  Simulator sim;
+  Topology topo = MakeLine(sim, 3, 1 * kMillisecond);
+  routing::RouteManager routes(sim);
+  const std::vector<NodeId> members{topo.routers[1], topo.routers[2]};
+  const Tree tree = BuildSharedTree(routes, topo.routers[0], members);
+
+  const DelayRatio bidir = SharedTreeDelayRatio(routes, tree, members);
+  const DelayRatio unidir = UnidirectionalTreeDelayRatio(routes, tree, members);
+  EXPECT_DOUBLE_EQ(bidir.max_ratio, 1.0) << "tree path == unicast on a line";
+  EXPECT_GT(unidir.max_ratio, 2.0) << "2->0->1 = 3 hops vs 1 hop unicast";
+}
+
+TEST(Summarize, MinMaxMean) {
+  const Summary s = Summarize({1.0, 2.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  const Summary empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace cbt::analysis

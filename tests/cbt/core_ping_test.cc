@@ -1,0 +1,116 @@
+// CBT-CORE-PING behaviour: a non-primary core probes the primary's
+// reachability before the (destructive, child-flushing) backbone rejoin,
+// and keeps anchoring its subtree while the primary is away.
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::MakeLine;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+
+class CorePingFixture : public ::testing::Test {
+ protected:
+  // Line r0 - r1 - r2 - r3; primary core r3, secondary r0.
+  CorePingFixture() : topo(MakeLine(sim, 4)) {
+    domain.emplace(sim, topo);
+    domain->RegisterGroup(kGroup, {topo.routers[3], topo.routers[0]});
+    domain->Start();
+    sim.RunUntil(kSecond);
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  std::optional<CbtDomain> domain;
+};
+
+TEST_F(CorePingFixture, BackboneFormsAfterPingSucceeds) {
+  // A member joins targeting the secondary core r0; r0 must ping the
+  // primary and then link the backbone r0 -> r1 -> r2 -> r3.
+  auto& m = domain->AddHost(topo.router_lans[0], "m");
+  m.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup), 1);
+  sim.RunUntil(30 * kSecond);
+
+  auto& r0 = domain->router(topo.routers[0]);
+  ASSERT_TRUE(r0.IsOnTree(kGroup));
+  const FibEntry* entry = r0.fib().Find(kGroup);
+  EXPECT_TRUE(entry->is_core);
+  EXPECT_FALSE(entry->is_primary_core);
+  EXPECT_TRUE(entry->HasParent());
+  EXPECT_GE(r0.stats().core_pings_sent, 1u);
+  EXPECT_GE(r0.stats().ping_replies_received, 1u);
+  EXPECT_GE(domain->router(topo.routers[3]).stats().core_pings_received, 1u);
+  EXPECT_TRUE(domain->router(topo.routers[3]).IsOnTree(kGroup));
+}
+
+TEST_F(CorePingFixture, DeadPrimaryLeavesSecondaryAsStableAnchor) {
+  sim.SetNodeUp(topo.routers[3], false);
+  auto& m = domain->AddHost(topo.router_lans[0], "m");
+  m.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup), 1);
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+
+  // r0 anchors the group, parentless, without flushing anything; members
+  // under it keep working.
+  auto& r0 = domain->router(topo.routers[0]);
+  ASSERT_TRUE(r0.IsOnTree(kGroup));
+  EXPECT_FALSE(r0.fib().Find(kGroup)->HasParent());
+  EXPECT_EQ(r0.stats().ping_replies_received, 0u);
+  EXPECT_EQ(r0.stats().flushes_sent, 0u);
+
+  // A second member (behind r1) joins toward the secondary and is served.
+  auto& m1 = domain->AddHost(topo.router_lans[1], "m1");
+  m1.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup), 1);
+  sim.RunUntil(sim.Now() + 30 * kSecond);
+  m.SendToGroup(kGroup, std::vector<std::uint8_t>{1});
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(m1.ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(CorePingFixture, BackboneLinksOnceRevivedPrimaryAnswersPings) {
+  sim.SetNodeUp(topo.routers[3], false);
+  auto& m = domain->AddHost(topo.router_lans[0], "m");
+  m.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup), 1);
+  sim.RunUntil(sim.Now() + 120 * kSecond);
+  auto& r0 = domain->router(topo.routers[0]);
+  ASSERT_TRUE(r0.IsOnTree(kGroup));
+  ASSERT_FALSE(r0.fib().Find(kGroup)->HasParent());
+
+  // Revive the primary: the periodic re-probe must eventually get an
+  // answer and the backbone rejoin completes.
+  sim.SetNodeUp(topo.routers[3], true);
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+  const FibEntry* entry = r0.fib().Find(kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->HasParent());
+  EXPECT_TRUE(domain->router(topo.routers[3]).IsOnTree(kGroup));
+  EXPECT_TRUE(domain->router(topo.routers[3]).fib().Find(kGroup)
+                  ->is_primary_core);
+}
+
+TEST_F(CorePingFixture, MemberBehindSubtreeSurvivesBackboneFormation) {
+  // The pinged rejoin flushes the child branch it routes through; the
+  // flushed routers must re-attach and delivery must hold end to end.
+  auto& m0 = domain->AddHost(topo.router_lans[0], "m0");
+  auto& m1 = domain->AddHost(topo.router_lans[1], "m1");
+  m0.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup), 1);
+  m1.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup), 1);
+  sim.RunUntil(sim.Now() + 120 * kSecond);
+
+  m0.SendToGroup(kGroup, std::vector<std::uint8_t>{1});
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(m1.ReceivedCount(kGroup), 1u);
+  // And the far side of the backbone can reach them too.
+  auto& m3 = domain->AddHost(topo.router_lans[3], "m3");
+  m3.SendToGroup(kGroup, std::vector<std::uint8_t>{2});
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(m1.ReceivedCount(kGroup), 2u);
+}
+
+}  // namespace
+}  // namespace cbt::core

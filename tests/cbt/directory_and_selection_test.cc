@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "cbt/core_selection.h"
+#include "cbt/group_directory.h"
+#include "netsim/topologies.h"
+#include "routing/route_manager.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::MakeLine;
+using netsim::MakeStar;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 4, 4, 4);
+
+TEST(GroupDirectory, SetLookupRemove) {
+  GroupDirectory dir;
+  EXPECT_FALSE(dir.Knows(kGroup));
+  EXPECT_TRUE(dir.CoresFor(kGroup).empty());
+  EXPECT_FALSE(dir.PrimaryCore(kGroup).has_value());
+
+  dir.SetGroup(kGroup, {Ipv4Address(10, 1, 0, 1), Ipv4Address(10, 2, 0, 1)});
+  EXPECT_TRUE(dir.Knows(kGroup));
+  EXPECT_EQ(dir.CoresFor(kGroup).size(), 2u);
+  EXPECT_EQ(*dir.PrimaryCore(kGroup), Ipv4Address(10, 1, 0, 1));
+  EXPECT_EQ(dir.Groups().size(), 1u);
+
+  // Re-registration replaces.
+  dir.SetGroup(kGroup, {Ipv4Address(10, 3, 0, 1)});
+  EXPECT_EQ(*dir.PrimaryCore(kGroup), Ipv4Address(10, 3, 0, 1));
+
+  dir.RemoveGroup(kGroup);
+  EXPECT_FALSE(dir.Knows(kGroup));
+}
+
+TEST(CoreSelection, RandomCoresAreDistinctRouters) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 8);
+  Rng rng(5);
+  const auto cores = SelectRandomCores(topo.routers, 3, rng);
+  EXPECT_EQ(cores.size(), 3u);
+  EXPECT_NE(cores[0], cores[1]);
+  EXPECT_NE(cores[1], cores[2]);
+  EXPECT_NE(cores[0], cores[2]);
+}
+
+TEST(CoreSelection, HighestDegreePicksTheHub) {
+  Simulator sim;
+  Topology topo = MakeStar(sim, 6);
+  const auto cores = SelectHighestDegreeCores(sim, topo.routers, 1);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0], topo.routers[0]) << "the hub has the most interfaces";
+}
+
+TEST(CoreSelection, CentreOfALineIsTheMiddle) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 7);
+  routing::RouteManager routes(sim);
+  const auto cores = SelectCentreCores(routes, topo.routers, 1);
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0], topo.routers[3]) << "line centre minimizes eccentricity";
+}
+
+TEST(CoreSelection, DelayCentreHonoursLinkDelays) {
+  Simulator sim;
+  // Line with one very slow link at the right end: the delay centre
+  // shifts right of the hop centre to balance the slow edge.
+  const NodeId r0 = sim.AddNode("r0", true);
+  const NodeId r1 = sim.AddNode("r1", true);
+  const NodeId r2 = sim.AddNode("r2", true);
+  const NodeId r3 = sim.AddNode("r3", true);
+  sim.Connect(r0, r1, 1 * kMillisecond);
+  sim.Connect(r1, r2, 1 * kMillisecond);
+  sim.Connect(r2, r3, 50 * kMillisecond);
+  routing::RouteManager routes(sim);
+  const std::vector<NodeId> routers{r0, r1, r2, r3};
+  const auto delay_centre = SelectDelayCentreCores(routes, routers, 1);
+  EXPECT_EQ(delay_centre[0], r2)
+      << "r2 splits the dominant 50ms edge from the cheap chain";
+}
+
+TEST(CoreSelection, FarthestPointSpreadsMultipleCores) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 9);
+  routing::RouteManager routes(sim);
+  const auto cores = SelectCentreCores(routes, topo.routers, 2);
+  ASSERT_EQ(cores.size(), 2u);
+  // Second core is far from the first (an end of the line).
+  const double spread = routes.Distance(cores[0], cores[1]);
+  EXPECT_GE(spread, 3.0);
+}
+
+TEST(CoreSelection, GroupHashIsDeterministicAndCovers) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 5);
+  // Same group → same rotation; different groups spread over candidates.
+  const auto a1 = OrderCoresByGroupHash(topo.routers, kGroup);
+  const auto a2 = OrderCoresByGroupHash(topo.routers, kGroup);
+  EXPECT_EQ(a1, a2);
+  std::set<NodeId> firsts;
+  for (int g = 0; g < 64; ++g) {
+    firsts.insert(OrderCoresByGroupHash(
+                      topo.routers,
+                      Ipv4Address(239, 0, 0, static_cast<std::uint8_t>(g)))
+                      .front());
+  }
+  EXPECT_GE(firsts.size(), 3u) << "hash should spread groups over cores";
+  // The rotation preserves the full candidate set.
+  std::vector<NodeId> sorted = a1;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<NodeId> expected = topo.routers;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+}  // namespace
+}  // namespace cbt::core

@@ -1,0 +1,133 @@
+// CBT-ECHO keepalives (sections 6, 8.4): per-group requests, aggregated
+// requests with the Figure-9 group/mask range, child refresh, and the
+// no-reply-without-state rule.
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::MakeLine;
+using netsim::Simulator;
+using netsim::Topology;
+
+class EchoFixture : public ::testing::TestWithParam<bool> {
+ protected:
+  EchoFixture() : topo(MakeLine(sim, 3)) {
+    CbtConfig config;
+    config.aggregate_echo = GetParam();
+    domain.emplace(sim, topo, config);
+  }
+
+  void JoinGroups(const std::vector<Ipv4Address>& groups) {
+    for (const Ipv4Address g : groups) {
+      domain->RegisterGroup(g, {topo.routers[2]});
+    }
+    domain->Start();
+    sim.RunUntil(kSecond);
+    auto& h = domain->AddHost(topo.router_lans[0], "m");
+    for (const Ipv4Address g : groups) {
+      h.JoinGroup(g);
+      sim.RunUntil(sim.Now() + kSecond);
+    }
+    sim.RunUntil(sim.Now() + 10 * kSecond);
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  std::optional<CbtDomain> domain;
+};
+
+INSTANTIATE_TEST_SUITE_P(Aggregation, EchoFixture, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Aggregated" : "PerGroup";
+                         });
+
+TEST_P(EchoFixture, KeepalivesKeepTheTreeAliveIndefinitely) {
+  JoinGroups({Ipv4Address(239, 1, 0, 1), Ipv4Address(239, 1, 0, 2)});
+  // Far beyond ECHO-TIMEOUT: no spurious parent-loss, no reconnects.
+  sim.RunUntil(sim.Now() + 600 * kSecond);
+  for (const NodeId r : {topo.routers[0], topo.routers[1]}) {
+    EXPECT_EQ(domain->router(r).stats().parent_losses, 0u);
+    EXPECT_TRUE(domain->router(r).IsOnTree(Ipv4Address(239, 1, 0, 1)));
+  }
+}
+
+TEST_P(EchoFixture, AggregationCollapsesPerGroupTraffic) {
+  JoinGroups({Ipv4Address(239, 1, 0, 1), Ipv4Address(239, 1, 0, 2),
+              Ipv4Address(239, 1, 0, 3), Ipv4Address(239, 1, 0, 4)});
+  auto& r0 = domain->router(topo.routers[0]);
+  const auto before = r0.stats().echo_requests_sent;
+  sim.RunUntil(sim.Now() + 300 * kSecond);  // 10 echo intervals
+  const auto sent = r0.stats().echo_requests_sent - before;
+  if (GetParam()) {
+    EXPECT_LE(sent, 11u) << "one aggregate per interval";
+  } else {
+    EXPECT_GE(sent, 40u) << "one per group per interval";
+  }
+}
+
+TEST(EchoAggregation, MaskCoversExactlyTheSharedPrefix) {
+  // Two groups share the 239.1.0.0/30-ish prefix; a third group lives
+  // under a different parent (different core), so its keepalive state
+  // must NOT be refreshed by the first parent's aggregate echo.
+  Simulator sim{1};
+  Topology topo = MakeLine(sim, 3);
+  CbtConfig config;
+  config.aggregate_echo = true;
+  // Huge echo interval so we can single-step the exchange.
+  CbtDomain domain(sim, topo, config);
+  const Ipv4Address g1(239, 1, 0, 1), g2(239, 1, 0, 2);
+  domain.RegisterGroup(g1, {topo.routers[2]});
+  domain.RegisterGroup(g2, {topo.routers[2]});
+  domain.Start();
+  sim.RunUntil(kSecond);
+  auto& h = domain.AddHost(topo.router_lans[0], "m");
+  h.JoinGroup(g1);
+  h.JoinGroup(g2);
+  sim.RunUntil(10 * kSecond);
+
+  auto& r1 = domain.router(topo.routers[1]);
+  ASSERT_TRUE(r1.IsOnTree(g1));
+  ASSERT_TRUE(r1.IsOnTree(g2));
+
+  // After an echo interval both groups' child entries at r1 must have
+  // been refreshed by the single aggregate request from r0.
+  sim.RunUntil(sim.Now() + 40 * kSecond);
+  const SimTime now = sim.Now();
+  for (const Ipv4Address g : {g1, g2}) {
+    const FibEntry* entry = r1.fib().Find(g);
+    ASSERT_EQ(entry->children.size(), 1u);
+    EXPECT_GT(entry->children[0].last_heard, now - 35 * kSecond)
+        << g.ToString();
+  }
+}
+
+TEST(EchoKeepalive, StatelessRouterDoesNotVouch) {
+  // After a restart the parent holds no state; it must stay silent so
+  // the child's echo timeout fires (section 6.2 depends on this).
+  Simulator sim{1};
+  Topology topo = MakeLine(sim, 3);
+  CbtDomain domain(sim, topo);
+  const Ipv4Address g(239, 1, 0, 9);
+  domain.RegisterGroup(g, {topo.routers[2]});
+  domain.Start();
+  sim.RunUntil(kSecond);
+  domain.AddHost(topo.router_lans[0], "m").JoinGroup(g);
+  sim.RunUntil(10 * kSecond);
+
+  auto& r1 = domain.router(topo.routers[1]);
+  const auto replies_before = r1.stats().echo_replies_sent;
+  r1.SimulateRestart();
+  sim.RunUntil(sim.Now() + 65 * kSecond);  // two echo intervals
+  EXPECT_EQ(r1.stats().echo_replies_sent, replies_before);
+  // ... and r0 eventually recovers by re-joining through r1.
+  sim.RunUntil(sim.Now() + 200 * kSecond);
+  EXPECT_TRUE(domain.router(topo.routers[0]).IsOnTree(g));
+  EXPECT_TRUE(r1.IsOnTree(g));
+}
+
+}  // namespace
+}  // namespace cbt::core

@@ -1,0 +1,106 @@
+#include "cbt/fib.h"
+
+#include <gtest/gtest.h>
+
+namespace cbt::core {
+namespace {
+
+constexpr Ipv4Address kGroup(239, 1, 1, 1);
+constexpr Ipv4Address kChildA(10, 1, 0, 1);
+constexpr Ipv4Address kChildB(10, 2, 0, 1);
+constexpr Ipv4Address kChildC(10, 2, 0, 2);
+
+TEST(FibEntry, AddFindRemoveChild) {
+  FibEntry entry;
+  entry.AddChild(kChildA, 0, 100);
+  entry.AddChild(kChildB, 1, 200);
+  ASSERT_NE(entry.FindChild(kChildA), nullptr);
+  EXPECT_EQ(entry.FindChild(kChildA)->vif, 0);
+  EXPECT_EQ(entry.FindChild(kChildA)->last_heard, 100);
+  EXPECT_EQ(entry.FindChild(Ipv4Address(9, 9, 9, 9)), nullptr);
+
+  EXPECT_TRUE(entry.RemoveChild(kChildA));
+  EXPECT_EQ(entry.FindChild(kChildA), nullptr);
+  EXPECT_FALSE(entry.RemoveChild(kChildA));  // already gone
+  EXPECT_EQ(entry.children.size(), 1u);
+}
+
+TEST(FibEntry, AddChildRefreshesExisting) {
+  FibEntry entry;
+  entry.AddChild(kChildA, 0, 100);
+  entry.AddChild(kChildA, 2, 500);  // re-join from a different vif
+  ASSERT_EQ(entry.children.size(), 1u);
+  EXPECT_EQ(entry.children[0].vif, 2);
+  EXPECT_EQ(entry.children[0].last_heard, 500);
+}
+
+TEST(FibEntry, ChildVifsDeduplicates) {
+  FibEntry entry;
+  entry.AddChild(kChildB, 1, 0);
+  entry.AddChild(kChildC, 1, 0);  // same LAN
+  entry.AddChild(kChildA, 0, 0);
+  const auto vifs = entry.ChildVifs();
+  EXPECT_EQ(vifs.size(), 2u);
+  EXPECT_EQ(entry.ChildrenOnVif(1).size(), 2u);
+  EXPECT_EQ(entry.ChildrenOnVif(0).size(), 1u);
+  EXPECT_TRUE(entry.HasChildOnVif(1));
+  EXPECT_FALSE(entry.HasChildOnVif(7));
+}
+
+TEST(FibEntry, TreeVifCoversParentAndChildren) {
+  FibEntry entry;
+  EXPECT_FALSE(entry.HasParent());
+  EXPECT_FALSE(entry.IsTreeVif(0));
+  entry.parent_address = Ipv4Address(10, 0, 0, 1);
+  entry.parent_vif = 3;
+  entry.AddChild(kChildA, 1, 0);
+  EXPECT_TRUE(entry.HasParent());
+  EXPECT_TRUE(entry.IsTreeVif(3));
+  EXPECT_TRUE(entry.IsTreeVif(1));
+  EXPECT_FALSE(entry.IsTreeVif(2));
+}
+
+TEST(Fib, CreateIsIdempotent) {
+  Fib fib;
+  FibEntry& a = fib.Create(kGroup);
+  a.AddChild(kChildA, 0, 0);
+  FibEntry& b = fib.Create(kGroup);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.children.size(), 1u);
+  EXPECT_EQ(b.group, kGroup);
+}
+
+TEST(Fib, FindAndRemove) {
+  Fib fib;
+  EXPECT_EQ(fib.Find(kGroup), nullptr);
+  fib.Create(kGroup);
+  EXPECT_NE(fib.Find(kGroup), nullptr);
+  EXPECT_EQ(fib.size(), 1u);
+  EXPECT_TRUE(fib.Remove(kGroup));
+  EXPECT_FALSE(fib.Remove(kGroup));
+  EXPECT_EQ(fib.size(), 0u);
+}
+
+TEST(Fib, StateUnitsCountEntriesPlusChildren) {
+  Fib fib;
+  EXPECT_EQ(fib.StateUnits(), 0u);
+  FibEntry& g1 = fib.Create(Ipv4Address(239, 0, 0, 1));
+  g1.AddChild(kChildA, 0, 0);
+  g1.AddChild(kChildB, 1, 0);
+  fib.Create(Ipv4Address(239, 0, 0, 2));
+  EXPECT_EQ(fib.StateUnits(), 4u);  // (1 entry + 2 children) + 1 entry
+}
+
+TEST(Fib, IterationVisitsAllGroups) {
+  Fib fib;
+  for (int i = 1; i <= 5; ++i) fib.Create(Ipv4Address(239, 0, 0, (uint8_t)i));
+  int count = 0;
+  for (const auto& [group, entry] : fib) {
+    EXPECT_TRUE(group.IsMulticast());
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace cbt::core

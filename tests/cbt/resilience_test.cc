@@ -1,0 +1,257 @@
+// Failure handling: parent loss (section 6.1), core failure with multiple
+// candidate cores, restart behaviour (section 6.2), reconfiguration flush
+// (section 2.7), and pending-join retransmission under loss.
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+const std::vector<std::uint8_t> kPayload{42};
+
+/// Diamond: r0 -- r1 -- r3 and r0 -- r2 -- r3, members behind r0 and r3.
+struct Diamond {
+  explicit Diamond(Simulator& sim) {
+    r0 = sim.AddNode("r0", true);
+    r1 = sim.AddNode("r1", true);
+    r2 = sim.AddNode("r2", true);
+    r3 = sim.AddNode("r3", true);
+    topo.routers = {r0, r1, r2, r3};
+    topo.nodes = {{"r0", r0}, {"r1", r1}, {"r2", r2}, {"r3", r3}};
+    // r1 attaches before r2 so the r0->r3 tie-break prefers r1.
+    l01 = sim.Connect(r0, r1);
+    l13 = sim.Connect(r1, r3);
+    l02 = sim.Connect(r0, r2);
+    l23 = sim.Connect(r2, r3);
+    lan0 = sim.AddSubnet(
+        "lan0", SubnetAddress::FromPrefix(Ipv4Address(10, 30, 0, 0), 16));
+    lan3 = sim.AddSubnet(
+        "lan3", SubnetAddress::FromPrefix(Ipv4Address(10, 31, 0, 0), 16));
+    sim.Attach(r0, lan0);
+    sim.Attach(r3, lan3);
+    topo.subnets = {{"l01", l01}, {"l13", l13}, {"l02", l02},
+                    {"l23", l23}, {"lan0", lan0}, {"lan3", lan3}};
+  }
+  NodeId r0, r1, r2, r3;
+  SubnetId l01, l13, l02, l23, lan0, lan3;
+  Topology topo;
+};
+
+class ResilienceFixture : public ::testing::Test {
+ protected:
+  ResilienceFixture() : diamond(sim) {
+    domain.emplace(sim, diamond.topo);
+    domain->RegisterGroup(kGroup, {diamond.r3});
+    domain->Start();
+    sim.RunUntil(kSecond);
+    member = &domain->AddHost(diamond.lan0, "m0");
+    source = &domain->AddHost(diamond.lan3, "m3");
+    member->JoinGroup(kGroup);
+    sim.RunUntil(10 * kSecond);
+  }
+
+  Simulator sim{1};
+  Diamond diamond;
+  std::optional<CbtDomain> domain;
+  HostAgent* member = nullptr;
+  HostAgent* source = nullptr;
+};
+
+TEST_F(ResilienceFixture, TreeUsesShortestPathInitially) {
+  // r0's branch runs through r1 (tie-break) to core r3.
+  EXPECT_TRUE(domain->router(diamond.r0).IsOnTree(kGroup));
+  EXPECT_TRUE(domain->router(diamond.r1).IsOnTree(kGroup));
+  EXPECT_FALSE(domain->router(diamond.r2).IsOnTree(kGroup));
+}
+
+TEST_F(ResilienceFixture, ParentNodeFailureTriggersReconnectViaAlternatePath) {
+  int lost = 0, reconnected = 0;
+  CbtRouter::Callbacks cb;
+  cb.on_parent_lost = [&](Ipv4Address) { ++lost; };
+  cb.on_reconnected = [&](Ipv4Address) { ++reconnected; };
+  domain->router(diamond.r0).set_callbacks(std::move(cb));
+
+  sim.SetNodeUp(diamond.r1, false);
+  // ECHO-TIMEOUT is 90s, checked on the 30s echo tick; reconnection then
+  // proceeds via r2.
+  sim.RunUntil(sim.Now() + 200 * kSecond);
+
+  EXPECT_EQ(lost, 1);
+  EXPECT_EQ(reconnected, 1);
+  const FibEntry* entry = domain->router(diamond.r0).fib().Find(kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(sim.FindNodeByAddress(entry->parent_address), diamond.r2);
+  EXPECT_TRUE(domain->router(diamond.r2).IsOnTree(kGroup));
+
+  // Data still reaches the member.
+  source->SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(member->ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(ResilienceFixture, LinkFailureAlsoTriggersReconnect) {
+  sim.SetSubnetUp(diamond.l01, false);
+  // r0 reconnects within ~120s; r1's orphaned child entry needs up to
+  // CHILD-ASSERT-EXPIRE (180s) + a scan interval to be pruned, then r1
+  // quits.
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+  const FibEntry* entry = domain->router(diamond.r0).fib().Find(kGroup);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(sim.FindNodeByAddress(entry->parent_address), diamond.r2);
+  // r1, orphaned with no members or children, leaves the tree.
+  EXPECT_FALSE(domain->router(diamond.r1).IsOnTree(kGroup));
+}
+
+TEST_F(ResilienceFixture, ParentStatsCountTheLoss) {
+  sim.SetNodeUp(diamond.r1, false);
+  sim.RunUntil(sim.Now() + 200 * kSecond);
+  EXPECT_EQ(domain->router(diamond.r0).stats().parent_losses, 1u);
+  EXPECT_EQ(domain->router(diamond.r0).stats().reconnects_succeeded, 1u);
+}
+
+TEST_F(ResilienceFixture, ExpiredChildrenArePrunedByParentScan) {
+  // Kill r0 silently: r1 stops hearing echoes and must drop the child
+  // within CHILD-ASSERT-EXPIRE (180s) + scan interval.
+  ASSERT_FALSE(
+      domain->router(diamond.r1).fib().Find(kGroup)->children.empty());
+  sim.SetNodeUp(diamond.r0, false);
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+  // r1 pruned the dead child and, having no members, quit the tree.
+  EXPECT_FALSE(domain->router(diamond.r1).IsOnTree(kGroup));
+  EXPECT_GE(domain->router(diamond.r1).stats().children_expired, 1u);
+}
+
+TEST_F(ResilienceFixture, ReconfigurationFlushesChildBranchBeforeJoining) {
+  // Force r1's best next-hop toward the core to be its child r0 (section
+  // 2.7 first bullet). r1 must FLUSH the r0 branch before re-joining.
+  auto& routes = domain->routes();
+  VifIndex r1_to_r0 = kInvalidVif;
+  for (const auto& iface : sim.node(diamond.r1).interfaces) {
+    if (iface.subnet == diamond.l01) r1_to_r0 = iface.vif;
+  }
+  ASSERT_NE(r1_to_r0, kInvalidVif);
+  Ipv4Address r0_addr;
+  for (const auto& iface : sim.node(diamond.r0).interfaces) {
+    if (iface.subnet == diamond.l01) r0_addr = iface.address;
+  }
+  // The core r3's primary address lives on subnet l13.
+  routes.SetStaticNextHop(diamond.r1, diamond.l13, r1_to_r0, r0_addr);
+
+  const auto flushes_before = domain->router(diamond.r1).stats().flushes_sent;
+  domain->router(diamond.r1).TriggerReconnect(kGroup);
+  sim.RunUntil(sim.Now() + 30 * kSecond);
+  EXPECT_GT(domain->router(diamond.r1).stats().flushes_sent, flushes_before);
+  EXPECT_GE(domain->router(diamond.r0).stats().flushes_received, 1u);
+
+  // Clear the override; everything converges back and data flows.
+  routes.ClearStaticNextHops();
+  sim.RunUntil(sim.Now() + 200 * kSecond);
+  source->SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(member->ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(ResilienceFixture, JoinRetransmitsThroughLossyLink) {
+  // A second group joined across a 40%-lossy link still converges thanks
+  // to PEND-JOIN-INTERVAL retransmissions.
+  const Ipv4Address g2(239, 9, 0, 1);
+  domain->RegisterGroup(g2, {diamond.r3});
+  sim.SetSubnetLossRate(diamond.l01, 0.4);
+  sim.SetSubnetLossRate(diamond.l13, 0.4);
+  member->JoinGroup(g2);
+  sim.RunUntil(sim.Now() + 120 * kSecond);
+  EXPECT_TRUE(domain->router(diamond.r0).IsOnTree(g2));
+}
+
+TEST_F(ResilienceFixture, KeepalivesSurviveModerateLoss) {
+  // Lossy tree links. At 5% loss the ECHO-TIMEOUT's three-miss tolerance
+  // makes spurious parent-loss declarations rare (an echo round trip
+  // fails with p≈0.1; three consecutive misses ≈ 0.1%), and even when
+  // one fires, reconnection restores the branch: the tree must still be
+  // serving the member after 20 minutes.
+  sim.SetSubnetLossRate(diamond.l01, 0.05);
+  sim.SetSubnetLossRate(diamond.l13, 0.05);
+  sim.RunUntil(sim.Now() + 1200 * kSecond);
+  EXPECT_LE(domain->router(diamond.r0).stats().parent_losses, 1u);
+  EXPECT_TRUE(domain->router(diamond.r0).IsOnTree(kGroup));
+  source->SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(member->ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(ResilienceFixture, ReconnectGivesUpWhenPartitioned) {
+  // Cut both of r0's uplinks: reconnection must fail after
+  // RECONNECT-TIMEOUT and local state must be torn down.
+  sim.SetSubnetUp(diamond.l01, false);
+  sim.SetSubnetUp(diamond.l02, false);
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+  EXPECT_FALSE(domain->router(diamond.r0).IsOnTree(kGroup));
+  EXPECT_GE(domain->router(diamond.r0).stats().reconnects_failed, 1u);
+}
+
+class MultiCoreFixture : public ::testing::Test {
+ protected:
+  // Line with cores at both ends: c0 -- t1 -- t2 -- c3, member behind t1.
+  MultiCoreFixture() {
+    topo = netsim::MakeLine(sim, 4);
+    domain.emplace(sim, topo);
+    // Primary core = router 3, secondary = router 0.
+    domain->RegisterGroup(kGroup, {topo.routers[3], topo.routers[0]});
+    domain->Start();
+    sim.RunUntil(kSecond);
+    member = &domain->AddHost(topo.router_lans[1], "m");
+    member->JoinGroup(kGroup);
+    sim.RunUntil(10 * kSecond);
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  std::optional<CbtDomain> domain;
+  HostAgent* member = nullptr;
+};
+
+TEST_F(MultiCoreFixture, PrimaryCoreFailureFallsBackToAlternateCore) {
+  ASSERT_TRUE(domain->router(topo.routers[1]).IsOnTree(kGroup));
+  // Primary core (router 3) dies; router 2 (its child-side neighbour) and
+  // router 1 must converge onto the secondary core (router 0).
+  sim.SetNodeUp(topo.routers[3], false);
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+
+  // The member's DR must still be on a live tree rooted at router 0.
+  auto& r1 = domain->router(topo.routers[1]);
+  ASSERT_TRUE(r1.IsOnTree(kGroup));
+  // Data from a host behind the secondary core reaches the member.
+  auto& src = domain->AddHost(topo.router_lans[0], "src");
+  src.SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_GE(member->ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(MultiCoreFixture, RestartedNonPrimaryCoreRelearnsViaJoin) {
+  // Section 6.2: a restarted core only learns its role from a join that
+  // targets it. Router 0 (secondary) restarts, then a new member joins
+  // targeting it explicitly.
+  domain->router(topo.routers[0]).SimulateRestart();
+  auto& m0 = domain->AddHost(topo.router_lans[0], "m0");
+  m0.JoinGroupWithCores(kGroup, domain->directory().CoresFor(kGroup),
+                        /*target_index=*/1);
+  sim.RunUntil(sim.Now() + 30 * kSecond);
+
+  auto& r0 = domain->router(topo.routers[0]);
+  ASSERT_TRUE(r0.IsOnTree(kGroup));
+  const FibEntry* entry = r0.fib().Find(kGroup);
+  EXPECT_TRUE(entry->is_core);
+  EXPECT_FALSE(entry->is_primary_core);
+  // And it rejoined toward the primary: it has a parent (or the branch
+  // terminated at an on-tree router toward router 3).
+  EXPECT_TRUE(entry->HasParent());
+}
+
+}  // namespace
+}  // namespace cbt::core

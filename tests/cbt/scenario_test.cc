@@ -1,0 +1,209 @@
+#include "cbt/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cbt::core {
+namespace {
+
+TEST(ScenarioParse, RejectsMissingTopology) {
+  std::string error;
+  EXPECT_FALSE(Scenario::Parse("group g 239.1.1.1 R0\nrun 10s\n", &error));
+  EXPECT_NE(error.find("topology"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsMissingGroup) {
+  std::string error;
+  EXPECT_FALSE(Scenario::Parse("topology line 3\nrun 10s\n", &error));
+  EXPECT_NE(error.find("group"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsBadAddressAndReportsLine) {
+  std::string error;
+  EXPECT_FALSE(Scenario::Parse(
+      "topology line 3\ngroup g 10.1.1.1 R0\nrun 10s\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("multicast"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsUnknownVerbAndFlag) {
+  std::string error;
+  EXPECT_FALSE(Scenario::Parse("topology line 3\n"
+                               "group g 239.1.1.1 R0\n"
+                               "at 1s dance h1 g\n",
+                               &error));
+  EXPECT_NE(error.find("dance"), std::string::npos);
+  EXPECT_FALSE(Scenario::Parse("topology line 3\n"
+                               "config turbo on\n"
+                               "group g 239.1.1.1 R0\n",
+                               &error));
+  EXPECT_NE(error.find("turbo"), std::string::npos);
+}
+
+TEST(ScenarioParse, AcceptsCommentsAndTimes) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      "# a comment\n"
+      "topology line 4   # inline comment\n"
+      "group g 239.9.9.9 R3\n"
+      "at 500ms join h1 R0 g\n"
+      "at 2s send h2 g 10\n"
+      "run 30s\n",
+      &error);
+  EXPECT_TRUE(s.has_value()) << error;
+}
+
+TEST(ScenarioRun, EndToEndDeliveryAndExpectations) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      "topology line 4\n"
+      "group g 239.9.9.9 R3\n"
+      "at 1s join h1 R0 g\n"
+      "at 10s send src g 64\n"
+      "at 20s expect-delivered h1 g 1\n"
+      "at 20s expect-on-tree R1 g yes\n"
+      "run 25s\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  std::ostringstream trace;
+  const auto result = s->Run(&trace);
+  ASSERT_EQ(result.expectations.size(), 2u);
+  for (const auto& e : result.expectations) {
+    EXPECT_TRUE(e.passed) << e.description << ": " << e.detail;
+  }
+  EXPECT_TRUE(result.AllPassed());
+  EXPECT_NE(trace.str().find("joins"), std::string::npos);
+  EXPECT_EQ(result.end_time, 25 * kSecond);
+}
+
+TEST(ScenarioRun, FailureAndRecoveryScript) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      // Diamond-free line: fail-link between R1 and R2 kills delivery,
+      // heal restores it (after the reconnect machinery gives up there's
+      // nothing to rejoin through on a line, so members re-join on heal).
+      "topology grid 3 3\n"
+      "group g 239.9.9.1 R2_2\n"
+      "at 1s  join h1 R0_0 g\n"
+      "at 10s send src g 8\n"
+      "at 15s expect-delivered h1 g 1\n"
+      "at 20s fail-node R1_0\n"
+      "at 300s send src g 8\n"
+      "at 340s expect-delivered h1 g 2\n"
+      "run 350s\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto result = s->Run(nullptr);
+  for (const auto& e : result.expectations) {
+    EXPECT_TRUE(e.passed) << e.description << ": " << e.detail;
+  }
+}
+
+TEST(ScenarioRun, Figure1HostsUsableByLetter) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      "topology figure1\n"
+      "group g 239.1.2.3 R4 R9\n"
+      "at 1s join A R1 g\n"
+      "at 5s join B R6 g\n"
+      "at 10s send G g 32\n"
+      "at 20s expect-delivered A g 1\n"
+      "at 20s expect-delivered B g 1\n"
+      "at 20s expect-on-tree R6 g no\n"  // proxy-ack keeps R6 stateless
+      "run 25s\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto result = s->Run(nullptr);
+  ASSERT_EQ(result.expectations.size(), 3u);
+  for (const auto& e : result.expectations) {
+    EXPECT_TRUE(e.passed) << e.description << ": " << e.detail;
+  }
+}
+
+TEST(ScenarioRun, FailAndHealLinkVerbs) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      "topology line 3\n"
+      "group g 239.9.9.3 R2\n"
+      "host src R2\n"  // sender placed behind the core-side router
+      "at 1s   join h1 R0 g\n"
+      "at 10s  send src g 8\n"
+      "at 15s  expect-delivered h1 g 1\n"
+      "at 20s  fail-link R0 R1\n"
+      "at 21s  send src g 8\n"
+      "at 30s  expect-delivered h1 g 1\n"  // unchanged: path severed
+      "at 40s  heal-link R0 R1\n"
+      // After healing, the member's DR re-joins on the next membership
+      // refresh; the pre-failure branch state may need the echo timeout
+      // to clear first.
+      "at 400s send src g 8\n"
+      "at 440s expect-delivered h1 g 2\n"
+      "run 450s\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto result = s->Run(nullptr);
+  ASSERT_EQ(result.expectations.size(), 3u);
+  for (const auto& e : result.expectations) {
+    EXPECT_TRUE(e.passed) << e.description << ": " << e.detail;
+  }
+}
+
+TEST(ScenarioRun, AllTopologyKindsParseAndRun) {
+  for (const char* topo_line :
+       {"topology star 4", "topology tree 3", "topology waxman 12 9",
+        "topology figure5", "topology grid 2 2"}) {
+    std::string error;
+    const std::string script = std::string(topo_line) +
+                               "\ngroup g 239.9.9.5 R1\n"
+                               "run 5s\n";
+    // figure5/star/tree name their routers differently; use a core name
+    // that exists everywhere it matters:
+    const std::string core =
+        std::string(topo_line).find("star") != std::string::npos ? "hub"
+        : std::string(topo_line).find("figure5") != std::string::npos
+            ? "R1"
+        : std::string(topo_line).find("grid") != std::string::npos ? "R0_0"
+                                                                   : "R1";
+    const std::string fixed = std::string(topo_line) + "\ngroup g 239.9.9.5 " +
+                              core + "\nrun 5s\n";
+    const auto s = Scenario::Parse(fixed, &error);
+    ASSERT_TRUE(s.has_value()) << topo_line << ": " << error;
+    const auto result = s->Run(nullptr);
+    EXPECT_EQ(result.end_time, 5 * kSecond) << topo_line;
+    (void)script;
+  }
+}
+
+TEST(ScenarioRun, DefaultRunTimeDerivedFromEvents) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      "topology line 2\n"
+      "group g 239.9.9.4 R1\n"
+      "at 90s join h1 R0 g\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto result = s->Run(nullptr);
+  EXPECT_EQ(result.end_time, 120 * kSecond);  // last event + 30s
+}
+
+TEST(ScenarioRun, ConfigSwitchesApply) {
+  std::string error;
+  const auto s = Scenario::Parse(
+      "topology figure1\n"
+      "config proxy-ack off\n"
+      "group g 239.1.2.3 R4 R9\n"
+      "at 1s join A R1 g\n"
+      "at 5s join B R6 g\n"
+      "at 20s expect-on-tree R6 g yes\n"  // without proxy-ack R6 keeps state
+      "run 25s\n",
+      &error);
+  ASSERT_TRUE(s.has_value()) << error;
+  const auto result = s->Run(nullptr);
+  ASSERT_EQ(result.expectations.size(), 1u);
+  EXPECT_TRUE(result.expectations[0].passed)
+      << result.expectations[0].detail;
+}
+
+}  // namespace
+}  // namespace cbt::core

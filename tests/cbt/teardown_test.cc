@@ -1,0 +1,167 @@
+// Tree teardown (section 2.7): QUIT_REQUEST propagation driven by IGMP
+// leaves, plus FLUSH_TREE behaviour.
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::MakeFigure1;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+
+class TeardownFixture : public ::testing::Test {
+ protected:
+  TeardownFixture() : topo(MakeFigure1(sim)), domain(sim, topo) {
+    domain.RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
+    domain.Start();
+    sim.RunUntil(kSecond);
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  CbtDomain domain;
+};
+
+TEST_F(TeardownFixture, LeaveTriggersQuitUpTheBranch) {
+  // The spec's exact scenario: A (via R1) and B (via R6/R2) are members.
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  domain.host("B").JoinGroup(kGroup);
+  sim.RunUntil(20 * kSecond);
+  ASSERT_TRUE(domain.router("R2").IsOnTree(kGroup));
+
+  // "Assume group member B leaves group G on subnet S4... R2 has no CBT
+  // children, and no other directly attached subnets with group G
+  // presence, it immediately follows on by sending a QUIT_REQUEST to R3."
+  domain.host("B").LeaveGroup(kGroup);
+  sim.RunUntil(60 * kSecond);
+
+  EXPECT_FALSE(domain.router("R2").IsOnTree(kGroup));
+  EXPECT_GE(domain.router("R2").stats().quits_sent, 1u);
+  EXPECT_GE(domain.router("R3").stats().quit_acks_sent, 1u);
+
+  // "R3 cannot itself send a quit" — R1 is still its child.
+  EXPECT_TRUE(domain.router("R3").IsOnTree(kGroup));
+  EXPECT_TRUE(domain.router("R1").IsOnTree(kGroup));
+}
+
+TEST_F(TeardownFixture, LastLeaveTearsDownWholeBranchButCoreStays) {
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  ASSERT_TRUE(domain.router("R3").IsOnTree(kGroup));
+
+  domain.host("A").LeaveGroup(kGroup);
+  sim.RunUntil(120 * kSecond);
+
+  EXPECT_FALSE(domain.router("R1").IsOnTree(kGroup));
+  EXPECT_FALSE(domain.router("R3").IsOnTree(kGroup));
+  // The primary core anchors the backbone and does not quit itself.
+  EXPECT_TRUE(domain.router("R4").IsOnTree(kGroup));
+  EXPECT_TRUE(domain.router("R4").fib().Find(kGroup)->children.empty());
+}
+
+TEST_F(TeardownFixture, RejoinAfterFullTeardownWorks) {
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  domain.host("A").LeaveGroup(kGroup);
+  sim.RunUntil(120 * kSecond);
+  ASSERT_FALSE(domain.router("R1").IsOnTree(kGroup));
+
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(sim.Now() + 20 * kSecond);
+  EXPECT_TRUE(domain.router("R1").IsOnTree(kGroup));
+  EXPECT_TRUE(domain.router("R3").IsOnTree(kGroup));
+}
+
+TEST_F(TeardownFixture, GdrQuitsWhenItsLanLosesMembers) {
+  // B joined via proxy-ack: R2 is G-DR. When B leaves, R2 (which tracked
+  // S4 membership passively) must quit, and R6 has no state to clean.
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  domain.host("B").JoinGroup(kGroup);
+  sim.RunUntil(20 * kSecond);
+  ASSERT_TRUE(domain.router("R6").JoinedViaGdr(kGroup));
+
+  domain.host("B").LeaveGroup(kGroup);
+  sim.RunUntil(90 * kSecond);
+  EXPECT_FALSE(domain.router("R2").IsOnTree(kGroup));
+}
+
+TEST_F(TeardownFixture, QuitAckLostParentStateRemovedAfterRetries) {
+  domain.host("G").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  ASSERT_TRUE(domain.router("R8").IsOnTree(kGroup));
+
+  // Sever the R4-R8 link so R8's QUIT_REQUESTs go unanswered, then leave.
+  sim.SetSubnetUp(topo.subnet("R4-R8"), false);
+  domain.host("G").LeaveGroup(kGroup);
+  // 3 retries x 10s spacing, plus leave latency: state must clear anyway.
+  sim.RunUntil(sim.Now() + 120 * kSecond);
+  EXPECT_FALSE(domain.router("R8").IsOnTree(kGroup));
+}
+
+TEST_F(TeardownFixture, RestartedTransitRouterRelearnsState) {
+  // Section 6.2 non-core restart: R3 loses all state; it stops answering
+  // R1's echoes (a stateless router must not vouch for a group), R1 times
+  // out and re-joins through R3, which re-learns transit state.
+  domain.host("A").JoinGroup(kGroup);
+  domain.host("G").JoinGroup(kGroup);
+  sim.RunUntil(20 * kSecond);
+  ASSERT_TRUE(domain.router("R1").IsOnTree(kGroup));
+  ASSERT_TRUE(domain.router("R8").IsOnTree(kGroup));
+
+  domain.router("R3").SimulateRestart();
+  sim.RunUntil(sim.Now() + 200 * kSecond);
+  EXPECT_TRUE(domain.router("R1").IsOnTree(kGroup));
+  EXPECT_TRUE(domain.router("R3").IsOnTree(kGroup));
+  // Data flows end to end again.
+  domain.host("G").SendToGroup(kGroup, std::vector<std::uint8_t>{1});
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_GE(domain.host("A").ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(TeardownFixture, SilentGdrLossRepairedByProxyRefresh) {
+  // B joins via proxy-ack (R2 becomes G-DR, D-DR R6 stateless). R2 then
+  // dies without any signal reaching R6. The D-DR's soft proxy marker
+  // must go stale and its refresh join re-attach S4 through another
+  // router (R5, the remaining path to R3).
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  domain.host("B").JoinGroup(kGroup);
+  sim.RunUntil(20 * kSecond);
+  ASSERT_TRUE(domain.router("R6").JoinedViaGdr(kGroup));
+
+  sim.SetNodeUp(topo.node("R2"), false);
+  // proxy_refresh_interval (60s) + a membership-report cycle + join.
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+
+  // Somebody serves S4 again: either R6 itself holds state now or a new
+  // G-DR (R5) covers it; data must reach B.
+  domain.host("A").SendToGroup(kGroup, std::vector<std::uint8_t>{9});
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(domain.host("B").ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(TeardownFixture, IffScanQuitsForgottenGroups) {
+  // A router left on-tree with no members and no children must leave the
+  // tree on its own via the periodic interface scan, even if it never
+  // sees a leave (e.g. membership timeout without leave message).
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  ASSERT_TRUE(domain.router("R1").IsOnTree(kGroup));
+
+  // Detach host A abruptly (no IGMP leave): membership must age out
+  // (2*60+10 = 130s) and the branch teardown follow.
+  sim.SetNodeUp(topo.node("A"), false);
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+  EXPECT_FALSE(domain.router("R1").IsOnTree(kGroup));
+  EXPECT_FALSE(domain.router("R3").IsOnTree(kGroup));
+}
+
+}  // namespace
+}  // namespace cbt::core

@@ -1,0 +1,249 @@
+// Section 5.2: CBT over a virtual topology — per-interface modes,
+// configured tunnels, and ranked interfaces with backups replacing the
+// topology-discovery protocol.
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "cbt/tunnel_config.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 52, 0, 1);
+const std::vector<std::uint8_t> kPayload{9, 9, 9};
+
+TEST(TunnelConfig, ModeDefaultsAndOverrides) {
+  TunnelConfig config;
+  EXPECT_EQ(config.ModeOf(0, VifMode::kNative), VifMode::kNative);
+  EXPECT_EQ(config.ModeOf(0, VifMode::kCbtTunnel), VifMode::kCbtTunnel);
+  config.SetVifMode(0, VifMode::kCbtTunnel);
+  EXPECT_EQ(config.ModeOf(0, VifMode::kNative), VifMode::kCbtTunnel);
+  EXPECT_FALSE(config.Active());
+}
+
+TEST(TunnelConfig, AddTunnelImpliesCbtMode) {
+  TunnelConfig config;
+  config.AddTunnel(2, Ipv4Address(128, 16, 8, 117));
+  EXPECT_EQ(config.ModeOf(2, VifMode::kNative), VifMode::kCbtTunnel);
+  ASSERT_TRUE(config.TunnelRemote(2).has_value());
+  EXPECT_EQ(*config.TunnelRemote(2), Ipv4Address(128, 16, 8, 117));
+}
+
+TEST(TunnelConfig, SelectPathPrefersRankThenLiveness) {
+  Simulator sim;
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const SubnetId link1 = sim.Connect(a, b);
+  const SubnetId link2 = sim.Connect(a, b);
+
+  TunnelConfig config;
+  const Ipv4Address core(10, 50, 0, 1);
+  config.AddTunnel(0, sim.interface(b, 0).address);
+  config.AddTunnel(1, sim.interface(b, 1).address);
+  config.SetCoreRanking(core, {0, 1});
+  EXPECT_TRUE(config.Active());
+  EXPECT_TRUE(config.HasRankingFor(core));
+
+  auto path = config.SelectPath(sim, a, core);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->vif, 0);
+  EXPECT_EQ(path->remote, sim.interface(b, 0).address);
+
+  // Primary tunnel down: the spec's "next-highest ranked available
+  // route is selected".
+  sim.SetSubnetUp(link1, false);
+  path = config.SelectPath(sim, a, core);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->vif, 1);
+
+  // Both down: no path.
+  sim.SetSubnetUp(link2, false);
+  EXPECT_FALSE(config.SelectPath(sim, a, core).has_value());
+
+  // Unranked core: rankings don't apply.
+  EXPECT_FALSE(config.SelectPath(sim, a, Ipv4Address(9, 9, 9, 9)).has_value());
+}
+
+/// Two islands joined by two parallel tunnels; the member island ranks
+/// tunnel #1 over tunnel #2 toward the core.
+class TunnelFixture : public ::testing::Test {
+ protected:
+  TunnelFixture() {
+    island = sim.AddNode("island", true);
+    corertr = sim.AddNode("corertr", true);
+    topo.routers = {island, corertr};
+    topo.nodes = {{"island", island}, {"corertr", corertr}};
+    tunnel1 = sim.Connect(island, corertr);
+    tunnel2 = sim.Connect(island, corertr);
+    member_lan = sim.AddSubnet(
+        "mlan", SubnetAddress::FromPrefix(Ipv4Address(10, 60, 0, 0), 16));
+    core_lan = sim.AddSubnet(
+        "clan", SubnetAddress::FromPrefix(Ipv4Address(10, 61, 0, 0), 16));
+    sim.Attach(island, member_lan);
+    sim.Attach(corertr, core_lan);
+    topo.subnets = {{"t1", tunnel1}, {"t2", tunnel2},
+                    {"mlan", member_lan}, {"clan", core_lan}};
+
+    domain.emplace(sim, topo);
+    core_addr = domain->RegisterGroup(kGroup, {corertr}).front();
+
+    // Island-side virtual-topology configuration (the spec's example
+    // tables): both p2p links are CBT-mode tunnels; ranking prefers t1.
+    auto& config = domain->router(island).tunnel_config();
+    config.AddTunnel(0, sim.interface(corertr, 0).address);
+    config.AddTunnel(1, sim.interface(corertr, 1).address);
+    config.SetCoreRanking(core_addr, {0, 1});
+    // The core side marks its tunnel ends CBT-mode too.
+    auto& core_config = domain->router(corertr).tunnel_config();
+    core_config.AddTunnel(0, sim.interface(island, 0).address);
+    core_config.AddTunnel(1, sim.interface(island, 1).address);
+
+    domain->Start();
+    sim.RunUntil(kSecond);
+    member = &domain->AddHost(member_lan, "m");
+    source = &domain->AddHost(core_lan, "s");
+    member->JoinGroup(kGroup);
+    sim.RunUntil(10 * kSecond);
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  NodeId island, corertr;
+  SubnetId tunnel1, tunnel2, member_lan, core_lan;
+  std::optional<CbtDomain> domain;
+  Ipv4Address core_addr;
+  HostAgent* member = nullptr;
+  HostAgent* source = nullptr;
+};
+
+TEST_F(TunnelFixture, JoinFollowsTheRankedTunnel) {
+  ASSERT_TRUE(domain->router(island).IsOnTree(kGroup));
+  const FibEntry* entry = domain->router(island).fib().Find(kGroup);
+  ASSERT_TRUE(entry->HasParent());
+  EXPECT_EQ(entry->parent_vif, 0);  // tunnel #1, the highest-ranked
+  EXPECT_EQ(entry->parent_address, sim.interface(corertr, 0).address);
+}
+
+TEST_F(TunnelFixture, DataCrossesTunnelEncapsulated) {
+  sim.ResetCounters();
+  source->SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(member->ReceivedCount(kGroup), 1u);
+  // The tunnel carried a CBT-mode (encapsulated) frame even though the
+  // domain default is native mode.
+  EXPECT_GE(domain->router(corertr).stats().data_encapsulated, 1u);
+  EXPECT_GE(domain->router(island).stats().data_decapsulated, 1u);
+  EXPECT_EQ(sim.subnet(tunnel1).counters.frames_sent, 1u);
+  EXPECT_EQ(sim.subnet(tunnel2).counters.frames_sent, 0u);
+}
+
+TEST_F(TunnelFixture, PrimaryTunnelFailureFallsBackToBackup) {
+  sim.SetSubnetUp(tunnel1, false);
+  // The echo keepalive times out, the island re-joins, and the ranking
+  // must pick tunnel #2.
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+  const FibEntry* entry = domain->router(island).fib().Find(kGroup);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(entry->HasParent());
+  EXPECT_EQ(entry->parent_vif, 1);  // the backup
+
+  source->SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(member->ReceivedCount(kGroup), 1u);
+}
+
+TEST_F(TunnelFixture, BothTunnelsDownGivesUpCleanly) {
+  sim.SetSubnetUp(tunnel1, false);
+  sim.SetSubnetUp(tunnel2, false);
+  sim.RunUntil(sim.Now() + 400 * kSecond);
+  EXPECT_FALSE(domain->router(island).IsOnTree(kGroup));
+  EXPECT_GE(domain->router(island).stats().reconnects_failed, 1u);
+}
+
+TEST(TunnelRanking, PhysicalInterfaceWithoutRemoteUsesNeighbor) {
+  // A ranked *physical* interface (no configured remote): the next hop
+  // is the lowest-addressed neighbouring router on that subnet — the
+  // spec's mixed `phys native` rows in the section 5.2 example table.
+  Simulator sim{1};
+  netsim::Topology topo;
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", true);
+  topo.routers = {a, b, c};
+  topo.nodes = {{"a", a}, {"b", b}, {"c", c}};
+  const SubnetId shared = sim.AddSubnet(
+      "shared", SubnetAddress::FromPrefix(Ipv4Address(10, 80, 0, 0), 16));
+  sim.Attach(a, shared);
+  sim.Attach(b, shared);
+  sim.Attach(c, shared);
+  const SubnetId lan_a = sim.AddSubnet(
+      "lanA", SubnetAddress::FromPrefix(Ipv4Address(10, 81, 0, 0), 16));
+  const SubnetId lan_c = sim.AddSubnet(
+      "lanC", SubnetAddress::FromPrefix(Ipv4Address(10, 82, 0, 0), 16));
+  sim.Attach(a, lan_a);
+  sim.Attach(c, lan_c);
+  topo.subnets = {{"shared", shared}, {"lanA", lan_a}, {"lanC", lan_c}};
+
+  CbtDomain domain(sim, topo);
+  const Ipv4Address core_addr = domain.RegisterGroup(kGroup, {c}).front();
+  // Rank a's shared interface (vif 0) for the core, with NO AddTunnel:
+  // the router derives the neighbour itself. Note the core c IS on the
+  // shared subnet, so the neighbour resolution short-circuits to it.
+  auto& config = domain.router(a).tunnel_config();
+  config.SetCoreRanking(core_addr, {0});
+  domain.Start();
+  sim.RunUntil(kSecond);
+
+  auto& m = domain.AddHost(lan_a, "m");
+  m.JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  ASSERT_TRUE(domain.router(a).IsOnTree(kGroup));
+  EXPECT_EQ(sim.FindNodeByAddress(
+                domain.router(a).fib().Find(kGroup)->parent_address),
+            c);
+
+  auto& src = domain.AddHost(lan_c, "s");
+  src.SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(m.ReceivedCount(kGroup), 1u);
+}
+
+TEST(MixedMode, NativeDomainWithOneCbtLeg) {
+  // Line r0 - r1 - r2 (core at r2); the r0-r1 link is a CBT-mode tunnel,
+  // r1-r2 stays native. A packet from behind r2 must cross r1-r0
+  // encapsulated and be delivered natively on r0's LAN.
+  Simulator sim{1};
+  Topology topo = netsim::MakeLine(sim, 3);
+  CbtDomain domain(sim, topo);
+  domain.RegisterGroup(kGroup, {topo.routers[2]});
+
+  // vif indexing in MakeLine: r0's vif0 = link to r1; r1's vif0 = link to
+  // r0, vif1 = link to r2.
+  domain.router(topo.routers[0])
+      .tunnel_config()
+      .SetVifMode(0, VifMode::kCbtTunnel);
+  domain.router(topo.routers[1])
+      .tunnel_config()
+      .SetVifMode(0, VifMode::kCbtTunnel);
+
+  domain.Start();
+  sim.RunUntil(kSecond);
+  auto& member = domain.AddHost(topo.router_lans[0], "m");
+  auto& src = domain.AddHost(topo.router_lans[2], "s");
+  member.JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+
+  src.SendToGroup(kGroup, kPayload);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(member.ReceivedCount(kGroup), 1u);
+  // r1 encapsulated toward r0; r0 decapsulated onto its member LAN.
+  EXPECT_GE(domain.router(topo.routers[1]).stats().data_encapsulated, 1u);
+  EXPECT_GE(domain.router(topo.routers[0]).stats().data_decapsulated, 1u);
+}
+
+}  // namespace
+}  // namespace cbt::core

@@ -1,0 +1,85 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace cbt {
+namespace {
+
+TEST(BufferWriter, WritesBigEndian) {
+  BufferWriter w;
+  w.WriteU8(0x01);
+  w.WriteU16(0x0203);
+  w.WriteU32(0x04050607);
+  const auto view = w.View();
+  ASSERT_EQ(view.size(), 7u);
+  const std::uint8_t expected[] = {1, 2, 3, 4, 5, 6, 7};
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(view[i], expected[i]) << i;
+}
+
+TEST(BufferWriter, WritesAddress) {
+  BufferWriter w;
+  w.WriteAddress(Ipv4Address(192, 168, 1, 42));
+  const auto view = w.View();
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[0], 192);
+  EXPECT_EQ(view[1], 168);
+  EXPECT_EQ(view[2], 1);
+  EXPECT_EQ(view[3], 42);
+}
+
+TEST(BufferWriter, PatchU16OverwritesInPlace) {
+  BufferWriter w;
+  w.WriteU32(0);
+  w.PatchU16(1, 0xBEEF);
+  const auto view = w.View();
+  EXPECT_EQ(view[0], 0x00);
+  EXPECT_EQ(view[1], 0xBE);
+  EXPECT_EQ(view[2], 0xEF);
+  EXPECT_EQ(view[3], 0x00);
+}
+
+TEST(BufferReader, RoundTripsAllWidths) {
+  BufferWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xCDEF);
+  w.WriteU32(0x01234567);
+  w.WriteAddress(Ipv4Address(10, 0, 0, 1));
+
+  BufferReader r(w.View());
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU16(), 0xCDEF);
+  EXPECT_EQ(r.ReadU32(), 0x01234567u);
+  EXPECT_EQ(r.ReadAddress(), Ipv4Address(10, 0, 0, 1));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferReader, UnderrunSetsErrorAndReturnsZero) {
+  const std::uint8_t bytes[] = {0x12};
+  BufferReader r(bytes);
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay zero and safe.
+  EXPECT_EQ(r.ReadU8(), 0u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferReader, ReadBytesReturnsViewAndAdvances) {
+  BufferWriter w;
+  w.WriteU32(0xA1B2C3D4);
+  BufferReader r(w.View());
+  const auto span = r.ReadBytes(2);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0], 0xA1);
+  EXPECT_EQ(r.ReadU16(), 0xC3D4);
+}
+
+TEST(BufferReader, SkipPastEndFails) {
+  const std::uint8_t bytes[] = {1, 2, 3};
+  BufferReader r(bytes);
+  r.Skip(4);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace cbt

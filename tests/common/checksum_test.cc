@@ -1,0 +1,69 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace cbt {
+namespace {
+
+TEST(InternetChecksum, Rfc1071WorkedExample) {
+  // The classic example from RFC 1071 section 3.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> 0xddf2; ~ = 0x220d.
+  EXPECT_EQ(InternetChecksum(data), 0x220D);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // 0x0102 + 0x0300 = 0x0402 -> ~ = 0xFBFD.
+  EXPECT_EQ(InternetChecksum(data), 0xFBFD);
+}
+
+TEST(InternetChecksum, AllZeroGivesAllOnes) {
+  const std::vector<std::uint8_t> zeros(20, 0);
+  EXPECT_EQ(InternetChecksum(zeros), 0xFFFF);
+}
+
+TEST(InternetChecksum, EmbeddedChecksumVerifies) {
+  // Build a buffer, embed its checksum, and check the receive-side rule.
+  BufferWriter w;
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU16(0);  // checksum slot
+  w.WriteU32(0x12345678);
+  const std::uint16_t sum = InternetChecksum(w.View());
+  w.PatchU16(4, sum);
+  EXPECT_TRUE(VerifyInternetChecksum(w.View()));
+}
+
+TEST(InternetChecksum, CorruptionDetected) {
+  BufferWriter w;
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU16(0);
+  w.WriteU32(0x12345678);
+  w.PatchU16(4, InternetChecksum(w.View()));
+  auto bytes = std::move(w).Take();
+  bytes[0] ^= 0x40;
+  EXPECT_FALSE(VerifyInternetChecksum(bytes));
+}
+
+TEST(InternetChecksum, SingleBitFlipsAlwaysDetected) {
+  BufferWriter w;
+  for (int i = 0; i < 8; ++i) w.WriteU32(0x01020304u * (unsigned)(i + 1));
+  w.WriteU16(0);
+  w.PatchU16(32, InternetChecksum(w.View()));
+  const auto bytes = std::move(w).Take();
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = bytes;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(VerifyInternetChecksum(corrupted))
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbt

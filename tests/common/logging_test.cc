@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cbt {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::SetSink([this](LogLevel level, const std::string& msg) {
+      captured.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    Logger::SetSink(nullptr);
+    Logger::SetLevel(LogLevel::kOff);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::SetLevel(LogLevel::kWarning);
+  CBT_DEBUG("hidden %d", 1);
+  CBT_INFO("hidden too");
+  CBT_WARN("visible %s", "warning");
+  CBT_ERROR("visible error");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].second, "visible warning");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  Logger::SetLevel(LogLevel::kOff);
+  CBT_ERROR("nope");
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingTest, FormatHandlesArguments) {
+  Logger::SetLevel(LogLevel::kTrace);
+  CBT_TRACE("x=%d s=%s f=%.1f", 42, "str", 2.5);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].second, "x=42 s=str f=2.5");
+}
+
+TEST_F(LoggingTest, ArgumentsNotEvaluatedWhenDisabled) {
+  Logger::SetLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  CBT_DEBUG("val %d", expensive());
+  EXPECT_EQ(evaluations, 0);
+  CBT_ERROR("val %d", expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace cbt

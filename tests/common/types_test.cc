@@ -1,0 +1,84 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace cbt {
+namespace {
+
+TEST(Ipv4Address, ParseAndPrintRoundTrip) {
+  const auto addr = Ipv4Address::Parse("128.16.8.117");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->ToString(), "128.16.8.117");
+  EXPECT_EQ(addr->bits(), (128u << 24) | (16u << 16) | (8u << 8) | 117u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4x").has_value());
+}
+
+TEST(Ipv4Address, MulticastClassD) {
+  EXPECT_TRUE(Ipv4Address(224, 0, 0, 1).IsMulticast());
+  EXPECT_TRUE(Ipv4Address(239, 255, 255, 255).IsMulticast());
+  EXPECT_FALSE(Ipv4Address(223, 255, 255, 255).IsMulticast());
+  EXPECT_FALSE(Ipv4Address(240, 0, 0, 0).IsMulticast());
+}
+
+TEST(Ipv4Address, LinkLocalMulticast) {
+  EXPECT_TRUE(kAllSystemsGroup.IsLinkLocalMulticast());
+  EXPECT_TRUE(kAllRoutersGroup.IsLinkLocalMulticast());
+  EXPECT_TRUE(kAllCbtRoutersGroup.IsLinkLocalMulticast());
+  EXPECT_FALSE(Ipv4Address(224, 0, 1, 1).IsLinkLocalMulticast());
+  EXPECT_FALSE(Ipv4Address(239, 1, 2, 3).IsLinkLocalMulticast());
+}
+
+TEST(Ipv4Address, OrderingIsNumeric) {
+  // The spec's elections pick the lowest-addressed router; ordering must
+  // be well-defined.
+  EXPECT_LT(Ipv4Address(10, 4, 0, 1), Ipv4Address(10, 4, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(SubnetAddress, ContainsMatchesPrefix) {
+  const auto subnet =
+      SubnetAddress::FromPrefix(Ipv4Address(10, 4, 0, 0), 16);
+  EXPECT_TRUE(subnet.Contains(Ipv4Address(10, 4, 0, 1)));
+  EXPECT_TRUE(subnet.Contains(Ipv4Address(10, 4, 255, 254)));
+  EXPECT_FALSE(subnet.Contains(Ipv4Address(10, 5, 0, 1)));
+}
+
+TEST(SubnetAddress, NetworkIsMasked) {
+  const SubnetAddress subnet(Ipv4Address(10, 4, 9, 7), 0xFFFF0000u);
+  EXPECT_EQ(subnet.network(), Ipv4Address(10, 4, 0, 0));
+}
+
+TEST(SubnetAddress, HostAddressComposes) {
+  const auto subnet = SubnetAddress::FromPrefix(Ipv4Address(10, 4, 0, 0), 16);
+  EXPECT_EQ(subnet.HostAddress(3), Ipv4Address(10, 4, 0, 3));
+}
+
+TEST(SubnetAddress, ToStringShowsPrefixLength) {
+  EXPECT_EQ(SubnetAddress::FromPrefix(Ipv4Address(10, 4, 0, 0), 16).ToString(),
+            "10.4.0.0/16");
+  EXPECT_EQ(SubnetAddress::FromPrefix(Ipv4Address(10, 255, 0, 4), 30).ToString(),
+            "10.255.0.4/30");
+}
+
+TEST(StrongId, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.IsValid());
+  EXPECT_TRUE(NodeId(0).IsValid());
+}
+
+TEST(FormatSimTime, RendersSecondsAndMicros) {
+  EXPECT_EQ(FormatSimTime(0), "0.000000s");
+  EXPECT_EQ(FormatSimTime(1500000), "1.500000s");
+  EXPECT_EQ(FormatSimTime(90 * kSecond + 7), "90.000007s");
+}
+
+}  // namespace
+}  // namespace cbt

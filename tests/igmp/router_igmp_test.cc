@@ -1,0 +1,181 @@
+#include "igmp/router_igmp.h"
+
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::igmp {
+namespace {
+
+using core::CbtDomain;
+using netsim::MakeFigure1;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+
+class IgmpFixture : public ::testing::Test {
+ protected:
+  IgmpFixture() : topo(MakeFigure1(sim)), domain(sim, topo) {
+    domain.RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
+    domain.Start();
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  CbtDomain domain;
+};
+
+TEST_F(IgmpFixture, SoleRouterIsQuerier) {
+  sim.RunUntil(30 * kSecond);
+  // R1 is the only router on S1 -> it must be querier there.
+  auto& r1 = domain.router("R1");
+  VifIndex s1_vif = kInvalidVif;
+  for (const auto& iface : sim.node(topo.node("R1")).interfaces) {
+    if (iface.subnet == topo.subnet("S1")) s1_vif = iface.vif;
+  }
+  ASSERT_NE(s1_vif, kInvalidVif);
+  EXPECT_TRUE(r1.igmp().IsQuerier(s1_vif));
+}
+
+TEST_F(IgmpFixture, LowestAddressedRouterWinsS4Election) {
+  sim.RunUntil(60 * kSecond);
+  // S4 hosts R6 (10.4.0.1), R2 (.2), R5 (.3): R6 must win; the others
+  // yield (section 2.3).
+  const auto vif_on = [&](const char* router) {
+    VifIndex vif = kInvalidVif;
+    for (const auto& iface : sim.node(topo.node(router)).interfaces) {
+      if (iface.subnet == topo.subnet("S4")) vif = iface.vif;
+    }
+    return vif;
+  };
+  EXPECT_TRUE(domain.router("R6").igmp().IsQuerier(vif_on("R6")));
+  EXPECT_FALSE(domain.router("R2").igmp().IsQuerier(vif_on("R2")));
+  EXPECT_FALSE(domain.router("R5").igmp().IsQuerier(vif_on("R5")));
+  // Everyone agrees the querier's address is R6's S4 address.
+  const Ipv4Address r6_s4 =
+      sim.interface(topo.node("R6"), vif_on("R6")).address;
+  EXPECT_EQ(domain.router("R2").igmp().QuerierAddress(vif_on("R2")), r6_s4);
+}
+
+TEST_F(IgmpFixture, MembershipTrackedAfterReport) {
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(5 * kSecond);
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+  // Passive tracking: non-querier routers on S4 see B's reports too.
+  domain.host("B").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  EXPECT_TRUE(domain.router("R2").igmp().AnyMembers(kGroup));
+  EXPECT_TRUE(domain.router("R5").igmp().AnyMembers(kGroup));
+  EXPECT_TRUE(domain.router("R6").igmp().AnyMembers(kGroup));
+}
+
+TEST_F(IgmpFixture, MembershipRefreshedByQueries) {
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(5 * kSecond);
+  // Far beyond the (2*60+10)s membership timeout: periodic general queries
+  // keep eliciting reports, so presence must persist.
+  sim.RunUntil(500 * kSecond);
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+}
+
+TEST_F(IgmpFixture, LeaveTriggersFastExpiry) {
+  domain.host("A").JoinGroup(kGroup);
+  sim.RunUntil(5 * kSecond);
+  ASSERT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+
+  const SimTime leave_time = sim.Now();
+  domain.host("A").LeaveGroup(kGroup);
+  // Last-member query timeout is ~3s, far below the 130s general timeout.
+  sim.RunUntil(leave_time + 10 * kSecond);
+  EXPECT_FALSE(domain.router("R1").igmp().AnyMembers(kGroup));
+}
+
+TEST_F(IgmpFixture, LeaveIgnoredWhileOtherMembersRemain) {
+  auto& a = domain.host("A");
+  auto& a2 = domain.AddHost(topo.subnet("S1"), "A2");
+  a.JoinGroup(kGroup);
+  a2.JoinGroup(kGroup);
+  sim.RunUntil(5 * kSecond);
+
+  a.LeaveGroup(kGroup);
+  // A2 answers the group-specific query, so presence persists.
+  sim.RunUntil(30 * kSecond);
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+}
+
+TEST_F(IgmpFixture, QuerierTakeoverAfterSilence) {
+  sim.RunUntil(10 * kSecond);
+  const auto vif_on = [&](const char* router) {
+    VifIndex vif = kInvalidVif;
+    for (const auto& iface : sim.node(topo.node(router)).interfaces) {
+      if (iface.subnet == topo.subnet("S4")) vif = iface.vif;
+    }
+    return vif;
+  };
+  ASSERT_TRUE(domain.router("R6").igmp().IsQuerier(vif_on("R6")));
+  ASSERT_FALSE(domain.router("R2").igmp().IsQuerier(vif_on("R2")));
+
+  // R6 goes silent: after OtherQuerierPresentTimeout (2*60+5 s) a
+  // remaining router must take over querier (and hence D-DR) duty.
+  sim.SetNodeUp(topo.node("R6"), false);
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+  EXPECT_TRUE(domain.router("R2").igmp().IsQuerier(vif_on("R2")) ||
+              domain.router("R5").igmp().IsQuerier(vif_on("R5")));
+
+  // The new querier is the new D-DR: a fresh member join must work.
+  domain.host("B").JoinGroup(kGroup);
+  sim.RunUntil(sim.Now() + 30 * kSecond);
+  EXPECT_TRUE(domain.router("R2").IsOnTree(kGroup) ||
+              domain.router("R5").IsOnTree(kGroup));
+}
+
+TEST_F(IgmpFixture, ReturningLowerQuerierReclaimsDuty) {
+  sim.RunUntil(10 * kSecond);
+  const auto vif_on = [&](const char* router) {
+    VifIndex vif = kInvalidVif;
+    for (const auto& iface : sim.node(topo.node(router)).interfaces) {
+      if (iface.subnet == topo.subnet("S4")) vif = iface.vif;
+    }
+    return vif;
+  };
+  sim.SetNodeUp(topo.node("R6"), false);
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+  // (A dead router's internal flags are unobservable on the wire; what
+  // matters is that a survivor took over.)
+  ASSERT_TRUE(domain.router("R2").igmp().IsQuerier(vif_on("R2")) ||
+              domain.router("R5").igmp().IsQuerier(vif_on("R5")));
+
+  // R6 (lowest address) returns and must win the election back when the
+  // interim querier hears its lower-addressed queries.
+  sim.SetNodeUp(topo.node("R6"), true);
+  sim.RunUntil(sim.Now() + 300 * kSecond);
+  EXPECT_TRUE(domain.router("R6").igmp().IsQuerier(vif_on("R6")));
+  EXPECT_FALSE(domain.router("R2").igmp().IsQuerier(vif_on("R2")));
+  EXPECT_FALSE(domain.router("R5").igmp().IsQuerier(vif_on("R5")));
+}
+
+TEST_F(IgmpFixture, MemberVifsListsOnlyMemberSubnets) {
+  domain.host("G").JoinGroup(kGroup);  // S10, served by R8
+  sim.RunUntil(5 * kSecond);
+  auto& r8 = domain.router("R8");
+  const auto vifs = r8.igmp().MemberVifs(kGroup);
+  ASSERT_EQ(vifs.size(), 1u);
+  EXPECT_EQ(sim.interface(topo.node("R8"), vifs[0]).subnet,
+            topo.subnet("S10"));
+  EXPECT_TRUE(r8.igmp().HasMembers(vifs[0], kGroup));
+}
+
+TEST_F(IgmpFixture, PresentGroupsAggregates) {
+  const Ipv4Address other(239, 7, 7, 7);
+  domain.RegisterGroup(other, {topo.node("R4")});
+  domain.host("A").JoinGroup(kGroup);
+  domain.host("C").JoinGroup(other);  // also behind R1 (S3)
+  sim.RunUntil(5 * kSecond);
+  const auto groups = domain.router("R1").igmp().PresentGroups();
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cbt::igmp

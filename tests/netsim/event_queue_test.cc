@@ -1,0 +1,86 @@
+#include "netsim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cbt::netsim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  SimTime clock = 0;
+  while (q.RunNext(clock)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock, 30);
+}
+
+TEST(EventQueue, SimultaneousEventsRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(42, [&order, i] { order.push_back(i); });
+  }
+  SimTime clock = 0;
+  while (q.RunNext(clock)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.ScheduleAt(5, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  SimTime clock = 0;
+  while (q.RunNext(clock)) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(5, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, CancelAfterRunReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(5, [] {});
+  SimTime clock = 0;
+  q.RunNext(clock);
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  SimTime clock = 0;
+  q.ScheduleAt(10, [&] {
+    fire_times.push_back(clock);
+    q.ScheduleAt(20, [&] { fire_times.push_back(clock); });
+  });
+  while (q.RunNext(clock)) {
+  }
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  const EventId a = q.ScheduleAt(1, [] {});
+  q.ScheduleAt(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.NextTime(), 2);
+}
+
+}  // namespace
+}  // namespace cbt::netsim

@@ -1,0 +1,278 @@
+#include "netsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/timer.h"
+
+namespace cbt::netsim {
+namespace {
+
+/// Records every datagram handed to it.
+class RecordingAgent : public NetworkAgent {
+ public:
+  struct Delivery {
+    VifIndex vif;
+    Ipv4Address link_dst;
+    std::vector<std::uint8_t> bytes;
+  };
+  void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
+                  std::span<const std::uint8_t> datagram) override {
+    (void)link_src;
+    deliveries.push_back({vif, link_dst,
+                          std::vector<std::uint8_t>(datagram.begin(),
+                                                    datagram.end())});
+  }
+  std::vector<Delivery> deliveries;
+};
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  Simulator sim{1};
+};
+
+TEST_F(SimulatorTest, UnicastReachesOnlyTheAddressee) {
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", true);
+  sim.Attach(a, lan);
+  sim.Attach(b, lan);
+  sim.Attach(c, lan);
+  RecordingAgent ra, rb, rc;
+  sim.SetAgent(a, &ra);
+  sim.SetAgent(b, &rb);
+  sim.SetAgent(c, &rc);
+
+  const Ipv4Address b_addr = sim.PrimaryAddress(b);
+  ASSERT_TRUE(sim.SendDatagram(a, 0, b_addr, {1, 2, 3}));
+  sim.RunUntilIdle();
+
+  EXPECT_EQ(ra.deliveries.size(), 0u);
+  ASSERT_EQ(rb.deliveries.size(), 1u);
+  EXPECT_EQ(rc.deliveries.size(), 0u);
+  EXPECT_EQ(rb.deliveries[0].bytes, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(SimulatorTest, MulticastReachesEveryOtherAttachment) {
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", false);
+  sim.Attach(a, lan);
+  sim.Attach(b, lan);
+  sim.Attach(c, lan);
+  RecordingAgent ra, rb, rc;
+  sim.SetAgent(a, &ra);
+  sim.SetAgent(b, &rb);
+  sim.SetAgent(c, &rc);
+
+  sim.SendDatagram(a, 0, kAllSystemsGroup, {9});
+  sim.RunUntilIdle();
+
+  EXPECT_EQ(ra.deliveries.size(), 0u);  // no self-delivery
+  EXPECT_EQ(rb.deliveries.size(), 1u);
+  EXPECT_EQ(rc.deliveries.size(), 1u);
+}
+
+TEST_F(SimulatorTest, DeliveryHonoursSubnetDelay) {
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16),
+      7 * kMillisecond);
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Attach(a, lan);
+  sim.Attach(b, lan);
+  RecordingAgent rb;
+  sim.SetAgent(b, &rb);
+
+  SimTime delivered_at = -1;
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1});
+  sim.RunUntil(6 * kMillisecond);
+  EXPECT_TRUE(rb.deliveries.empty());
+  sim.RunUntil(7 * kMillisecond);
+  ASSERT_EQ(rb.deliveries.size(), 1u);
+  (void)delivered_at;
+}
+
+TEST_F(SimulatorTest, DownSubnetDropsFrames) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const SubnetId link = sim.Connect(a, b);
+  RecordingAgent rb;
+  sim.SetAgent(b, &rb);
+
+  sim.SetSubnetUp(link, false);
+  EXPECT_FALSE(sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1}));
+  sim.RunUntilIdle();
+  EXPECT_TRUE(rb.deliveries.empty());
+  EXPECT_EQ(sim.subnet(link).counters.frames_dropped, 1u);
+}
+
+TEST_F(SimulatorTest, FrameInFlightDiesWithReceiverInterface) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Connect(a, b, 10 * kMillisecond);
+  RecordingAgent rb;
+  sim.SetAgent(b, &rb);
+
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1});
+  sim.Schedule(5 * kMillisecond, [&] { sim.SetInterfaceUp(b, 0, false); });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(rb.deliveries.empty());
+}
+
+TEST_F(SimulatorTest, DownNodeNeitherSendsNorReceives) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Connect(a, b);
+  RecordingAgent rb;
+  sim.SetAgent(b, &rb);
+
+  sim.SetNodeUp(b, false);
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1});
+  sim.RunUntilIdle();
+  EXPECT_TRUE(rb.deliveries.empty());
+
+  sim.SetNodeUp(a, false);
+  EXPECT_FALSE(sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1}));
+}
+
+TEST_F(SimulatorTest, LossRateDropsSomeFrames) {
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Attach(a, lan);
+  sim.Attach(b, lan);
+  RecordingAgent rb;
+  sim.SetAgent(b, &rb);
+  sim.SetSubnetLossRate(lan, 0.5);
+
+  for (int i = 0; i < 200; ++i) {
+    sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {static_cast<uint8_t>(i)});
+  }
+  sim.RunUntilIdle();
+  EXPECT_GT(rb.deliveries.size(), 50u);
+  EXPECT_LT(rb.deliveries.size(), 150u);
+}
+
+TEST_F(SimulatorTest, CountersTrackTransmissions) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const SubnetId link = sim.Connect(a, b);
+  RecordingAgent rb;
+  sim.SetAgent(b, &rb);
+
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1, 2, 3, 4});
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.subnet(link).counters.frames_sent, 1u);
+  EXPECT_EQ(sim.subnet(link).counters.bytes_sent, 4u);
+  sim.ResetCounters();
+  EXPECT_EQ(sim.subnet(link).counters.frames_sent, 0u);
+}
+
+TEST_F(SimulatorTest, FrameObserverSeesEveryTransmission) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Connect(a, b);
+  int observed = 0;
+  sim.SetFrameObserver([&](const FrameEvent& ev) {
+    ++observed;
+    EXPECT_EQ(ev.sender, a);
+    EXPECT_EQ(ev.bytes, 2u);
+  });
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1, 2});
+  sim.RunUntilIdle();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST_F(SimulatorTest, ConnectAssignsDistinctP2pSubnets) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", true);
+  const SubnetId ab = sim.Connect(a, b);
+  const SubnetId bc = sim.Connect(b, c);
+  EXPECT_NE(sim.subnet(ab).address, sim.subnet(bc).address);
+  EXPECT_FALSE(sim.subnet(ab).multi_access);
+  // Addresses of the two ends differ and are contained in the subnet.
+  const auto& s = sim.subnet(ab);
+  EXPECT_TRUE(s.address.Contains(sim.PrimaryAddress(a)));
+}
+
+TEST_F(SimulatorTest, TopologyEpochBumpsOnEveryChange) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const SubnetId link = sim.Connect(a, b);
+  const auto e0 = sim.topology_epoch();
+  sim.SetSubnetUp(link, false);
+  EXPECT_GT(sim.topology_epoch(), e0);
+  const auto e1 = sim.topology_epoch();
+  sim.SetSubnetUp(link, false);  // no-op: already down
+  EXPECT_EQ(sim.topology_epoch(), e1);
+  sim.SetSubnetUp(link, true);
+  sim.SetInterfaceUp(a, 0, false);
+  sim.SetNodeUp(b, false);
+  EXPECT_GE(sim.topology_epoch(), e1 + 3);
+}
+
+TEST_F(SimulatorTest, BroadcastAddressReachesAllAttachments) {
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", false);
+  sim.Attach(a, lan);
+  sim.Attach(b, lan);
+  sim.Attach(c, lan);
+  RecordingAgent rb, rc;
+  sim.SetAgent(b, &rb);
+  sim.SetAgent(c, &rc);
+  sim.SendDatagram(a, 0, Ipv4Address(0xFFFFFFFFu), {1});
+  sim.RunUntilIdle();
+  EXPECT_EQ(rb.deliveries.size(), 1u);
+  EXPECT_EQ(rc.deliveries.size(), 1u);
+}
+
+TEST_F(SimulatorTest, LinkSourceReportedToAgent) {
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Connect(a, b);
+  struct SrcAgent : NetworkAgent {
+    Ipv4Address seen_src;
+    void OnDatagram(VifIndex, Ipv4Address link_src, Ipv4Address,
+                    std::span<const std::uint8_t>) override {
+      seen_src = link_src;
+    }
+  } agent;
+  sim.SetAgent(b, &agent);
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1});
+  sim.RunUntilIdle();
+  EXPECT_EQ(agent.seen_src, sim.PrimaryAddress(a));
+}
+
+TEST_F(SimulatorTest, TimerCancelsOnReschedule) {
+  int fired = 0;
+  Timer t(sim);
+  t.Schedule(10, [&] { fired = 1; });
+  t.Schedule(20, [&] { fired = 2; });  // replaces the first
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(SimulatorTest, FindNodeByAddressAndName) {
+  const NodeId a = sim.AddNode("alpha", true);
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  sim.Attach(a, lan);
+  EXPECT_EQ(sim.FindNodeByAddress(Ipv4Address(10, 1, 0, 1)), a);
+  EXPECT_EQ(sim.FindNodeByName("alpha"), a);
+  EXPECT_FALSE(sim.FindNodeByAddress(Ipv4Address(10, 9, 0, 1)).has_value());
+  EXPECT_FALSE(sim.FindNodeByName("beta").has_value());
+}
+
+}  // namespace
+}  // namespace cbt::netsim

@@ -1,0 +1,98 @@
+#include "packet/cbt_header.h"
+
+#include <gtest/gtest.h>
+
+namespace cbt::packet {
+namespace {
+
+CbtDataHeader Sample() {
+  CbtDataHeader h;
+  h.on_tree = false;
+  h.ip_ttl = 31;
+  h.group = Ipv4Address(239, 1, 2, 3);
+  h.core = Ipv4Address(10, 5, 0, 1);
+  h.origin = Ipv4Address(10, 1, 0, 100);
+  h.flow_id = 0xCAFEBABE;
+  return h;
+}
+
+TEST(CbtDataHeader, RoundTrip) {
+  const auto bytes = Sample().EncodeToBytes();
+  ASSERT_EQ(bytes.size(), kCbtDataHeaderSize);
+  BufferReader r(bytes);
+  const auto decoded = CbtDataHeader::Decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->on_tree);
+  EXPECT_EQ(decoded->ip_ttl, 31);
+  EXPECT_EQ(decoded->group, Ipv4Address(239, 1, 2, 3));
+  EXPECT_EQ(decoded->core, Ipv4Address(10, 5, 0, 1));
+  EXPECT_EQ(decoded->origin, Ipv4Address(10, 1, 0, 100));
+  EXPECT_EQ(decoded->flow_id, 0xCAFEBABEu);
+}
+
+TEST(CbtDataHeader, OnTreeBitSurvives) {
+  CbtDataHeader h = Sample();
+  h.on_tree = true;
+  const auto bytes = h.EncodeToBytes();
+  // Byte 3 carries the on-tree marker, 0xff when set (section 7).
+  EXPECT_EQ(bytes[3], kOnTree);
+  BufferReader r(bytes);
+  const auto decoded = CbtDataHeader::Decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->on_tree);
+}
+
+TEST(CbtDataHeader, ChecksumCorruptionRejected) {
+  auto bytes = Sample().EncodeToBytes();
+  bytes[12] ^= 0x01;  // flip a bit inside the group address
+  BufferReader r(bytes);
+  EXPECT_FALSE(CbtDataHeader::Decode(r).has_value());
+}
+
+TEST(CbtDataHeader, InvalidOnTreeValueRejected) {
+  auto bytes = Sample().EncodeToBytes();
+  // Set on-tree byte to a non-{0x00, 0xff} value and fix up the checksum.
+  bytes[3] = 0x5A;
+  bytes[4] = bytes[5] = 0;
+  std::uint16_t sum = 0;
+  {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i + 1 < bytes.size(); i += 2) {
+      acc += (std::uint32_t{bytes[i]} << 8) | bytes[i + 1];
+    }
+    while (acc >> 16) acc = (acc & 0xFFFF) + (acc >> 16);
+    sum = static_cast<std::uint16_t>(~acc);
+  }
+  bytes[4] = static_cast<std::uint8_t>(sum >> 8);
+  bytes[5] = static_cast<std::uint8_t>(sum);
+  BufferReader r(bytes);
+  EXPECT_FALSE(CbtDataHeader::Decode(r).has_value());
+}
+
+TEST(CbtDataHeader, NonMulticastGroupRejected) {
+  CbtDataHeader h = Sample();
+  h.group = Ipv4Address(10, 0, 0, 1);
+  const auto bytes = h.EncodeToBytes();
+  BufferReader r(bytes);
+  EXPECT_FALSE(CbtDataHeader::Decode(r).has_value());
+}
+
+TEST(CbtDataHeader, TruncationRejected) {
+  const auto bytes = Sample().EncodeToBytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    BufferReader r(std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_FALSE(CbtDataHeader::Decode(r).has_value()) << cut;
+  }
+}
+
+TEST(CbtDataHeader, DecodeAdvancesReaderExactly) {
+  auto bytes = Sample().EncodeToBytes();
+  bytes.push_back(0xEE);  // trailing payload byte
+  BufferReader r(bytes);
+  ASSERT_TRUE(CbtDataHeader::Decode(r).has_value());
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_EQ(r.ReadU8(), 0xEE);
+}
+
+}  // namespace
+}  // namespace cbt::packet

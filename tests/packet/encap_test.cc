@@ -1,0 +1,141 @@
+#include "packet/encap.h"
+
+#include <gtest/gtest.h>
+
+namespace cbt::packet {
+namespace {
+
+TEST(Encap, ControlDatagramRoundTrip) {
+  ControlPacket pkt;
+  pkt.type = ControlType::kJoinRequest;
+  pkt.group = Ipv4Address(239, 1, 1, 1);
+  pkt.origin = Ipv4Address(10, 1, 0, 1);
+  pkt.target_core = Ipv4Address(10, 9, 0, 1);
+  pkt.cores = {Ipv4Address(10, 9, 0, 1)};
+
+  const auto bytes = BuildControlDatagram(Ipv4Address(10, 1, 0, 1),
+                                          Ipv4Address(10, 2, 0, 1), pkt);
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ip.protocol, IpProtocol::kUdp);
+  const auto control = ExtractControl(*parsed);
+  ASSERT_TRUE(control.has_value());
+  EXPECT_EQ(control->type, ControlType::kJoinRequest);
+  EXPECT_EQ(control->group, Ipv4Address(239, 1, 1, 1));
+}
+
+TEST(Encap, PrimaryAndAuxiliaryPortsSelectedByType) {
+  ControlPacket join;
+  join.type = ControlType::kJoinRequest;
+  join.group = Ipv4Address(239, 1, 1, 1);
+  const auto join_bytes = BuildControlDatagram(Ipv4Address(10, 1, 0, 1),
+                                               Ipv4Address(10, 2, 0, 1), join);
+  // UDP dst port lives at offset 20+2.
+  EXPECT_EQ((join_bytes[22] << 8) | join_bytes[23], kCbtPrimaryPort);
+
+  ControlPacket echo;
+  echo.type = ControlType::kEchoRequest;
+  echo.group = Ipv4Address(239, 1, 1, 1);
+  const auto echo_bytes = BuildControlDatagram(Ipv4Address(10, 1, 0, 1),
+                                               Ipv4Address(10, 2, 0, 1), echo);
+  EXPECT_EQ((echo_bytes[22] << 8) | echo_bytes[23], kCbtAuxiliaryPort);
+}
+
+TEST(Encap, ExtractControlRejectsWrongPort) {
+  ControlPacket pkt;
+  pkt.type = ControlType::kJoinRequest;
+  pkt.group = Ipv4Address(239, 1, 1, 1);
+  auto bytes = BuildControlDatagram(Ipv4Address(10, 1, 0, 1),
+                                    Ipv4Address(10, 2, 0, 1), pkt);
+  bytes[23] = 0x01;  // clobber dst port
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(ExtractControl(*parsed).has_value());
+}
+
+TEST(Encap, IgmpDatagramHasTtlOne) {
+  IgmpMessage msg;
+  msg.type = IgmpType::kMembershipReport;
+  msg.group = Ipv4Address(239, 1, 1, 1);
+  const auto bytes =
+      BuildIgmpDatagram(Ipv4Address(10, 1, 0, 100), msg.group, msg);
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ip.ttl, 1);
+  EXPECT_EQ(parsed->ip.protocol, IpProtocol::kIgmp);
+  const auto igmp = ExtractIgmp(*parsed);
+  ASSERT_TRUE(igmp.has_value());
+  EXPECT_EQ(igmp->group, Ipv4Address(239, 1, 1, 1));
+}
+
+TEST(Encap, CbtModeNestsOriginalDatagramIntact) {
+  // Figure 3: [encaps IP | CBT hdr | original IP | data].
+  const std::vector<std::uint8_t> payload{0xDE, 0xAD};
+  const auto original = BuildAppDatagram(Ipv4Address(10, 10, 0, 100),
+                                         Ipv4Address(239, 1, 1, 1), payload);
+  CbtDataHeader hdr;
+  hdr.group = Ipv4Address(239, 1, 1, 1);
+  hdr.core = Ipv4Address(10, 5, 0, 1);
+  hdr.origin = Ipv4Address(10, 10, 0, 100);
+  hdr.ip_ttl = 64;
+
+  const auto bytes = BuildCbtModeDatagram(Ipv4Address(10, 3, 0, 1),
+                                          Ipv4Address(10, 4, 0, 1), hdr,
+                                          original);
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ip.protocol, IpProtocol::kCbt);
+
+  const auto data = ExtractCbtModeData(*parsed);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->header.group, Ipv4Address(239, 1, 1, 1));
+  EXPECT_EQ(data->header.ip_ttl, 64);
+  // The inner datagram is byte-identical to what the host sent.
+  ASSERT_EQ(data->original_datagram.size(), original.size());
+  EXPECT_TRUE(std::equal(original.begin(), original.end(),
+                         data->original_datagram.begin()));
+}
+
+TEST(Encap, CbtModeRejectsGarbageInnerDatagram) {
+  CbtDataHeader hdr;
+  hdr.group = Ipv4Address(239, 1, 1, 1);
+  hdr.ip_ttl = 4;
+  const std::vector<std::uint8_t> garbage(24, 0xAB);
+  const auto bytes = BuildCbtModeDatagram(Ipv4Address(10, 3, 0, 1),
+                                          Ipv4Address(10, 4, 0, 1), hdr,
+                                          garbage);
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(ExtractCbtModeData(*parsed).has_value());
+}
+
+TEST(Encap, WithDecrementedTtl) {
+  const auto original = BuildAppDatagram(Ipv4Address(10, 1, 0, 9),
+                                         Ipv4Address(239, 1, 1, 1),
+                                         std::vector<std::uint8_t>{1}, 3);
+  const auto once = WithDecrementedTtl(original);
+  ASSERT_TRUE(once.has_value());
+  auto parsed = ParseDatagram(*once);
+  ASSERT_TRUE(parsed.has_value());  // checksum still valid
+  EXPECT_EQ(parsed->ip.ttl, 2);
+
+  const auto twice = WithDecrementedTtl(*once);
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(ParseDatagram(*twice)->ip.ttl, 1);
+
+  // TTL 1 must not be forwarded further.
+  EXPECT_FALSE(WithDecrementedTtl(*twice).has_value());
+}
+
+TEST(Encap, WithTtlForcesValue) {
+  const auto original = BuildAppDatagram(Ipv4Address(10, 1, 0, 9),
+                                         Ipv4Address(239, 1, 1, 1),
+                                         std::vector<std::uint8_t>{1}, 64);
+  const auto forced = WithTtl(original, 1);
+  const auto parsed = ParseDatagram(forced);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ip.ttl, 1);
+}
+
+}  // namespace
+}  // namespace cbt::packet

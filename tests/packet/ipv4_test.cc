@@ -1,0 +1,96 @@
+#include "packet/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace cbt::packet {
+namespace {
+
+Ipv4Header SampleHeader() {
+  Ipv4Header h;
+  h.ttl = 17;
+  h.protocol = IpProtocol::kUdp;
+  h.src = Ipv4Address(10, 1, 0, 1);
+  h.dst = Ipv4Address(10, 2, 0, 1);
+  h.identification = 0x4242;
+  return h;
+}
+
+TEST(Ipv4, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  const auto bytes = BuildDatagram(SampleHeader(), payload);
+  ASSERT_EQ(bytes.size(), kIpv4HeaderSize + payload.size());
+
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ip.ttl, 17);
+  EXPECT_EQ(parsed->ip.protocol, IpProtocol::kUdp);
+  EXPECT_EQ(parsed->ip.src, Ipv4Address(10, 1, 0, 1));
+  EXPECT_EQ(parsed->ip.dst, Ipv4Address(10, 2, 0, 1));
+  EXPECT_EQ(parsed->ip.identification, 0x4242);
+  ASSERT_EQ(parsed->payload.size(), payload.size());
+  EXPECT_EQ(parsed->payload[4], 5);
+}
+
+TEST(Ipv4, HeaderChecksumCorruptionRejected) {
+  auto bytes = BuildDatagram(SampleHeader(), std::vector<std::uint8_t>{1});
+  bytes[8] ^= 0xFF;  // flip TTL without repatching checksum
+  EXPECT_FALSE(ParseDatagram(bytes).has_value());
+}
+
+TEST(Ipv4, PayloadCorruptionIsNotHeaderProblem) {
+  auto bytes = BuildDatagram(SampleHeader(), std::vector<std::uint8_t>{1, 2});
+  bytes.back() ^= 0xFF;  // payload integrity is the upper layer's job
+  EXPECT_TRUE(ParseDatagram(bytes).has_value());
+}
+
+TEST(Ipv4, TruncatedDatagramRejected) {
+  const auto bytes = BuildDatagram(SampleHeader(), std::vector<std::uint8_t>(10));
+  for (std::size_t cut = 0; cut < kIpv4HeaderSize; ++cut) {
+    const std::span<const std::uint8_t> view(bytes.data(), cut);
+    EXPECT_FALSE(ParseDatagram(view).has_value()) << cut;
+  }
+}
+
+TEST(Ipv4, TotalLengthBeyondBufferRejected) {
+  auto bytes = BuildDatagram(SampleHeader(), std::vector<std::uint8_t>(4));
+  bytes.resize(bytes.size() - 2);  // buffer shorter than total_length
+  EXPECT_FALSE(ParseDatagram(bytes).has_value());
+}
+
+TEST(Ipv4, TrailingLinkPaddingIgnored) {
+  auto bytes = BuildDatagram(SampleHeader(), std::vector<std::uint8_t>{7, 8});
+  bytes.push_back(0);  // link-layer padding beyond total_length
+  bytes.push_back(0);
+  const auto parsed = ParseDatagram(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload.size(), 2u);
+}
+
+TEST(Udp, EncodeDecodeRoundTrip) {
+  BufferWriter w;
+  UdpHeader udp{kCbtPrimaryPort, kCbtPrimaryPort};
+  udp.Encode(w, 12);
+  const auto bytes = std::move(w).Take();
+  ASSERT_EQ(bytes.size(), kUdpHeaderSize);
+
+  // Decode requires the declared payload to fit the remaining buffer.
+  std::vector<std::uint8_t> with_payload = bytes;
+  with_payload.resize(kUdpHeaderSize + 12);
+  BufferReader r(with_payload);
+  const auto decoded = UdpHeader::Decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src_port, kCbtPrimaryPort);
+  EXPECT_EQ(decoded->dst_port, kCbtPrimaryPort);
+}
+
+TEST(Udp, LengthOverrunRejected) {
+  BufferWriter w;
+  UdpHeader udp{7777, 7777};
+  udp.Encode(w, 100);  // declares 100 payload bytes
+  auto bytes = std::move(w).Take();
+  BufferReader r(bytes);  // but none present
+  EXPECT_FALSE(UdpHeader::Decode(r).has_value());
+}
+
+}  // namespace
+}  // namespace cbt::packet

@@ -1,0 +1,125 @@
+// Additional routing-substrate coverage: epoch-driven recomputation,
+// longest-prefix resolution, disconnection, and LAN transit behaviour.
+#include <gtest/gtest.h>
+
+#include "netsim/topologies.h"
+#include "routing/route_manager.h"
+
+namespace cbt::routing {
+namespace {
+
+using netsim::MakeLine;
+using netsim::Simulator;
+using netsim::Topology;
+
+TEST(RouteManagerEdge, LongestPrefixWins) {
+  Simulator sim;
+  const NodeId r0 = sim.AddNode("r0", true);
+  const NodeId r1 = sim.AddNode("r1", true);
+  const NodeId r2 = sim.AddNode("r2", true);
+  sim.Connect(r0, r1);
+  sim.Connect(r0, r2);
+  // r1 serves the /16; r2 serves a more-specific /24 inside it.
+  const SubnetId wide = sim.AddSubnet(
+      "wide", SubnetAddress::FromPrefix(Ipv4Address(10, 50, 0, 0), 16));
+  const SubnetId narrow = sim.AddSubnet(
+      "narrow", SubnetAddress::FromPrefix(Ipv4Address(10, 50, 7, 0), 24));
+  sim.Attach(r1, wide);
+  sim.Attach(r2, narrow);
+  RouteManager routes(sim);
+
+  const auto in_narrow = routes.Lookup(r0, Ipv4Address(10, 50, 7, 42));
+  ASSERT_TRUE(in_narrow.has_value());
+  EXPECT_EQ(sim.FindNodeByAddress(in_narrow->next_hop), r2);
+
+  const auto in_wide_only = routes.Lookup(r0, Ipv4Address(10, 50, 8, 42));
+  ASSERT_TRUE(in_wide_only.has_value());
+  EXPECT_EQ(sim.FindNodeByAddress(in_wide_only->next_hop), r1);
+}
+
+TEST(RouteManagerEdge, NoSubnetCoversAddress) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 2);
+  RouteManager routes(sim);
+  EXPECT_FALSE(
+      routes.Lookup(topo.routers[0], Ipv4Address(203, 0, 113, 1)).has_value());
+}
+
+TEST(RouteManagerEdge, EpochChangeRecomputesAutomatically) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 3);
+  RouteManager routes(sim);
+  const Ipv4Address far =
+      sim.subnet(topo.router_lans[2]).address.HostAddress(5);
+  ASSERT_TRUE(routes.Lookup(topo.routers[0], far).has_value());
+
+  // Take the middle hop's interfaces down one by one: every change bumps
+  // the epoch and the next Lookup must see fresh state without any
+  // manual invalidation.
+  sim.SetNodeUp(topo.routers[1], false);
+  EXPECT_FALSE(routes.Lookup(topo.routers[0], far).has_value());
+  sim.SetNodeUp(topo.routers[1], true);
+  EXPECT_TRUE(routes.Lookup(topo.routers[0], far).has_value());
+}
+
+TEST(RouteManagerEdge, PathEmptyWhenDisconnected) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 3);
+  RouteManager routes(sim);
+  sim.SetSubnetUp(topo.subnets.at("link0"), false);
+  EXPECT_TRUE(routes.Path(topo.routers[0], topo.routers[2]).empty());
+  EXPECT_EQ(routes.Distance(topo.routers[0], topo.routers[2]),
+            RouteManager::kInfinity);
+}
+
+TEST(RouteManagerEdge, SelfDistanceIsZero) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 2);
+  RouteManager routes(sim);
+  EXPECT_DOUBLE_EQ(routes.Distance(topo.routers[0], topo.routers[0]), 0.0);
+  const auto path = routes.Path(topo.routers[0], topo.routers[0]);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], topo.routers[0]);
+}
+
+TEST(RouteManagerEdge, LanTransitCountsOneHopPerSubnet) {
+  // Three routers on one LAN: each pair is one hop, not two.
+  Simulator sim;
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", true);
+  const SubnetId lan = sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  sim.Attach(a, lan);
+  sim.Attach(b, lan);
+  sim.Attach(c, lan);
+  RouteManager routes(sim);
+  EXPECT_DOUBLE_EQ(routes.Distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(routes.Distance(a, c), 1.0);
+}
+
+TEST(RouteManagerEdge, DownInterfaceExcludedEvenIfSubnetUp) {
+  Simulator sim;
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  const NodeId c = sim.AddNode("c", true);
+  sim.Connect(a, b);
+  sim.Connect(b, c);
+  sim.Connect(a, c, kMillisecond, /*cost=*/5.0);  // expensive backup
+  RouteManager routes(sim);
+  const auto direct = routes.Lookup(a, sim.PrimaryAddress(c));
+  ASSERT_TRUE(direct.has_value());
+  // Normally via b (cost 2 < 5)... note c's primary address is on the b-c
+  // link, whose subnet a is not attached to.
+  EXPECT_EQ(sim.FindNodeByAddress(direct->next_hop), b);
+
+  // Kill only b's interface toward c (vif 1 on b).
+  sim.SetInterfaceUp(b, 1, false);
+  const auto rerouted = routes.Lookup(a, sim.PrimaryAddress(c));
+  ASSERT_TRUE(rerouted.has_value());
+  EXPECT_EQ(sim.FindNodeByAddress(rerouted->next_hop), c)
+      << "must fall back to the direct expensive link";
+}
+
+}  // namespace
+}  // namespace cbt::routing
