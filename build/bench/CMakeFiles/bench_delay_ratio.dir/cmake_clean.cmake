@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_ratio.dir/delay_ratio.cc.o"
+  "CMakeFiles/bench_delay_ratio.dir/delay_ratio.cc.o.d"
+  "bench_delay_ratio"
+  "bench_delay_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figure1_walkthrough.cc" "bench/CMakeFiles/bench_figure1_walkthrough.dir/figure1_walkthrough.cc.o" "gcc" "bench/CMakeFiles/bench_figure1_walkthrough.dir/figure1_walkthrough.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cbt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cbt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbt/CMakeFiles/cbt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/cbt_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/cbt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cbt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_walkthrough.dir/figure1_walkthrough.cc.o"
+  "CMakeFiles/bench_figure1_walkthrough.dir/figure1_walkthrough.cc.o.d"
+  "bench_figure1_walkthrough"
+  "bench_figure1_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

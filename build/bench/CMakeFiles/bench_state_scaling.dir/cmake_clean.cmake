@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_scaling.dir/state_scaling.cc.o"
+  "CMakeFiles/bench_state_scaling.dir/state_scaling.cc.o.d"
+  "bench_state_scaling"
+  "bench_state_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_concentration.dir/traffic_concentration.cc.o"
+  "CMakeFiles/bench_traffic_concentration.dir/traffic_concentration.cc.o.d"
+  "bench_traffic_concentration"
+  "bench_traffic_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

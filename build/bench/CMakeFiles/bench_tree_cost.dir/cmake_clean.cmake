@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_cost.dir/tree_cost.cc.o"
+  "CMakeFiles/bench_tree_cost.dir/tree_cost.cc.o.d"
+  "bench_tree_cost"
+  "bench_tree_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

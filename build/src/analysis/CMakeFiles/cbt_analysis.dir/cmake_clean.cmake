@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_analysis.dir/table.cc.o"
+  "CMakeFiles/cbt_analysis.dir/table.cc.o.d"
+  "CMakeFiles/cbt_analysis.dir/tree_metrics.cc.o"
+  "CMakeFiles/cbt_analysis.dir/tree_metrics.cc.o.d"
+  "libcbt_analysis.a"
+  "libcbt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dvmrp_domain.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/dvmrp_domain.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/dvmrp_domain.cc.o.d"
+  "/root/repo/src/baselines/dvmrp_message.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/dvmrp_message.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/dvmrp_message.cc.o.d"
+  "/root/repo/src/baselines/dvmrp_router.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/dvmrp_router.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/dvmrp_router.cc.o.d"
+  "/root/repo/src/baselines/mospf_domain.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/mospf_domain.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/mospf_domain.cc.o.d"
+  "/root/repo/src/baselines/mospf_router.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/mospf_router.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/mospf_router.cc.o.d"
+  "/root/repo/src/baselines/rp_tree_domain.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/rp_tree_domain.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/rp_tree_domain.cc.o.d"
+  "/root/repo/src/baselines/rp_tree_router.cc" "src/baselines/CMakeFiles/cbt_baselines.dir/rp_tree_router.cc.o" "gcc" "src/baselines/CMakeFiles/cbt_baselines.dir/rp_tree_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cbt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/cbt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/cbt_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbt/CMakeFiles/cbt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_baselines.dir/dvmrp_domain.cc.o"
+  "CMakeFiles/cbt_baselines.dir/dvmrp_domain.cc.o.d"
+  "CMakeFiles/cbt_baselines.dir/dvmrp_message.cc.o"
+  "CMakeFiles/cbt_baselines.dir/dvmrp_message.cc.o.d"
+  "CMakeFiles/cbt_baselines.dir/dvmrp_router.cc.o"
+  "CMakeFiles/cbt_baselines.dir/dvmrp_router.cc.o.d"
+  "CMakeFiles/cbt_baselines.dir/mospf_domain.cc.o"
+  "CMakeFiles/cbt_baselines.dir/mospf_domain.cc.o.d"
+  "CMakeFiles/cbt_baselines.dir/mospf_router.cc.o"
+  "CMakeFiles/cbt_baselines.dir/mospf_router.cc.o.d"
+  "CMakeFiles/cbt_baselines.dir/rp_tree_domain.cc.o"
+  "CMakeFiles/cbt_baselines.dir/rp_tree_domain.cc.o.d"
+  "CMakeFiles/cbt_baselines.dir/rp_tree_router.cc.o"
+  "CMakeFiles/cbt_baselines.dir/rp_tree_router.cc.o.d"
+  "libcbt_baselines.a"
+  "libcbt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cbt/core_selection.cc" "src/cbt/CMakeFiles/cbt_core.dir/core_selection.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/core_selection.cc.o.d"
+  "/root/repo/src/cbt/domain.cc" "src/cbt/CMakeFiles/cbt_core.dir/domain.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/domain.cc.o.d"
+  "/root/repo/src/cbt/fib.cc" "src/cbt/CMakeFiles/cbt_core.dir/fib.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/fib.cc.o.d"
+  "/root/repo/src/cbt/group_directory.cc" "src/cbt/CMakeFiles/cbt_core.dir/group_directory.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/group_directory.cc.o.d"
+  "/root/repo/src/cbt/host.cc" "src/cbt/CMakeFiles/cbt_core.dir/host.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/host.cc.o.d"
+  "/root/repo/src/cbt/router.cc" "src/cbt/CMakeFiles/cbt_core.dir/router.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/router.cc.o.d"
+  "/root/repo/src/cbt/scenario.cc" "src/cbt/CMakeFiles/cbt_core.dir/scenario.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/scenario.cc.o.d"
+  "/root/repo/src/cbt/tree_printer.cc" "src/cbt/CMakeFiles/cbt_core.dir/tree_printer.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/tree_printer.cc.o.d"
+  "/root/repo/src/cbt/tunnel_config.cc" "src/cbt/CMakeFiles/cbt_core.dir/tunnel_config.cc.o" "gcc" "src/cbt/CMakeFiles/cbt_core.dir/tunnel_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cbt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/cbt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/cbt_igmp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_core.dir/core_selection.cc.o"
+  "CMakeFiles/cbt_core.dir/core_selection.cc.o.d"
+  "CMakeFiles/cbt_core.dir/domain.cc.o"
+  "CMakeFiles/cbt_core.dir/domain.cc.o.d"
+  "CMakeFiles/cbt_core.dir/fib.cc.o"
+  "CMakeFiles/cbt_core.dir/fib.cc.o.d"
+  "CMakeFiles/cbt_core.dir/group_directory.cc.o"
+  "CMakeFiles/cbt_core.dir/group_directory.cc.o.d"
+  "CMakeFiles/cbt_core.dir/host.cc.o"
+  "CMakeFiles/cbt_core.dir/host.cc.o.d"
+  "CMakeFiles/cbt_core.dir/router.cc.o"
+  "CMakeFiles/cbt_core.dir/router.cc.o.d"
+  "CMakeFiles/cbt_core.dir/scenario.cc.o"
+  "CMakeFiles/cbt_core.dir/scenario.cc.o.d"
+  "CMakeFiles/cbt_core.dir/tree_printer.cc.o"
+  "CMakeFiles/cbt_core.dir/tree_printer.cc.o.d"
+  "CMakeFiles/cbt_core.dir/tunnel_config.cc.o"
+  "CMakeFiles/cbt_core.dir/tunnel_config.cc.o.d"
+  "libcbt_core.a"
+  "libcbt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_common.dir/checksum.cc.o"
+  "CMakeFiles/cbt_common.dir/checksum.cc.o.d"
+  "CMakeFiles/cbt_common.dir/logging.cc.o"
+  "CMakeFiles/cbt_common.dir/logging.cc.o.d"
+  "CMakeFiles/cbt_common.dir/random.cc.o"
+  "CMakeFiles/cbt_common.dir/random.cc.o.d"
+  "CMakeFiles/cbt_common.dir/types.cc.o"
+  "CMakeFiles/cbt_common.dir/types.cc.o.d"
+  "libcbt_common.a"
+  "libcbt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

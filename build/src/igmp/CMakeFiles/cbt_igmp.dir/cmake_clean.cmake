@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_igmp.dir/router_igmp.cc.o"
+  "CMakeFiles/cbt_igmp.dir/router_igmp.cc.o.d"
+  "libcbt_igmp.a"
+  "libcbt_igmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_igmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_netsim.dir/event_queue.cc.o"
+  "CMakeFiles/cbt_netsim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cbt_netsim.dir/simulator.cc.o"
+  "CMakeFiles/cbt_netsim.dir/simulator.cc.o.d"
+  "CMakeFiles/cbt_netsim.dir/topologies.cc.o"
+  "CMakeFiles/cbt_netsim.dir/topologies.cc.o.d"
+  "libcbt_netsim.a"
+  "libcbt_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/cbt_control.cc" "src/packet/CMakeFiles/cbt_packet.dir/cbt_control.cc.o" "gcc" "src/packet/CMakeFiles/cbt_packet.dir/cbt_control.cc.o.d"
+  "/root/repo/src/packet/cbt_header.cc" "src/packet/CMakeFiles/cbt_packet.dir/cbt_header.cc.o" "gcc" "src/packet/CMakeFiles/cbt_packet.dir/cbt_header.cc.o.d"
+  "/root/repo/src/packet/encap.cc" "src/packet/CMakeFiles/cbt_packet.dir/encap.cc.o" "gcc" "src/packet/CMakeFiles/cbt_packet.dir/encap.cc.o.d"
+  "/root/repo/src/packet/igmp.cc" "src/packet/CMakeFiles/cbt_packet.dir/igmp.cc.o" "gcc" "src/packet/CMakeFiles/cbt_packet.dir/igmp.cc.o.d"
+  "/root/repo/src/packet/ipv4.cc" "src/packet/CMakeFiles/cbt_packet.dir/ipv4.cc.o" "gcc" "src/packet/CMakeFiles/cbt_packet.dir/ipv4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_packet.dir/cbt_control.cc.o"
+  "CMakeFiles/cbt_packet.dir/cbt_control.cc.o.d"
+  "CMakeFiles/cbt_packet.dir/cbt_header.cc.o"
+  "CMakeFiles/cbt_packet.dir/cbt_header.cc.o.d"
+  "CMakeFiles/cbt_packet.dir/encap.cc.o"
+  "CMakeFiles/cbt_packet.dir/encap.cc.o.d"
+  "CMakeFiles/cbt_packet.dir/igmp.cc.o"
+  "CMakeFiles/cbt_packet.dir/igmp.cc.o.d"
+  "CMakeFiles/cbt_packet.dir/ipv4.cc.o"
+  "CMakeFiles/cbt_packet.dir/ipv4.cc.o.d"
+  "libcbt_packet.a"
+  "libcbt_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

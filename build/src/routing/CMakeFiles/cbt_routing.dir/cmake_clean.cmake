@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbt_routing.dir/route_manager.cc.o"
+  "CMakeFiles/cbt_routing.dir/route_manager.cc.o.d"
+  "libcbt_routing.a"
+  "libcbt_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbt_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbt_routing.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/table_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis/table_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/table_test.cc.o.d"
+  "/root/repo/tests/analysis/tree_metrics_test.cc" "tests/CMakeFiles/test_analysis.dir/analysis/tree_metrics_test.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/tree_metrics_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cbt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cbt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/dvmrp_test.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/dvmrp_test.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/mospf_test.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/mospf_test.cc.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/rp_tree_test.cc.o"
+  "CMakeFiles/test_baselines.dir/baselines/rp_tree_test.cc.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cbt/churn_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/churn_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/churn_test.cc.o.d"
+  "/root/repo/tests/cbt/core_ping_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/core_ping_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/core_ping_test.cc.o.d"
+  "/root/repo/tests/cbt/directory_and_selection_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/directory_and_selection_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/directory_and_selection_test.cc.o.d"
+  "/root/repo/tests/cbt/echo_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/echo_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/echo_test.cc.o.d"
+  "/root/repo/tests/cbt/edge_cases_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/edge_cases_test.cc.o.d"
+  "/root/repo/tests/cbt/fib_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/fib_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/fib_test.cc.o.d"
+  "/root/repo/tests/cbt/forwarding_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/forwarding_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/forwarding_test.cc.o.d"
+  "/root/repo/tests/cbt/host_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/host_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/host_test.cc.o.d"
+  "/root/repo/tests/cbt/join_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/join_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/join_test.cc.o.d"
+  "/root/repo/tests/cbt/loop_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/loop_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/loop_test.cc.o.d"
+  "/root/repo/tests/cbt/property_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/property_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/property_test.cc.o.d"
+  "/root/repo/tests/cbt/resilience_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/resilience_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/resilience_test.cc.o.d"
+  "/root/repo/tests/cbt/scenario_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/scenario_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/scenario_test.cc.o.d"
+  "/root/repo/tests/cbt/teardown_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/teardown_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/teardown_test.cc.o.d"
+  "/root/repo/tests/cbt/topology_sweep_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/topology_sweep_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/topology_sweep_test.cc.o.d"
+  "/root/repo/tests/cbt/tunnel_test.cc" "tests/CMakeFiles/test_cbt.dir/cbt/tunnel_test.cc.o" "gcc" "tests/CMakeFiles/test_cbt.dir/cbt/tunnel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cbt/CMakeFiles/cbt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/cbt_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/cbt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cbt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

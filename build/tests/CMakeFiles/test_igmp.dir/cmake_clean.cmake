@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_igmp.dir/igmp/router_igmp_test.cc.o"
+  "CMakeFiles/test_igmp.dir/igmp/router_igmp_test.cc.o.d"
+  "test_igmp"
+  "test_igmp.pdb"
+  "test_igmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_igmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

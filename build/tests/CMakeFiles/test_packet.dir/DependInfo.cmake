@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/packet/cbt_control_test.cc" "tests/CMakeFiles/test_packet.dir/packet/cbt_control_test.cc.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/cbt_control_test.cc.o.d"
+  "/root/repo/tests/packet/cbt_header_test.cc" "tests/CMakeFiles/test_packet.dir/packet/cbt_header_test.cc.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/cbt_header_test.cc.o.d"
+  "/root/repo/tests/packet/codec_property_test.cc" "tests/CMakeFiles/test_packet.dir/packet/codec_property_test.cc.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/codec_property_test.cc.o.d"
+  "/root/repo/tests/packet/encap_test.cc" "tests/CMakeFiles/test_packet.dir/packet/encap_test.cc.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/encap_test.cc.o.d"
+  "/root/repo/tests/packet/igmp_test.cc" "tests/CMakeFiles/test_packet.dir/packet/igmp_test.cc.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/igmp_test.cc.o.d"
+  "/root/repo/tests/packet/ipv4_test.cc" "tests/CMakeFiles/test_packet.dir/packet/ipv4_test.cc.o" "gcc" "tests/CMakeFiles/test_packet.dir/packet/ipv4_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cbt/CMakeFiles/cbt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/igmp/CMakeFiles/cbt_igmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/cbt_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/cbt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cbt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cbt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet.dir/packet/cbt_control_test.cc.o"
+  "CMakeFiles/test_packet.dir/packet/cbt_control_test.cc.o.d"
+  "CMakeFiles/test_packet.dir/packet/cbt_header_test.cc.o"
+  "CMakeFiles/test_packet.dir/packet/cbt_header_test.cc.o.d"
+  "CMakeFiles/test_packet.dir/packet/codec_property_test.cc.o"
+  "CMakeFiles/test_packet.dir/packet/codec_property_test.cc.o.d"
+  "CMakeFiles/test_packet.dir/packet/encap_test.cc.o"
+  "CMakeFiles/test_packet.dir/packet/encap_test.cc.o.d"
+  "CMakeFiles/test_packet.dir/packet/igmp_test.cc.o"
+  "CMakeFiles/test_packet.dir/packet/igmp_test.cc.o.d"
+  "CMakeFiles/test_packet.dir/packet/ipv4_test.cc.o"
+  "CMakeFiles/test_packet.dir/packet/ipv4_test.cc.o.d"
+  "test_packet"
+  "test_packet.pdb"
+  "test_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
