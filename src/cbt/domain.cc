@@ -65,6 +65,29 @@ std::vector<Ipv4Address> CbtDomain::RegisterGroup(
   return addresses;
 }
 
+void CbtDomain::CrashRouter(NodeId id) {
+  sim_->SetNodeUp(id, false);
+  router(id).Crash();
+}
+
+void CbtDomain::RestartRouter(NodeId id) {
+  sim_->SetNodeUp(id, true);
+  router(id).Restart();
+}
+
+netsim::ChaosInjector::Hooks CbtDomain::ChaosHooks() {
+  netsim::ChaosInjector::Hooks hooks;
+  // The injector flips the node's up flag itself; these hooks only handle
+  // the agent's protocol state.
+  hooks.on_crash = [this](NodeId id) {
+    if (routers_.contains(id)) router(id).Crash();
+  };
+  hooks.on_restart = [this](NodeId id) {
+    if (routers_.contains(id)) router(id).Restart();
+  };
+  return hooks;
+}
+
 std::size_t CbtDomain::TotalFibState() const {
   std::size_t total = 0;
   for (const auto& [id, router] : routers_) total += router->fib().StateUnits();

@@ -15,6 +15,7 @@
 #include "cbt/group_directory.h"
 #include "cbt/host.h"
 #include "cbt/router.h"
+#include "netsim/chaos.h"
 #include "netsim/topologies.h"
 #include "routing/route_manager.h"
 
@@ -45,6 +46,21 @@ class CbtDomain {
   /// (primary first) and returns the core address list.
   std::vector<Ipv4Address> RegisterGroup(Ipv4Address group,
                                          const std::vector<NodeId>& cores);
+
+  // --- Fault injection ----------------------------------------------------
+
+  /// Crashes a router: the node stops sending/receiving and its CBT agent
+  /// loses every bit of protocol state (FIB, timers, IGMP) — section 6.2's
+  /// restart model taken literally.
+  void CrashRouter(NodeId id);
+
+  /// Restarts a previously crashed router; it re-acquires all state via
+  /// normal protocol means (querier election, member reports, joins).
+  void RestartRouter(NodeId id);
+
+  /// Hooks wiring a netsim::ChaosInjector's node-crash events to
+  /// CrashRouter/RestartRouter (host nodes just go down/up).
+  netsim::ChaosInjector::Hooks ChaosHooks();
 
   const std::vector<NodeId>& router_ids() const { return router_ids_; }
   const std::vector<NodeId>& host_ids() const { return host_ids_; }

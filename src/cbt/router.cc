@@ -59,6 +59,7 @@ void CbtRouter::Start() {
 void CbtRouter::OnDatagram(VifIndex vif, Ipv4Address /*link_src*/,
                            Ipv4Address /*link_dst*/,
                            std::span<const std::uint8_t> datagram) {
+  if (!alive_) return;
   const auto parsed = packet::ParseDatagram(datagram);
   if (!parsed) {
     ++stats_.malformed_control;
@@ -528,7 +529,7 @@ void CbtRouter::InitiateJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
 
 void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
                           std::size_t target_index, bool reconnect) {
-  if (cores.empty() || pending_.contains(group)) return;
+  if (!alive_ || cores.empty() || pending_.contains(group)) return;
   if (target_index >= cores.size()) target_index = 0;
 
   const Ipv4Address target = cores[target_index];
@@ -755,8 +756,22 @@ void CbtRouter::SimulateRestart() {
   learned_cores_.clear();
 }
 
+void CbtRouter::Crash() {
+  alive_ = false;
+  SimulateRestart();  // wipes FIB + transient state (their timers die too)
+  echo_timer_.Cancel();
+  child_scan_timer_.Cancel();
+  iff_scan_timer_.Cancel();
+  igmp_.ShutDown();
+}
+
+void CbtRouter::Restart() {
+  alive_ = true;
+  Start();
+}
+
 void CbtRouter::CoreRejoinPrimary(FibEntry& entry) {
-  if (entry.cores.empty() || pending_.contains(entry.group) ||
+  if (!alive_ || entry.cores.empty() || pending_.contains(entry.group) ||
       core_pings_.contains(entry.group)) {
     return;
   }
@@ -1143,7 +1158,7 @@ void CbtRouter::OnIffScan() {
 
 void CbtRouter::StartReconnect(Ipv4Address group) {
   FibEntry* entry = fib_.Find(group);
-  if (entry == nullptr || pending_.contains(group)) return;
+  if (!alive_ || entry == nullptr || pending_.contains(group)) return;
   CBT_TRACE("[%s %s] reconnect for %s", FormatSimTime(sim_->Now()).c_str(),
             sim_->node(self_).name.c_str(), group.ToString().c_str());
 

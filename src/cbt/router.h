@@ -125,6 +125,24 @@ class CbtRouter : public netsim::NetworkAgent {
   /// state does not — a core re-learns its role from the next join.
   void SimulateRestart();
 
+  /// Full crash model (used by the chaos subsystem): like
+  /// SimulateRestart() but also cancels every running timer, forgets IGMP
+  /// state, and silences the router until Restart(). Pair with
+  /// Simulator::SetNodeUp(node, false) so frames in flight are dropped.
+  void Crash();
+
+  /// Brings a crashed router back: re-runs the Start() sequence so it
+  /// re-contests IGMP querier duty, re-learns memberships, and re-joins
+  /// trees through the normal protocol machinery (section 6.2).
+  void Restart();
+
+  /// True between Crash() and Restart().
+  bool IsCrashed() const { return !alive_; }
+
+  /// Mutable FIB access for management tooling and invariant tests
+  /// (deliberate corruption to exercise the auditor).
+  Fib& mutable_fib() { return fib_; }
+
  private:
   struct DownstreamRequester {
     VifIndex vif = kInvalidVif;
@@ -307,6 +325,9 @@ class CbtRouter : public netsim::NetworkAgent {
   netsim::Timer echo_timer_;
   netsim::Timer child_scan_timer_;
   netsim::Timer iff_scan_timer_;
+  /// False while crashed: already-queued closures (flush-rejoin, loop
+  /// retries) that survive the state wipe must not act for a dead router.
+  bool alive_ = true;
 };
 
 }  // namespace cbt::core

@@ -30,6 +30,17 @@ void RouterIgmp::Start() {
   }
 }
 
+void RouterIgmp::ShutDown() {
+  for (auto& vs : vifs_) {
+    vs->querier = true;  // restart re-contests the election from scratch
+    vs->other_querier = Ipv4Address{};
+    vs->other_querier_timer.Cancel();
+    vs->query_timer.Cancel();
+    vs->startup_queries_left = 0;
+    vs->groups.clear();  // GroupPresence destructors cancel expiry timers
+  }
+}
+
 Ipv4Address RouterIgmp::MyAddress(VifIndex vif) const {
   return sim_->interface(self_, vif).address;
 }

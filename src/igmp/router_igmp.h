@@ -71,8 +71,15 @@ class RouterIgmp {
   RouterIgmp(netsim::Simulator& sim, NodeId self, IgmpConfig config,
              Callbacks callbacks);
 
-  /// Kicks off startup queries on every interface.
+  /// Kicks off startup queries on every interface. Re-entrant: calling it
+  /// again after ShutDown() models a router restart (querier duty is
+  /// re-contested from scratch, section 2.3).
   void Start();
+
+  /// Process-crash model: cancels every timer and forgets all learned
+  /// state (group presence, querier election). The engine goes silent
+  /// until the next Start().
+  void ShutDown();
 
   /// Feed every received IGMP message here (src = IP source address).
   void OnMessage(VifIndex vif, Ipv4Address src, const packet::IgmpMessage& msg);

@@ -1,0 +1,193 @@
+#include "netsim/chaos.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace cbt::netsim {
+
+const char* ChaosEventTypeName(ChaosEventType type) {
+  switch (type) {
+    case ChaosEventType::kLinkFlap:
+      return "link-flap";
+    case ChaosEventType::kNodeCrash:
+      return "node-crash";
+    case ChaosEventType::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+std::string ChaosEvent::Describe() const {
+  std::ostringstream os;
+  os << ChaosEventTypeName(type) << " @" << FormatSimTime(at) << " for "
+     << FormatSimTime(duration);
+  switch (type) {
+    case ChaosEventType::kLinkFlap:
+      os << " subnet=" << subnet.value();
+      break;
+    case ChaosEventType::kNodeCrash:
+      os << " node=" << node.value();
+      break;
+    case ChaosEventType::kPartition:
+      os << " nodes={";
+      for (std::size_t i = 0; i < isolated.size(); ++i) {
+        if (i > 0) os << ",";
+        os << isolated[i].value();
+      }
+      os << "}";
+      break;
+  }
+  return os.str();
+}
+
+SimTime ChaosPlan::LastRepairTime() const {
+  SimTime last = 0;
+  for (const ChaosEvent& e : events) last = std::max(last, e.repair_at());
+  return last;
+}
+
+std::string ChaosPlan::Describe() const {
+  std::ostringstream os;
+  os << "chaos plan seed=" << seed << " events=" << events.size() << "\n";
+  for (const ChaosEvent& e : events) os << "  " << e.Describe() << "\n";
+  return os.str();
+}
+
+ChaosPlan MakeRandomPlan(std::uint64_t seed, const ChaosPlanParams& params,
+                         const std::vector<NodeId>& crashable,
+                         const std::vector<SubnetId>& flappable) {
+  Rng rng(seed);
+  ChaosPlan plan;
+  plan.seed = seed;
+
+  struct Class {
+    ChaosEventType type;
+    double weight;
+  };
+  std::vector<Class> classes;
+  if (params.flap_weight > 0.0 && !flappable.empty()) {
+    classes.push_back({ChaosEventType::kLinkFlap, params.flap_weight});
+  }
+  if (params.crash_weight > 0.0 && !crashable.empty()) {
+    classes.push_back({ChaosEventType::kNodeCrash, params.crash_weight});
+  }
+  if (params.partition_weight > 0.0 && !crashable.empty()) {
+    classes.push_back({ChaosEventType::kPartition, params.partition_weight});
+  }
+  if (classes.empty()) return plan;
+  double total_weight = 0.0;
+  for (const Class& c : classes) total_weight += c.weight;
+
+  SimTime next_at = params.start;
+  for (int i = 0; i < params.event_count; ++i) {
+    ChaosEvent e;
+    double pick = rng.NextDouble() * total_weight;
+    e.type = classes.back().type;
+    for (const Class& c : classes) {
+      if (pick < c.weight) {
+        e.type = c.type;
+        break;
+      }
+      pick -= c.weight;
+    }
+    e.at = next_at;
+    e.duration = rng.NextInRange(params.min_down, params.max_down);
+    switch (e.type) {
+      case ChaosEventType::kLinkFlap:
+        e.subnet = flappable[rng.NextBelow(flappable.size())];
+        break;
+      case ChaosEventType::kNodeCrash:
+        e.node = crashable[rng.NextBelow(crashable.size())];
+        break;
+      case ChaosEventType::kPartition: {
+        const std::size_t cap = std::min<std::size_t>(
+            static_cast<std::size_t>(std::max(params.max_partition_size, 1)),
+            crashable.size());
+        const std::size_t size =
+            1 + static_cast<std::size_t>(rng.NextBelow(cap));
+        for (const std::size_t idx :
+             rng.SampleWithoutReplacement(crashable.size(), size)) {
+          e.isolated.push_back(crashable[idx]);
+        }
+        std::sort(e.isolated.begin(), e.isolated.end());
+        break;
+      }
+    }
+    next_at = e.repair_at() + rng.NextInRange(params.min_gap, params.max_gap);
+    plan.events.push_back(std::move(e));
+  }
+  return plan;
+}
+
+ChaosInjector::ChaosInjector(Simulator& sim, Hooks hooks)
+    : sim_(&sim), hooks_(std::move(hooks)) {}
+
+void ChaosInjector::Arm(ChaosPlan plan) {
+  assert(plan_.events.empty() && "Arm may be called once per injector");
+  plan_ = std::move(plan);
+  severed_.assign(plan_.events.size(), {});
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const ChaosEvent& e = plan_.events[i];
+    sim_->ScheduleAt(e.at, [this, i] { Inject(i); });
+    sim_->ScheduleAt(e.repair_at(), [this, i] { Repair(i); });
+  }
+}
+
+void ChaosInjector::Inject(std::size_t index) {
+  const ChaosEvent& e = plan_.events[index];
+  switch (e.type) {
+    case ChaosEventType::kLinkFlap:
+      sim_->SetSubnetUp(e.subnet, false);
+      break;
+    case ChaosEventType::kNodeCrash:
+      sim_->SetNodeUp(e.node, false);
+      if (hooks_.on_crash) hooks_.on_crash(e.node);
+      break;
+    case ChaosEventType::kPartition: {
+      // Sever every interface that attaches an isolated node to a subnet
+      // also serving the other side; record exactly what was cut (and was
+      // up) so heal restores only that.
+      const std::set<NodeId> inside(e.isolated.begin(), e.isolated.end());
+      for (const NodeId node : e.isolated) {
+        for (const Interface& iface : sim_->node(node).interfaces) {
+          if (!iface.up) continue;
+          const SubnetRecord& s = sim_->subnet(iface.subnet);
+          const bool crosses = std::any_of(
+              s.attachments.begin(), s.attachments.end(),
+              [&](const auto& att) { return !inside.contains(att.first); });
+          if (!crosses) continue;
+          sim_->SetInterfaceUp(node, iface.vif, false);
+          severed_[index].emplace_back(node, iface.vif);
+        }
+      }
+      break;
+    }
+  }
+  if (hooks_.observer) hooks_.observer(e, /*begin=*/true);
+}
+
+void ChaosInjector::Repair(std::size_t index) {
+  const ChaosEvent& e = plan_.events[index];
+  switch (e.type) {
+    case ChaosEventType::kLinkFlap:
+      sim_->SetSubnetUp(e.subnet, true);
+      break;
+    case ChaosEventType::kNodeCrash:
+      sim_->SetNodeUp(e.node, true);
+      if (hooks_.on_restart) hooks_.on_restart(e.node);
+      break;
+    case ChaosEventType::kPartition:
+      for (const auto& [node, vif] : severed_[index]) {
+        sim_->SetInterfaceUp(node, vif, true);
+      }
+      severed_[index].clear();
+      break;
+  }
+  if (hooks_.observer) hooks_.observer(e, /*begin=*/false);
+}
+
+}  // namespace cbt::netsim

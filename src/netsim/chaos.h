@@ -1,0 +1,118 @@
+// Deterministic fault-injection ("chaos") scheduling on top of Simulator.
+//
+// A ChaosPlan is a seeded, pre-generated schedule of timed fault events —
+// link flaps (subnet down/up), router crashes with full protocol-state
+// loss plus later restart, and partition/heal of node sets. The
+// ChaosInjector arms a plan on the event queue, so chaos runs are exactly
+// as reproducible as any other simulation: same seed, same plan, same
+// byte-for-byte outcome.
+//
+// The injector itself only manipulates netsim state (node/subnet/interface
+// up flags). Protocol-level consequences of a crash — a CBT router losing
+// its FIB and timers, then re-acquiring state through normal protocol
+// means — are delegated to hooks the protocol harness provides (see
+// core::CbtDomain::ChaosHooks()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "netsim/simulator.h"
+
+namespace cbt::netsim {
+
+enum class ChaosEventType {
+  kLinkFlap,   // subnet down for `duration`, then back up
+  kNodeCrash,  // node down + state loss for `duration`, then restart
+  kPartition,  // node set cut off from the rest for `duration`, then heal
+};
+
+const char* ChaosEventTypeName(ChaosEventType type);
+
+struct ChaosEvent {
+  ChaosEventType type = ChaosEventType::kLinkFlap;
+  SimTime at = 0;            // fault-injection time
+  SimDuration duration = 0;  // how long the fault holds before repair
+  SubnetId subnet;           // kLinkFlap target
+  NodeId node;               // kNodeCrash target
+  std::vector<NodeId> isolated;  // kPartition: the severed node set
+
+  SimTime repair_at() const { return at + duration; }
+  std::string Describe() const;
+};
+
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  std::vector<ChaosEvent> events;  // ordered by `at`, non-overlapping
+
+  /// Repair time of the last event (0 for an empty plan).
+  SimTime LastRepairTime() const;
+  std::string Describe() const;
+};
+
+struct ChaosPlanParams {
+  int event_count = 100;
+  /// First fault time — leave room for initial protocol convergence.
+  SimTime start = 60 * kSecond;
+  /// Gap between one event's repair and the next event's injection,
+  /// uniform in [min_gap, max_gap]; events never overlap so each
+  /// recovery can be measured in isolation.
+  SimDuration min_gap = 30 * kSecond;
+  SimDuration max_gap = 90 * kSecond;
+  /// Fault hold time, uniform in [min_down, max_down].
+  SimDuration min_down = 5 * kSecond;
+  SimDuration max_down = 30 * kSecond;
+  /// Relative frequency of each fault class (any may be zero).
+  double flap_weight = 1.0;
+  double crash_weight = 1.0;
+  double partition_weight = 0.5;
+  /// Partitions isolate 1..max_partition_size nodes.
+  int max_partition_size = 2;
+};
+
+/// Generates a seeded schedule over the given candidate targets. The same
+/// (seed, params, candidates) always yields an identical plan. Classes
+/// whose candidate list is empty (or whose weight is zero) are skipped.
+ChaosPlan MakeRandomPlan(std::uint64_t seed, const ChaosPlanParams& params,
+                         const std::vector<NodeId>& crashable,
+                         const std::vector<SubnetId>& flappable);
+
+class ChaosInjector {
+ public:
+  struct Hooks {
+    /// Called right after the node is marked down: the agent must lose
+    /// all soft/hard protocol state (a real process crash).
+    std::function<void(NodeId)> on_crash;
+    /// Called right after the node is marked back up: the agent restarts
+    /// from scratch and re-acquires state via the protocol.
+    std::function<void(NodeId)> on_restart;
+    /// Observer for every injection (`begin == true`) and repair.
+    std::function<void(const ChaosEvent&, bool begin)> observer;
+  };
+
+  explicit ChaosInjector(Simulator& sim, Hooks hooks = {});
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  /// Schedules inject + repair for every event in the plan. May be called
+  /// once per injector instance.
+  void Arm(ChaosPlan plan);
+
+  const ChaosPlan& plan() const { return plan_; }
+
+ private:
+  void Inject(std::size_t index);
+  void Repair(std::size_t index);
+
+  Simulator* sim_;
+  Hooks hooks_;
+  ChaosPlan plan_;
+  /// Per-event interfaces severed by a partition, restored on heal.
+  std::vector<std::vector<std::pair<NodeId, VifIndex>>> severed_;
+};
+
+}  // namespace cbt::netsim

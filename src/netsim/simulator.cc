@@ -148,7 +148,12 @@ void Simulator::SetNodeUp(NodeId node_id, bool up) {
 }
 
 void Simulator::SetSubnetLossRate(SubnetId subnet_id, double loss_rate) {
-  subnet(subnet_id).loss_rate = loss_rate;
+  subnet(subnet_id).faults.loss_rate = loss_rate;
+}
+
+void Simulator::SetSubnetFaults(SubnetId subnet_id,
+                                const FaultProfile& faults) {
+  subnet(subnet_id).faults = faults;
 }
 
 bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
@@ -176,18 +181,54 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
   const bool multi = link_dst.IsMulticast() ||
                      link_dst == Ipv4Address(0xFFFFFFFFu);  // broadcast
 
+  const FaultProfile& faults = s.faults;
   for (const auto& [peer, peer_vif] : s.attachments) {
     if (peer == node_id && peer_vif == vif) continue;  // no self-delivery
     const Interface& in = interface(peer, peer_vif);
     if (!multi && in.address != link_dst) continue;
-    if (s.loss_rate > 0.0 && rng_.NextBool(s.loss_rate)) {
+    if (faults.loss_rate > 0.0 && rng_.NextBool(faults.loss_rate)) {
       ++s.counters.frames_dropped;
       continue;
     }
     const Ipv4Address link_src = out.address;
-    Schedule(s.delay, [this, peer, peer_vif, link_src, link_dst, shared] {
-      DeliverFrame(peer, peer_vif, link_src, link_dst, shared);
-    });
+
+    // Per-receiver fault application. Every copy (original + duplicate)
+    // rolls corruption and jitter independently, so a duplicate can be
+    // clean while the original is mangled and vice versa.
+    int copies = 1;
+    if (faults.duplicate_rate > 0.0 && rng_.NextBool(faults.duplicate_rate)) {
+      ++copies;
+      ++s.counters.frames_duplicated;
+    }
+    for (int copy = 0; copy < copies; ++copy) {
+      SimDuration delay = s.delay;
+      const bool jitter_eligible =
+          faults.reorder_jitter > 0 &&
+          (copy > 0 ||  // duplicates always trail the original
+           (faults.reorder_rate > 0.0 && rng_.NextBool(faults.reorder_rate)));
+      if (jitter_eligible) {
+        delay += static_cast<SimDuration>(
+            rng_.NextBelow(static_cast<std::uint64_t>(faults.reorder_jitter)) +
+            1);
+        if (copy == 0) ++s.counters.frames_reordered;
+      }
+      std::shared_ptr<const std::vector<std::uint8_t>> payload = shared;
+      if (faults.corrupt_rate > 0.0 && !shared->empty() &&
+          rng_.NextBool(faults.corrupt_rate)) {
+        auto mangled = std::make_shared<std::vector<std::uint8_t>>(*shared);
+        const std::size_t byte =
+            static_cast<std::size_t>(rng_.NextBelow(mangled->size()));
+        const std::uint8_t bit = static_cast<std::uint8_t>(
+            1u << rng_.NextBelow(8));
+        (*mangled)[byte] ^= bit;
+        payload = std::move(mangled);
+        ++s.counters.frames_corrupted;
+      }
+      Schedule(delay, [this, peer, peer_vif, link_src, link_dst,
+                       payload = std::move(payload)] {
+        DeliverFrame(peer, peer_vif, link_src, link_dst, std::move(payload));
+      });
+    }
     if (!multi) break;  // unicast reaches exactly one interface
   }
   return true;

@@ -16,7 +16,10 @@
 //
 // Failure injection: subnets, interfaces and whole nodes can be marked
 // down; frames in flight to a dead receiver are dropped at delivery time,
-// matching a real link cut.
+// matching a real link cut. Beyond clean cuts, every subnet carries a
+// FaultProfile (loss, duplication, reordering jitter, payload corruption)
+// applied independently per receiver, and netsim/chaos.h schedules timed
+// fault events (flaps, crashes, partitions) deterministically.
 #pragma once
 
 #include <cstdint>
@@ -82,9 +85,35 @@ struct NodeRecord {
 struct SubnetCounters {
   std::uint64_t frames_sent = 0;
   std::uint64_t bytes_sent = 0;
-  std::uint64_t frames_dropped = 0;  // loss or down links
+  std::uint64_t frames_dropped = 0;     // loss or down links
+  std::uint64_t frames_duplicated = 0;  // extra copies delivered
+  std::uint64_t frames_reordered = 0;   // deliveries given extra jitter
+  std::uint64_t frames_corrupted = 0;   // deliveries with flipped bits
 
   void Reset() { *this = SubnetCounters{}; }
+};
+
+/// Per-subnet fault model, applied independently to every receiver of a
+/// frame (like independent per-NIC noise). All probabilities in [0, 1].
+struct FaultProfile {
+  /// Frame silently dropped for this receiver.
+  double loss_rate = 0.0;
+  /// Receiver gets a second copy of the frame (one extra, delayed by up
+  /// to `reorder_jitter` beyond the nominal delay — duplicates in real
+  /// networks come from retransmission races, so they trail the original).
+  double duplicate_rate = 0.0;
+  /// Delivery delayed by a uniform extra amount in (0, reorder_jitter],
+  /// letting later frames overtake it: bounded reordering.
+  double reorder_rate = 0.0;
+  SimDuration reorder_jitter = 0;
+  /// One random byte of the datagram is bit-flipped in the receiver's
+  /// copy; checksums must catch this (counted by `malformed_control`).
+  double corrupt_rate = 0.0;
+
+  bool Any() const {
+    return loss_rate > 0.0 || duplicate_rate > 0.0 || reorder_rate > 0.0 ||
+           corrupt_rate > 0.0;
+  }
 };
 
 struct SubnetRecord {
@@ -92,7 +121,7 @@ struct SubnetRecord {
   std::string name;
   SubnetAddress address;
   SimDuration delay = kMillisecond;
-  double loss_rate = 0.0;  // applied independently per receiver
+  FaultProfile faults;
   /// True for LANs (hosts may attach, proxy-ack applies — section 2.6);
   /// false for point-to-point links and tunnels created via Connect().
   bool multi_access = true;
@@ -175,6 +204,9 @@ class Simulator {
   /// SendDatagram becomes a no-op (agents may also be swapped out).
   void SetNodeUp(NodeId node, bool up);
   void SetSubnetLossRate(SubnetId subnet, double loss_rate);
+  /// Installs a full fault model on a subnet (loss, duplication,
+  /// reordering, corruption); replaces any previous profile.
+  void SetSubnetFaults(SubnetId subnet, const FaultProfile& faults);
 
   /// Epoch counter bumped on every up/down change; routing watches this.
   std::uint64_t topology_epoch() const { return topology_epoch_; }

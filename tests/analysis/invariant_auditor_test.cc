@@ -1,0 +1,163 @@
+#include "analysis/invariant_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::analysis {
+namespace {
+
+using core::CbtDomain;
+using core::FibEntry;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+
+/// Diamond r0 -- r1 -- r3 / r0 -- r2 -- r3, member behind r0, core r3.
+class AuditorFixture : public ::testing::Test {
+ protected:
+  AuditorFixture() {
+    r0 = sim.AddNode("r0", true);
+    r1 = sim.AddNode("r1", true);
+    r2 = sim.AddNode("r2", true);
+    r3 = sim.AddNode("r3", true);
+    topo.routers = {r0, r1, r2, r3};
+    topo.nodes = {{"r0", r0}, {"r1", r1}, {"r2", r2}, {"r3", r3}};
+    l01 = sim.Connect(r0, r1);
+    l13 = sim.Connect(r1, r3);
+    l02 = sim.Connect(r0, r2);
+    l23 = sim.Connect(r2, r3);
+    lan0 = sim.AddSubnet(
+        "lan0", SubnetAddress::FromPrefix(Ipv4Address(10, 30, 0, 0), 16));
+    sim.Attach(r0, lan0);
+    topo.subnets = {{"l01", l01}, {"l13", l13}, {"l02", l02},
+                    {"l23", l23}, {"lan0", lan0}};
+    domain.emplace(sim, topo);
+    domain->RegisterGroup(kGroup, {r3});
+    domain->Start();
+    sim.RunUntil(kSecond);
+    member = &domain->AddHost(lan0, "m");
+    member->JoinGroup(kGroup);
+    sim.RunUntil(10 * kSecond);
+  }
+
+  FibEntry& Entry(NodeId id) {
+    FibEntry* entry = domain->router(id).mutable_fib().Find(kGroup);
+    EXPECT_NE(entry, nullptr);
+    return *entry;
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  NodeId r0, r1, r2, r3;
+  SubnetId l01, l13, l02, l23, lan0;
+  std::optional<CbtDomain> domain;
+  core::HostAgent* member = nullptr;
+};
+
+TEST_F(AuditorFixture, ConvergedTreeAuditsClean) {
+  InvariantAuditor auditor(*domain);
+  const AuditReport report = auditor.Audit();
+  EXPECT_TRUE(report.Clean()) << report.Summary();
+  EXPECT_EQ(report.groups_checked, 1u);
+  EXPECT_EQ(report.routers_on_tree, 3u);  // r0, r1, r3 (tie-break via r1)
+  EXPECT_EQ(report.at, sim.Now());
+}
+
+TEST_F(AuditorFixture, DetectsDuplicateChild) {
+  FibEntry& entry = Entry(r1);
+  ASSERT_FALSE(entry.children.empty());
+  entry.children.push_back(entry.children.front());
+
+  InvariantAuditor auditor(*domain);
+  const AuditReport report = auditor.Audit();
+  EXPECT_FALSE(report.Clean());
+  EXPECT_EQ(report.CountOf(InvariantKind::kDuplicateChild), 1u);
+}
+
+TEST_F(AuditorFixture, DetectsAsymmetryAndDetachedMemberLan) {
+  // Wipe the member DR's entry behind the protocol's back: r1 now records
+  // a child with no reciprocal state, and lan0 has members but no
+  // on-tree DR.
+  ASSERT_TRUE(domain->router(r0).mutable_fib().Remove(kGroup));
+
+  InvariantAuditor auditor(*domain);
+  const AuditReport report = auditor.Audit();
+  EXPECT_FALSE(report.Clean());
+  EXPECT_GE(report.CountOf(InvariantKind::kAsymmetricChild), 1u);
+  EXPECT_EQ(report.CountOf(InvariantKind::kMemberLanDetached), 1u);
+}
+
+TEST_F(AuditorFixture, DetectsBrokenParentLinkWhileParentIsDown) {
+  // Silent death, audited before any timer can react: r0's parent is a
+  // dead node and r3's child entry for r1 has no live reciprocal state.
+  sim.SetNodeUp(r1, false);
+
+  InvariantAuditor auditor(*domain);
+  const AuditReport report = auditor.Audit();
+  EXPECT_FALSE(report.Clean());
+  EXPECT_GE(report.CountOf(InvariantKind::kBrokenParentLink), 1u);
+  EXPECT_GE(report.CountOf(InvariantKind::kAsymmetricChild), 1u);
+}
+
+TEST_F(AuditorFixture, DetectsParentLoop) {
+  // Rewire r1's parent pointer back at its own child r0: r0 -> r1 -> r0.
+  FibEntry& r1_entry = Entry(r1);
+  const FibEntry& r0_entry = Entry(r0);
+  ASSERT_FALSE(r1_entry.children.empty());
+  r1_entry.parent_address = r1_entry.children.front().address;
+  r1_entry.parent_vif = r1_entry.children.front().vif;
+  ASSERT_EQ(sim.FindNodeByAddress(r1_entry.parent_address), r0);
+  (void)r0_entry;
+
+  InvariantAuditor auditor(*domain);
+  const AuditReport report = auditor.Audit();
+  EXPECT_FALSE(report.Clean());
+  // The cycle is reported exactly once, not once per cycle member.
+  EXPECT_EQ(report.CountOf(InvariantKind::kParentLoop), 1u);
+}
+
+TEST_F(AuditorFixture, DetectsStaleStateForMemberlessGroup) {
+  // A leftover entry for a group nobody belongs to, on a non-core router.
+  const Ipv4Address ghost(239, 66, 6, 6);
+  domain->router(r2).mutable_fib().Create(ghost);
+
+  InvariantAuditor auditor(*domain);
+  const AuditReport report = auditor.Audit();
+  EXPECT_EQ(report.groups_checked, 2u);  // kGroup + the ghost from the FIB
+  EXPECT_GE(report.CountOf(InvariantKind::kStaleState), 1u);
+  // The established group is still fine: scope violations to the ghost.
+  for (const Violation& v : report.violations) EXPECT_EQ(v.group, ghost);
+}
+
+TEST_F(AuditorFixture, ConvergenceProbeMeasuresRecovery) {
+  const SimTime fault_at = sim.Now();
+  domain->CrashRouter(r1);
+  InvariantAuditor auditor(*domain);
+  EXPECT_FALSE(auditor.Audit().Clean());
+
+  // Default timers: echo timeout 90s + reconnect, child-assert expiry for
+  // the stale child on r3 within 180s + scan.
+  const auto clean =
+      RunUntilInvariantsHold(*domain, fault_at + 600 * kSecond);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_GT(*clean, fault_at);
+  EXPECT_TRUE(auditor.Audit().Clean());
+}
+
+TEST_F(AuditorFixture, ConvergenceProbeTimesOutOnPersistentViolation) {
+  FibEntry& entry = Entry(r1);
+  ASSERT_FALSE(entry.children.empty());
+  entry.children.push_back(entry.children.front());
+
+  // The duplicate's stale copy outlives a 60s deadline under the default
+  // 180s CHILD-ASSERT-EXPIRE, so the probe must give up at the deadline.
+  const SimTime deadline = sim.Now() + 60 * kSecond;
+  EXPECT_FALSE(RunUntilInvariantsHold(*domain, deadline).has_value());
+  EXPECT_EQ(sim.Now(), deadline);
+}
+
+}  // namespace
+}  // namespace cbt::analysis

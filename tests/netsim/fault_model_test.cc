@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "netsim/simulator.h"
+
+namespace cbt::netsim {
+namespace {
+
+/// Records every datagram plus its delivery time.
+class TimedAgent : public NetworkAgent {
+ public:
+  explicit TimedAgent(Simulator& sim) : sim_(&sim) {}
+  struct Delivery {
+    SimTime at;
+    std::vector<std::uint8_t> bytes;
+  };
+  void OnDatagram(VifIndex, Ipv4Address, Ipv4Address,
+                  std::span<const std::uint8_t> datagram) override {
+    deliveries.push_back(
+        {sim_->Now(),
+         std::vector<std::uint8_t>(datagram.begin(), datagram.end())});
+  }
+  std::vector<Delivery> deliveries;
+
+ private:
+  Simulator* sim_;
+};
+
+class FaultModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    link = sim.Connect(a, b, 2 * kMillisecond);
+    sim.SetAgent(b, &rb);
+  }
+
+  Simulator sim{7};
+  NodeId a = sim.AddNode("a", true);
+  NodeId b = sim.AddNode("b", true);
+  SubnetId link;
+  TimedAgent rb{sim};
+};
+
+TEST_F(FaultModelTest, DuplicationDeliversAnExtraTrailingCopy) {
+  FaultProfile faults;
+  faults.duplicate_rate = 1.0;
+  sim.SetSubnetFaults(link, faults);
+
+  for (int i = 0; i < 5; ++i) {
+    sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {static_cast<uint8_t>(i)});
+  }
+  sim.RunUntilIdle();
+
+  EXPECT_EQ(rb.deliveries.size(), 10u);
+  EXPECT_EQ(sim.subnet(link).counters.frames_duplicated, 5u);
+  // The duplicate carries identical bytes.
+  EXPECT_EQ(rb.deliveries[0].bytes, rb.deliveries[1].bytes);
+}
+
+TEST_F(FaultModelTest, ReorderJitterStaysWithinBound) {
+  FaultProfile faults;
+  faults.reorder_rate = 1.0;
+  faults.reorder_jitter = 5 * kMillisecond;
+  sim.SetSubnetFaults(link, faults);
+
+  for (int i = 0; i < 50; ++i) {
+    sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {static_cast<uint8_t>(i)});
+  }
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(rb.deliveries.size(), 50u);
+  EXPECT_EQ(sim.subnet(link).counters.frames_reordered, 50u);
+  for (const auto& d : rb.deliveries) {
+    EXPECT_GT(d.at, 2 * kMillisecond);                    // base delay
+    EXPECT_LE(d.at, 2 * kMillisecond + 5 * kMillisecond);  // + jitter cap
+  }
+}
+
+TEST_F(FaultModelTest, ReorderingCanInvertDeliveryOrder) {
+  FaultProfile faults;
+  faults.reorder_rate = 1.0;
+  faults.reorder_jitter = 20 * kMillisecond;
+  sim.SetSubnetFaults(link, faults);
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {1});  // jittered
+  sim.SetSubnetFaults(link, FaultProfile{});
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {2});  // clean, overtakes
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(rb.deliveries.size(), 2u);
+  EXPECT_EQ(rb.deliveries[0].bytes, (std::vector<std::uint8_t>{2}));
+  EXPECT_EQ(rb.deliveries[1].bytes, (std::vector<std::uint8_t>{1}));
+}
+
+TEST_F(FaultModelTest, CorruptionFlipsExactlyOneBitPerCopy) {
+  FaultProfile faults;
+  faults.corrupt_rate = 1.0;
+  sim.SetSubnetFaults(link, faults);
+
+  const std::vector<std::uint8_t> sent = {0x00, 0xFF, 0x55, 0xAA};
+  sim.SendDatagram(a, 0, sim.PrimaryAddress(b), sent);
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(rb.deliveries.size(), 1u);
+  EXPECT_EQ(sim.subnet(link).counters.frames_corrupted, 1u);
+  const auto& got = rb.deliveries[0].bytes;
+  ASSERT_EQ(got.size(), sent.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    flipped_bits += std::popcount(static_cast<unsigned>(sent[i] ^ got[i]));
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST_F(FaultModelTest, CorruptionLeavesOtherReceiversClean) {
+  // Faults apply per receiver copy: on a LAN, one receiver's corrupted
+  // copy must not mutate what the others see.
+  Simulator lan_sim(7);
+  const SubnetId lan = lan_sim.AddSubnet(
+      "lan", SubnetAddress::FromPrefix(Ipv4Address(10, 1, 0, 0), 16));
+  const NodeId s = lan_sim.AddNode("s", true);
+  const NodeId r1 = lan_sim.AddNode("r1", true);
+  const NodeId r2 = lan_sim.AddNode("r2", true);
+  lan_sim.Attach(s, lan);
+  lan_sim.Attach(r1, lan);
+  lan_sim.Attach(r2, lan);
+  TimedAgent a1{lan_sim}, a2{lan_sim};
+  lan_sim.SetAgent(r1, &a1);
+  lan_sim.SetAgent(r2, &a2);
+  FaultProfile faults;
+  faults.corrupt_rate = 0.5;
+  lan_sim.SetSubnetFaults(lan, faults);
+
+  const std::vector<std::uint8_t> sent(32, 0x5A);
+  for (int i = 0; i < 64; ++i) {
+    lan_sim.SendDatagram(s, 0, Ipv4Address(0xFFFFFFFFu), sent);
+  }
+  lan_sim.RunUntilIdle();
+
+  ASSERT_EQ(a1.deliveries.size(), 64u);
+  ASSERT_EQ(a2.deliveries.size(), 64u);
+  const auto corrupted = lan_sim.subnet(lan).counters.frames_corrupted;
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_LT(corrupted, 128u);  // some copies stayed clean
+  std::size_t mangled = 0;
+  for (const auto* agent : {&a1, &a2}) {
+    for (const auto& d : agent->deliveries) {
+      if (d.bytes != sent) ++mangled;
+    }
+  }
+  EXPECT_EQ(mangled, corrupted);
+}
+
+TEST_F(FaultModelTest, EmptyProfileDrawsNoRandomness) {
+  // Arming a zero-rate profile must not perturb the RNG stream: the
+  // loss pattern (which does draw) has to stay identical with and
+  // without the no-op profile installed.
+  const auto run = [](bool arm_empty_profile) {
+    Simulator s(42);
+    const NodeId x = s.AddNode("x", true);
+    const NodeId y = s.AddNode("y", true);
+    const SubnetId l = s.Connect(x, y);
+    TimedAgent ry{s};
+    s.SetAgent(y, &ry);
+    if (arm_empty_profile) s.SetSubnetFaults(l, FaultProfile{});
+    s.SetSubnetLossRate(l, 0.4);
+    for (int i = 0; i < 100; ++i) {
+      s.SendDatagram(x, 0, s.PrimaryAddress(y), {static_cast<uint8_t>(i)});
+    }
+    s.RunUntilIdle();
+    std::vector<std::uint8_t> survivors;
+    for (const auto& d : ry.deliveries) survivors.push_back(d.bytes[0]);
+    return survivors;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST_F(FaultModelTest, ComposedFaultsKeepCountersConsistent) {
+  FaultProfile faults;
+  faults.loss_rate = 0.2;
+  faults.duplicate_rate = 0.3;
+  faults.reorder_rate = 0.5;
+  faults.reorder_jitter = 10 * kMillisecond;
+  faults.corrupt_rate = 0.2;
+  sim.SetSubnetFaults(link, faults);
+
+  const int sends = 400;
+  for (int i = 0; i < sends; ++i) {
+    sim.SendDatagram(a, 0, sim.PrimaryAddress(b), {static_cast<uint8_t>(i)});
+  }
+  sim.RunUntilIdle();
+
+  const SubnetCounters& c = sim.subnet(link).counters;
+  EXPECT_EQ(c.frames_sent, static_cast<std::uint64_t>(sends));
+  EXPECT_GT(c.frames_dropped, 0u);
+  EXPECT_GT(c.frames_duplicated, 0u);
+  EXPECT_GT(c.frames_reordered, 0u);
+  EXPECT_GT(c.frames_corrupted, 0u);
+  // Deliveries = survivors + their duplicates.
+  EXPECT_EQ(rb.deliveries.size(),
+            sends - c.frames_dropped + c.frames_duplicated);
+}
+
+}  // namespace
+}  // namespace cbt::netsim
