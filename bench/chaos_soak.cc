@@ -10,8 +10,12 @@
 //
 // Everything is seeded: the same `--seed` reproduces the identical plan
 // and a byte-identical report. `--events N` scales the schedule length,
-// `--plan` dumps the schedule, `--csv` switches to CSV.
+// `--plan` dumps the schedule, `--csv` switches to CSV. `--routers N`
+// replaces the default three-topology sweep with one ceil(sqrt(N))^2
+// grid — the scaling mode used to size the event engine — and
+// `--engine wheel|legacy` selects the event engine under test.
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -23,6 +27,7 @@
 #include "bench_util.h"
 #include "cbt/domain.h"
 #include "netsim/chaos.h"
+#include "netsim/event_queue.h"
 #include "netsim/topologies.h"
 
 namespace {
@@ -202,6 +207,8 @@ int main(int argc, char** argv) {
   bool dump_plan = false;
   std::uint64_t seed = 1;
   int event_count = 100;
+  int routers = 0;  // 0 = default three-topology sweep
+  netsim::EventQueue::Engine engine = netsim::EventQueue::Engine::kTimerWheel;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan") == 0) dump_plan = true;
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -209,6 +216,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       event_count = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--routers") == 0 && i + 1 < argc) {
+      routers = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine = std::strcmp(argv[i + 1], "legacy") == 0
+                   ? netsim::EventQueue::Engine::kLegacyHeap
+                   : netsim::EventQueue::Engine::kTimerWheel;
     }
   }
 
@@ -225,15 +240,31 @@ int main(int argc, char** argv) {
                           "clean @s"});
 
   std::vector<SoakResult> results;
+  if (routers > 0) {
+    // Scaling mode: one square grid of at least `routers` routers. The
+    // whole domain runs (echo timers, IGMP queries, keepalives on every
+    // router), so this is the end-to-end event-engine stressor.
+    const int side = std::max(
+        2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(routers)))));
+    netsim::Simulator sim(1, engine);
+    netsim::Topology topo = netsim::MakeGrid(sim, side, side);
+    const std::size_t n = topo.router_lans.size();
+    MemberPlan members{{0, n / 3, (2 * n) / 3, n - 1},
+                       {topo.routers[0], topo.routers[n - 1]}};
+    results.push_back(RunSoak("grid-" + std::to_string(side) + "x" +
+                                  std::to_string(side),
+                              sim, topo, members, seed, event_count,
+                              dump_plan));
+  } else {
   {
-    netsim::Simulator sim(1);
+    netsim::Simulator sim(1, engine);
     netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
     MemberPlan members{{3, 5, 10, 12}, {topo.routers[0], topo.routers[15]}};
     results.push_back(
         RunSoak("grid-4x4", sim, topo, members, seed, event_count, dump_plan));
   }
   {
-    netsim::Simulator sim(1);
+    netsim::Simulator sim(1, engine);
     netsim::WaxmanParams wp;
     wp.n = 20;
     wp.seed = 7;
@@ -243,7 +274,7 @@ int main(int argc, char** argv) {
                               event_count, dump_plan));
   }
   {
-    netsim::Simulator sim(1);
+    netsim::Simulator sim(1, engine);
     netsim::TransitStubParams tp;
     tp.transit_nodes = 4;
     tp.stub_domains = 6;
@@ -252,6 +283,7 @@ int main(int argc, char** argv) {
     MemberPlan members{{6, 11, 16, 21}, {topo.routers[0], topo.routers[1]}};
     results.push_back(RunSoak("transit-stub", sim, topo, members, seed,
                               event_count, dump_plan));
+  }
   }
 
   for (const SoakResult& r : results) {

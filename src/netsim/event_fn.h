@@ -1,0 +1,110 @@
+// Small-buffer-optimized event callback.
+//
+// The simulator hot path schedules millions of short-lived closures
+// (frame deliveries, protocol timers). std::function heap-allocates for
+// anything beyond two pointers of capture; EventFn stores up to
+// kInlineBytes of capture inline so the common closures (a `this`
+// pointer, a couple of ids, a PacketRef) never touch the allocator.
+// Move-only, like the events it carries.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cbt::netsim {
+
+class EventFn {
+ public:
+  /// Sized to fit the frame-delivery closure (this + node/vif ids + two
+  /// addresses + a PacketRef) with room to spare; larger captures fall
+  /// back to one heap allocation.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Destroys the held closure (releasing captured resources eagerly).
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* from, void* to) {
+        Fn* src = static_cast<Fn*>(from);
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* from, void* to) {
+        ::new (to) Fn*(*static_cast<Fn**>(from));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace cbt::netsim

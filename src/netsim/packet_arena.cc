@@ -1,0 +1,43 @@
+#include "netsim/packet_arena.h"
+
+#include <cassert>
+
+namespace cbt::netsim {
+
+PacketRef PacketArena::Make(std::span<const std::uint8_t> bytes) {
+  std::uint32_t index;
+  if (free_head_ != kNil) {
+    index = free_head_;
+    free_head_ = buffers_[index].next_free;
+    ++reuses_;
+  } else {
+    index = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.emplace_back();
+  }
+  Buffer& buf = buffers_[index];
+  buf.data.assign(bytes.begin(), bytes.end());
+  buf.refs = 1;
+  buf.next_free = kNil;
+  ++live_;
+  ++total_makes_;
+  return PacketRef(this, index);
+}
+
+std::span<std::uint8_t> PacketArena::MutableBytes(const PacketRef& ref) {
+  assert(ref.arena_ == this && buffers_[ref.index_].refs == 1);
+  return buffers_[ref.index_].data;
+}
+
+void PacketArena::Release(std::uint32_t index) {
+  Buffer& buf = buffers_[index];
+  assert(buf.refs > 0);
+  if (--buf.refs == 0) {
+    // Keep the allocation; clear() preserves capacity for reuse.
+    buf.data.clear();
+    buf.next_free = free_head_;
+    free_head_ = index;
+    --live_;
+  }
+}
+
+}  // namespace cbt::netsim

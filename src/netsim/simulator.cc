@@ -15,7 +15,8 @@ constexpr std::uint32_t kP2pBase = (10u << 24) | (255u << 16);
 
 }  // namespace
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(std::uint64_t seed, EventQueue::Engine engine)
+    : events_(engine), rng_(seed) {}
 
 NodeId Simulator::AddNode(std::string name, bool is_router) {
   const NodeId id(static_cast<std::int32_t>(nodes_.size()));
@@ -175,9 +176,10 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
         FrameEvent{clock_, node_id, s.id, link_dst, datagram.size()});
   }
 
-  // The payload is shared among all receivers of a multicast frame.
-  auto shared =
-      std::make_shared<const std::vector<std::uint8_t>>(std::move(datagram));
+  // The payload is copied once into the packet arena and shared among all
+  // receivers of a multicast frame; delivery closures hold cheap
+  // refcounted handles instead of per-hop heap allocations.
+  const PacketRef shared = arena_.Make(datagram);
   const bool multi = link_dst.IsMulticast() ||
                      link_dst == Ipv4Address(0xFFFFFFFFu);  // broadcast
 
@@ -212,15 +214,16 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
             1);
         if (copy == 0) ++s.counters.frames_reordered;
       }
-      std::shared_ptr<const std::vector<std::uint8_t>> payload = shared;
-      if (faults.corrupt_rate > 0.0 && !shared->empty() &&
+      PacketRef payload = shared;
+      if (faults.corrupt_rate > 0.0 && !shared.bytes().empty() &&
           rng_.NextBool(faults.corrupt_rate)) {
-        auto mangled = std::make_shared<std::vector<std::uint8_t>>(*shared);
+        PacketRef mangled = arena_.Clone(shared);
+        const std::span<std::uint8_t> bytes = arena_.MutableBytes(mangled);
         const std::size_t byte =
-            static_cast<std::size_t>(rng_.NextBelow(mangled->size()));
+            static_cast<std::size_t>(rng_.NextBelow(bytes.size()));
         const std::uint8_t bit = static_cast<std::uint8_t>(
             1u << rng_.NextBelow(8));
-        (*mangled)[byte] ^= bit;
+        bytes[byte] ^= bit;
         payload = std::move(mangled);
         ++s.counters.frames_corrupted;
       }
@@ -234,9 +237,9 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
   return true;
 }
 
-void Simulator::DeliverFrame(
-    NodeId receiver, VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
-    std::shared_ptr<const std::vector<std::uint8_t>> datagram) {
+void Simulator::DeliverFrame(NodeId receiver, VifIndex vif,
+                             Ipv4Address link_src, Ipv4Address link_dst,
+                             const PacketRef& datagram) {
   NodeRecord& n = node(receiver);
   const Interface& in = interface(receiver, vif);
   SubnetRecord& s = subnet(in.subnet);
@@ -246,7 +249,7 @@ void Simulator::DeliverFrame(
     return;
   }
   if (n.agent != nullptr) {
-    n.agent->OnDatagram(vif, link_src, link_dst, *datagram);
+    n.agent->OnDatagram(vif, link_src, link_dst, datagram.bytes());
   }
 }
 

@@ -33,6 +33,7 @@
 #include "common/random.h"
 #include "common/types.h"
 #include "netsim/event_queue.h"
+#include "netsim/packet_arena.h"
 
 namespace cbt::netsim {
 
@@ -142,7 +143,11 @@ struct FrameEvent {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1);
+  /// `engine` selects the scheduler implementation; kLegacyHeap exists
+  /// only for the differential determinism tests and engine benchmarks.
+  explicit Simulator(
+      std::uint64_t seed = 1,
+      EventQueue::Engine engine = EventQueue::Engine::kTimerWheel);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -229,13 +234,16 @@ class Simulator {
 
   // --- Scheduling ----------------------------------------------------------
 
-  EventId Schedule(SimDuration delay, std::function<void()> fn) {
+  EventId Schedule(SimDuration delay, EventFn fn) {
     return events_.ScheduleAt(clock_ + delay, std::move(fn));
   }
-  EventId ScheduleAt(SimTime when, std::function<void()> fn) {
+  EventId ScheduleAt(SimTime when, EventFn fn) {
     return events_.ScheduleAt(when, std::move(fn));
   }
   bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  const EventQueue& events() const { return events_; }
+  const PacketArena& packet_arena() const { return arena_; }
 
   /// Runs events until `until` (inclusive); leaves later events queued.
   void RunUntil(SimTime until);
@@ -246,10 +254,10 @@ class Simulator {
 
  private:
   void DeliverFrame(NodeId receiver, VifIndex vif, Ipv4Address link_src,
-                    Ipv4Address link_dst,
-                    std::shared_ptr<const std::vector<std::uint8_t>> datagram);
+                    Ipv4Address link_dst, const PacketRef& datagram);
 
   SimTime clock_ = 0;
+  PacketArena arena_;  // outlives events_: queued closures hold PacketRefs
   EventQueue events_;
   Rng rng_;
   std::vector<NodeRecord> nodes_;

@@ -5,7 +5,6 @@
 // a whole class of fire-after-free bugs.
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "netsim/simulator.h"
@@ -34,12 +33,16 @@ class Timer {
   void BindTo(Simulator& sim) { sim_ = &sim; }
 
   /// Cancels any pending firing and schedules `fn` after `delay`.
-  void Schedule(SimDuration delay, std::function<void()> fn) {
+  /// Templated on the callable so the id-reset wrapper stays within
+  /// EventFn's inline capture budget (no per-arm heap allocation).
+  template <typename F>
+  void Schedule(SimDuration delay, F&& fn) {
     Cancel();
-    id_ = sim_->Schedule(delay, [this, fn = std::move(fn)] {
-      id_ = kInvalidEventId;  // fired; a re-Schedule inside fn is fine
-      fn();
-    });
+    id_ = sim_->Schedule(delay,
+                         [this, fn = std::forward<F>(fn)]() mutable {
+                           id_ = kInvalidEventId;  // fired; re-Schedule ok
+                           fn();
+                         });
   }
 
   void Cancel() {

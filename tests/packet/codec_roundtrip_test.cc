@@ -1,0 +1,167 @@
+// Packet-codec round-trip property tests: every valid packet must
+// encode -> decode -> encode to *identical bytes* (canonical form), and
+// random byte mutations of valid packets must never crash a decoder —
+// the mutation fuzz complements the corruption fault model of the chaos
+// harness, which flips bits on the wire and relies on the decoders
+// rejecting (not crashing on) the result.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "packet/encap.h"
+
+namespace cbt::packet {
+namespace {
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+Ipv4Address RandomAddress(Rng& rng) {
+  return Ipv4Address(static_cast<std::uint32_t>(rng.NextU64()));
+}
+
+Ipv4Address RandomGroup(Rng& rng) {
+  return Ipv4Address(0xE0000000u |
+                     (static_cast<std::uint32_t>(rng.NextU64()) & 0x0FFFFFFF));
+}
+
+ControlPacket RandomControl(Rng& rng) {
+  ControlPacket pkt;
+  pkt.type = static_cast<ControlType>(1 + rng.NextBelow(8));
+  pkt.code = static_cast<std::uint8_t>(rng.NextBelow(3));
+  pkt.group = RandomGroup(rng);
+  pkt.origin = RandomAddress(rng);
+  pkt.target_core = RandomAddress(rng);
+  if (pkt.IsEcho()) {
+    pkt.aggregate = rng.NextBool(0.5);
+    pkt.group_mask = static_cast<std::uint32_t>(rng.NextU64());
+  } else {
+    const std::size_t n = rng.NextBelow(kMaxCores + 1);
+    for (std::size_t i = 0; i < n; ++i) pkt.cores.push_back(RandomAddress(rng));
+  }
+  return pkt;
+}
+
+IgmpMessage RandomIgmp(Rng& rng) {
+  static constexpr IgmpType kTypes[] = {
+      IgmpType::kMembershipQuery, IgmpType::kMembershipReport,
+      IgmpType::kLeaveGroup, IgmpType::kRpCoreReport,
+      IgmpType::kJoinConfirmation};
+  IgmpMessage msg;
+  msg.type = kTypes[rng.NextBelow(5)];
+  msg.code = static_cast<std::uint8_t>(rng.NextBelow(256));
+  msg.group = RandomGroup(rng);
+  if (msg.IsCoreReport()) {
+    const std::size_t n = 1 + rng.NextBelow(4);
+    for (std::size_t i = 0; i < n; ++i) msg.cores.push_back(RandomAddress(rng));
+    msg.target_core_index =
+        static_cast<std::uint8_t>(rng.NextBelow(msg.cores.size()));
+  }
+  return msg;
+}
+
+/// Applies 1-8 random single-byte mutations (bit flips, overwrites) plus
+/// occasional truncation/extension — decoders must reject or accept,
+/// never crash or read out of bounds.
+std::vector<std::uint8_t> Mutate(std::vector<std::uint8_t> bytes, Rng& rng) {
+  const std::size_t mutations = 1 + rng.NextBelow(8);
+  for (std::size_t m = 0; m < mutations && !bytes.empty(); ++m) {
+    const std::size_t pos = rng.NextBelow(bytes.size());
+    if (rng.NextBool(0.5)) {
+      bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.NextBelow(8));
+    } else {
+      bytes[pos] = static_cast<std::uint8_t>(rng.NextU64());
+    }
+  }
+  if (rng.NextBool(0.2) && !bytes.empty()) {
+    bytes.resize(rng.NextBelow(bytes.size()) + 1);  // truncate
+  } else if (rng.NextBool(0.1)) {
+    bytes.push_back(static_cast<std::uint8_t>(rng.NextU64()));  // extend
+  }
+  return bytes;
+}
+
+TEST_P(CodecRoundTrip, ControlEncodeDecodeEncodeIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const ControlPacket pkt = RandomControl(rng);
+    const std::vector<std::uint8_t> wire = pkt.Encode();
+    const auto decoded = ControlPacket::Decode(wire);
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    EXPECT_EQ(decoded->Encode(), wire) << "iteration " << i;
+  }
+}
+
+TEST_P(CodecRoundTrip, IgmpEncodeDecodeEncodeIsIdentity) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 300; ++i) {
+    const IgmpMessage msg = RandomIgmp(rng);
+    const std::vector<std::uint8_t> wire = msg.Encode();
+    const auto decoded = IgmpMessage::Decode(wire);
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    EXPECT_EQ(decoded->Encode(), wire) << "iteration " << i;
+  }
+}
+
+TEST_P(CodecRoundTrip, DataHeaderEncodeDecodeEncodeIsIdentity) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 300; ++i) {
+    CbtDataHeader hdr;
+    hdr.on_tree = rng.NextBool(0.5);
+    hdr.ip_ttl = static_cast<std::uint8_t>(rng.NextBelow(256));
+    hdr.group = RandomGroup(rng);
+    hdr.core = RandomAddress(rng);
+    hdr.origin = RandomAddress(rng);
+    hdr.flow_id = static_cast<std::uint32_t>(rng.NextU64());
+    const std::vector<std::uint8_t> wire = hdr.EncodeToBytes();
+    BufferReader reader(wire);
+    const auto decoded = CbtDataHeader::Decode(reader);
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << i;
+    EXPECT_EQ(decoded->EncodeToBytes(), wire) << "iteration " << i;
+  }
+}
+
+TEST_P(CodecRoundTrip, MutatedControlPacketsNeverCrashDecoder) {
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 500; ++i) {
+    const auto mutated = Mutate(RandomControl(rng).Encode(), rng);
+    // Must return nullopt or a validated value — never UB or a crash.
+    (void)ControlPacket::Decode(mutated);
+  }
+}
+
+TEST_P(CodecRoundTrip, MutatedIgmpMessagesNeverCrashDecoder) {
+  Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 500; ++i) {
+    const auto mutated = Mutate(RandomIgmp(rng).Encode(), rng);
+    (void)IgmpMessage::Decode(mutated);
+  }
+}
+
+TEST_P(CodecRoundTrip, MutatedDatagramsNeverCrashParsers) {
+  Rng rng(GetParam() + 5000);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::uint8_t> payload(rng.NextBelow(256));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.NextU64());
+    const auto inner =
+        BuildAppDatagram(RandomAddress(rng), RandomGroup(rng), payload,
+                         static_cast<std::uint8_t>(1 + rng.NextBelow(255)));
+    CbtDataHeader hdr;
+    hdr.group = RandomGroup(rng);
+    hdr.core = RandomAddress(rng);
+    hdr.origin = RandomAddress(rng);
+    hdr.ip_ttl = 32;
+    const auto outer = BuildCbtModeDatagram(RandomAddress(rng),
+                                            RandomAddress(rng), hdr, inner);
+    const auto mutated = Mutate(outer, rng);
+    if (const auto parsed = ParseDatagram(mutated)) {
+      (void)ExtractCbtModeData(*parsed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbt::packet
