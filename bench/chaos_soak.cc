@@ -12,8 +12,10 @@
 // and a byte-identical report. `--events N` scales the schedule length,
 // `--plan` dumps the schedule, `--csv` switches to CSV. `--routers N`
 // replaces the default three-topology sweep with one ceil(sqrt(N))^2
-// grid — the scaling mode used to size the event engine — and
-// `--engine wheel|legacy` selects the event engine under test.
+// grid — the scaling mode used to size the event engine —
+// `--engine wheel|legacy` selects the event engine under test, and
+// `--routing lazy|eager` selects the unicast-routing recompute strategy
+// (the eager fallback exists for the routing differential cross-check).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -95,11 +97,13 @@ struct MemberPlan {
 
 SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
                    netsim::Topology& topo, const MemberPlan& members,
-                   std::uint64_t seed, int event_count, bool dump_plan) {
+                   std::uint64_t seed, int event_count, bool dump_plan,
+                   routing::RouteManager::Mode routing_mode) {
   SoakResult result;
   result.topology = name;
 
   core::CbtDomain domain(sim, topo, SoakCbtConfig(), SoakIgmpConfig());
+  domain.routes().set_mode(routing_mode);
   domain.RegisterGroup(kGroup, members.cores);
   domain.Start();
   sim.RunUntil(kSecond);
@@ -209,6 +213,7 @@ int main(int argc, char** argv) {
   int event_count = 100;
   int routers = 0;  // 0 = default three-topology sweep
   netsim::EventQueue::Engine engine = netsim::EventQueue::Engine::kTimerWheel;
+  routing::RouteManager::Mode routing_mode = routing::RouteManager::Mode::kLazy;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan") == 0) dump_plan = true;
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -224,6 +229,11 @@ int main(int argc, char** argv) {
       engine = std::strcmp(argv[i + 1], "legacy") == 0
                    ? netsim::EventQueue::Engine::kLegacyHeap
                    : netsim::EventQueue::Engine::kTimerWheel;
+    }
+    if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc) {
+      routing_mode = std::strcmp(argv[i + 1], "eager") == 0
+                         ? routing::RouteManager::Mode::kEager
+                         : routing::RouteManager::Mode::kLazy;
     }
   }
 
@@ -254,14 +264,15 @@ int main(int argc, char** argv) {
     results.push_back(RunSoak("grid-" + std::to_string(side) + "x" +
                                   std::to_string(side),
                               sim, topo, members, seed, event_count,
-                              dump_plan));
+                              dump_plan, routing_mode));
   } else {
   {
     netsim::Simulator sim(1, engine);
     netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
     MemberPlan members{{3, 5, 10, 12}, {topo.routers[0], topo.routers[15]}};
     results.push_back(
-        RunSoak("grid-4x4", sim, topo, members, seed, event_count, dump_plan));
+        RunSoak("grid-4x4", sim, topo, members, seed, event_count, dump_plan,
+                routing_mode));
   }
   {
     netsim::Simulator sim(1, engine);
@@ -271,7 +282,7 @@ int main(int argc, char** argv) {
     netsim::Topology topo = netsim::MakeWaxman(sim, wp);
     MemberPlan members{{4, 9, 14, 19}, {topo.routers[0], topo.routers[13]}};
     results.push_back(RunSoak("waxman-20", sim, topo, members, seed,
-                              event_count, dump_plan));
+                              event_count, dump_plan, routing_mode));
   }
   {
     netsim::Simulator sim(1, engine);
@@ -282,7 +293,7 @@ int main(int argc, char** argv) {
     netsim::Topology topo = netsim::MakeTransitStub(sim, tp);
     MemberPlan members{{6, 11, 16, 21}, {topo.routers[0], topo.routers[1]}};
     results.push_back(RunSoak("transit-stub", sim, topo, members, seed,
-                              event_count, dump_plan));
+                              event_count, dump_plan, routing_mode));
   }
   }
 

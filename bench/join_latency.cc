@@ -11,6 +11,7 @@
 //      (plus the LAN hop), linear in distance.
 // Also ablates the proxy-ack optimization (section 2.6): latency is the
 // same, but the LAN's D-DR keeps state without it.
+#include <cstring>
 #include <iostream>
 #include <optional>
 
@@ -55,7 +56,17 @@ JoinLatency MeasureJoin(netsim::Simulator& sim, core::CbtDomain& domain,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--routing lazy|eager` selects the unicast recompute strategy so the
+  // differential cross-check can pin both modes to identical output.
+  auto routing_mode = cbt::routing::RouteManager::Mode::kLazy;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc &&
+        std::strcmp(argv[i + 1], "eager") == 0) {
+      routing_mode = cbt::routing::RouteManager::Mode::kEager;
+    }
+  }
+
   std::cout << "E5: join latency\n\n(a) Figure-1 walkthrough (1ms link "
                "delays; joins issued sequentially; latency = IGMP report "
                "hop + join/ack round trip)\n\n";
@@ -66,6 +77,7 @@ int main() {
     netsim::Simulator sim(1);
     netsim::Topology topo = netsim::MakeFigure1(sim);
     core::CbtDomain domain(sim, topo);
+    domain.routes().set_mode(routing_mode);
     domain.RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
     domain.Start();
     sim.RunUntil(kSecond);
@@ -103,6 +115,7 @@ int main() {
       core::CbtConfig config;
       config.enable_proxy_ack = proxy;
       core::CbtDomain domain(sim, topo, config);
+      domain.routes().set_mode(routing_mode);
       domain.RegisterGroup(kGroup, {topo.routers[(std::size_t)hops]});
       domain.Start();
       sim.RunUntil(kSecond);

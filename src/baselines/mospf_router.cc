@@ -166,40 +166,42 @@ std::vector<NodeId> MospfRouter::MemberRouters(Ipv4Address group) const {
   return members;
 }
 
-NodeId MospfRouter::AttachmentRouter(Ipv4Address source) const {
+NodeId MospfRouter::AttachmentRouter(Ipv4Address source) {
   // The lowest-addressed live router on the source's subnet (every MOSPF
-  // router derives the same answer from the link-state database).
-  for (std::size_t si = 0; si < sim_->subnet_count(); ++si) {
-    const auto& subnet = sim_->subnet(SubnetId((std::int32_t)si));
-    if (!subnet.up || !subnet.address.Contains(source)) continue;
-    NodeId best;
-    Ipv4Address best_addr;
-    for (const auto& [peer, pv] : subnet.attachments) {
-      if (!sim_->node(peer).is_router || !sim_->node(peer).up) continue;
-      const Ipv4Address addr = sim_->interface(peer, pv).address;
-      if (!best.IsValid() || addr < best_addr) {
-        best = peer;
-        best_addr = addr;
-      }
+  // router derives the same answer from the link-state database). The
+  // subnet comes from the routing layer's LPM index rather than a scan.
+  const auto sid = routes_->ResolveSubnet(source);
+  if (!sid) return NodeId{};
+  const auto& subnet = sim_->subnet(*sid);
+  if (!subnet.up) return NodeId{};
+  NodeId best;
+  Ipv4Address best_addr;
+  for (const auto& [peer, pv] : subnet.attachments) {
+    if (!sim_->node(peer).is_router || !sim_->node(peer).up) continue;
+    const Ipv4Address addr = sim_->interface(peer, pv).address;
+    if (!best.IsValid() || addr < best_addr) {
+      best = peer;
+      best_addr = addr;
     }
-    return best;
   }
-  return NodeId{};
+  return best;
 }
 
 const MospfRouter::CacheEntry& MospfRouter::TreePosition(SourceGroup sg) {
+  const NodeId root = AttachmentRouter(sg.first);
+  const std::uint64_t route_version =
+      root.IsValid() ? routes_->TableVersion(root) : 0;
   auto& slot = cache_[sg];
-  if (slot != nullptr && slot->topology_epoch == sim_->topology_epoch() &&
-      slot->membership_epoch == membership_epoch_) {
+  if (slot != nullptr && slot->membership_epoch == membership_epoch_ &&
+      slot->root == root && slot->route_version == route_version) {
     return *slot;
   }
   // (Re)compute the source tree and this router's position on it.
   ++stats_.spt_computations;
   auto entry = std::make_unique<CacheEntry>();
-  entry->topology_epoch = sim_->topology_epoch();
+  entry->root = root;
+  entry->route_version = route_version;
   entry->membership_epoch = membership_epoch_;
-
-  const NodeId root = AttachmentRouter(sg.first);
   if (root.IsValid()) {
     std::set<NodeId> downstream_nodes;
     for (const NodeId member : MemberRouters(sg.second)) {

@@ -85,13 +85,18 @@ class MospfRouter : public netsim::NetworkAgent {
  private:
   using SourceGroup = std::pair<Ipv4Address, Ipv4Address>;
 
-  /// Cached position of this router on the (S,G) tree.
+  /// Cached position of this router on the (S,G) tree. Valid while the
+  /// tree's root and the root's routing-table version are unchanged —
+  /// RouteManager::TableVersion only moves when the root's table actually
+  /// recomputes, so scoped topology changes elsewhere keep this cache
+  /// warm instead of invalidating it on every epoch tick.
   struct CacheEntry {
     bool on_tree = false;
     VifIndex upstream_vif = kInvalidVif;  // RPF side (invalid at the root)
     /// Next-hop child routers (per downstream neighbour) on the tree.
     std::vector<std::pair<VifIndex, Ipv4Address>> children;
-    std::uint64_t topology_epoch = 0;
+    NodeId root;
+    std::uint64_t route_version = 0;
     std::uint64_t membership_epoch = 0;
   };
 
@@ -101,7 +106,7 @@ class MospfRouter : public netsim::NetworkAgent {
   void FloodLsa(const MembershipLsa& lsa, VifIndex arrival_vif);
   void OriginateLsa(Ipv4Address group, bool member);
   const CacheEntry& TreePosition(SourceGroup sg);
-  NodeId AttachmentRouter(Ipv4Address source) const;
+  NodeId AttachmentRouter(Ipv4Address source);
 
   netsim::Simulator* sim_;
   NodeId self_;

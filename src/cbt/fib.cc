@@ -43,39 +43,58 @@ bool FibEntry::HasChildOnVif(VifIndex vif) const {
 
 std::vector<VifIndex> FibEntry::ChildVifs() const {
   std::vector<VifIndex> out;
-  for (const ChildEntry& c : children) {
-    if (std::find(out.begin(), out.end(), c.vif) == out.end()) {
-      out.push_back(c.vif);
-    }
-  }
+  ForEachChildVif([&](VifIndex v) { out.push_back(v); });
   return out;
 }
 
 std::vector<const ChildEntry*> FibEntry::ChildrenOnVif(VifIndex vif) const {
   std::vector<const ChildEntry*> out;
-  for (const ChildEntry& c : children) {
-    if (c.vif == vif) out.push_back(&c);
-  }
+  ForEachChildOnVif(vif, [&](const ChildEntry& c) { out.push_back(&c); });
   return out;
 }
 
+std::size_t FibEntry::ChildCountOnVif(VifIndex vif) const {
+  return static_cast<std::size_t>(
+      std::count_if(children.begin(), children.end(),
+                    [&](const ChildEntry& c) { return c.vif == vif; }));
+}
+
+namespace {
+
+// Position of `group` in the sorted entry vector (insertion point if absent).
+auto LowerBound(auto& entries, Ipv4Address group) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), group,
+      [](const auto& entry, Ipv4Address g) { return entry.first < g; });
+}
+
+}  // namespace
+
 FibEntry* Fib::Find(Ipv4Address group) {
-  const auto it = entries_.find(group);
-  return it == entries_.end() ? nullptr : &it->second;
+  const auto it = LowerBound(entries_, group);
+  return it == entries_.end() || it->first != group ? nullptr : &it->second;
 }
 
 const FibEntry* Fib::Find(Ipv4Address group) const {
-  const auto it = entries_.find(group);
-  return it == entries_.end() ? nullptr : &it->second;
+  const auto it = LowerBound(entries_, group);
+  return it == entries_.end() || it->first != group ? nullptr : &it->second;
 }
 
 FibEntry& Fib::Create(Ipv4Address group) {
-  FibEntry& entry = entries_[group];
-  entry.group = group;
-  return entry;
+  auto it = LowerBound(entries_, group);
+  if (it == entries_.end() || it->first != group) {
+    it = entries_.emplace(it, group, FibEntry{});
+    it->second.group = group;
+  }
+  return it->second;
 }
 
-bool Fib::Remove(Ipv4Address group) { return entries_.erase(group) > 0; }
+bool Fib::Remove(Ipv4Address group) {
+  const auto it = LowerBound(entries_, group);
+  if (it == entries_.end() || it->first != group) return false;
+  entries_.erase(it);
+  return true;
+}
 
 std::size_t Fib::StateUnits() const {
   std::size_t units = 0;

@@ -8,10 +8,11 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 
 namespace cbt::core {
@@ -34,7 +35,9 @@ struct FibEntry {
   /// Last CBT-ECHO-REPLY (or establishment) time from the parent.
   SimTime last_parent_reply = 0;
 
-  std::vector<ChildEntry> children;
+  /// Child set, inline up to 4 entries — the common CBT fan-out — so the
+  /// per-packet forwarding path stays allocation-free.
+  SmallVec<ChildEntry, 4> children;
 
   /// Ordered core list carried by joins/acks; cores[0] is the primary.
   std::vector<Ipv4Address> cores;
@@ -55,9 +58,37 @@ struct FibEntry {
   bool HasChildOnVif(VifIndex vif) const;
 
   /// Distinct vifs that have at least one child.
+  /// Allocates; the data plane uses ForEachChildVif instead.
   std::vector<VifIndex> ChildVifs() const;
   /// Children reachable via a particular vif.
+  /// Allocates; the data plane uses ForEachChildOnVif instead.
   std::vector<const ChildEntry*> ChildrenOnVif(VifIndex vif) const;
+
+  /// Visits each distinct child vif once, in first-seen (child insertion)
+  /// order — the same order ChildVifs() reports — without allocating.
+  template <typename Fn>
+  void ForEachChildVif(Fn&& fn) const {
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const VifIndex v = children[i].vif;
+      bool seen = false;
+      for (std::size_t j = 0; j < i && !seen; ++j) {
+        seen = children[j].vif == v;
+      }
+      if (!seen) fn(v);
+    }
+  }
+
+  /// Visits every child reachable via `vif`, in insertion order, without
+  /// allocating.
+  template <typename Fn>
+  void ForEachChildOnVif(VifIndex vif, Fn&& fn) const {
+    for (const ChildEntry& c : children) {
+      if (c.vif == vif) fn(c);
+    }
+  }
+
+  /// Number of children reachable via `vif`.
+  std::size_t ChildCountOnVif(VifIndex vif) const;
 
   /// A vif is "on-tree" if it is the parent vif or hosts a child
   /// (section 7's valid-interface check for data packets).
@@ -68,6 +99,12 @@ struct FibEntry {
 
 /// Group-indexed FIB. In a real router this is mirrored into the kernel
 /// (section 3); here it is the single source of truth.
+///
+/// Storage is a flat vector sorted by group: lookups binary-search, and
+/// iteration walks contiguous memory in the same group order the previous
+/// std::map exposed (determinism preserved byte-for-byte). Entry
+/// pointers/references are invalidated by Create/Remove of *any* group —
+/// the same contract callers already honoured for erasure under std::map.
 class Fib {
  public:
   FibEntry* Find(Ipv4Address group);
@@ -90,7 +127,7 @@ class Fib {
   auto end() const { return entries_.end(); }
 
  private:
-  std::map<Ipv4Address, FibEntry> entries_;
+  std::vector<std::pair<Ipv4Address, FibEntry>> entries_;  // sorted by group
 };
 
 }  // namespace cbt::core

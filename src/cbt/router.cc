@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "common/small_vec.h"
 
 namespace cbt::core {
 
@@ -1341,7 +1342,7 @@ void CbtRouter::ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
   // children and members on that LAN (section 4); CBT interfaces get
   // per-neighbour encapsulated unicasts, or a single CBT multicast when
   // several children sit behind one interface (section 5).
-  std::vector<VifIndex> native_tree_vifs;
+  SmallVec<VifIndex, 8> native_tree_vifs;
   const auto add_native = [&](VifIndex v) {
     if (v != arrival_vif &&
         std::find(native_tree_vifs.begin(), native_tree_vifs.end(), v) ==
@@ -1353,7 +1354,7 @@ void CbtRouter::ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
     VifIndex vif;
     Ipv4Address dst;
   };
-  std::vector<CbtTarget> cbt_targets;
+  SmallVec<CbtTarget, 8> cbt_targets;
 
   if (entry.HasParent() && !(entry.parent_vif == arrival_vif &&
                              entry.parent_address == arrival_src)) {
@@ -1363,22 +1364,24 @@ void CbtRouter::ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
       cbt_targets.push_back({entry.parent_vif, entry.parent_address});
     }
   }
-  for (const VifIndex v : entry.ChildVifs()) {
+  entry.ForEachChildVif([&](VifIndex v) {
     if (EffectiveMode(v) == VifMode::kNative) {
       add_native(v);
-      continue;
+      return;
     }
-    std::vector<const ChildEntry*> kids = entry.ChildrenOnVif(v);
-    kids.erase(std::remove_if(kids.begin(), kids.end(),
-                              [&](const ChildEntry* c) {
-                                return v == arrival_vif &&
-                                       c->address == arrival_src;
-                              }),
-               kids.end());
-    if (kids.empty()) continue;
-    cbt_targets.push_back(
-        {v, kids.size() == 1 ? kids.front()->address : entry.group});
-  }
+    // Per-vif fan-out without materialising a child list: skip the
+    // neighbour the packet came from, remember a sole survivor for a
+    // unicast, fall back to the group address when several remain.
+    std::size_t kid_count = 0;
+    Ipv4Address sole_kid;
+    entry.ForEachChildOnVif(v, [&](const ChildEntry& c) {
+      if (v == arrival_vif && c.address == arrival_src) return;
+      sole_kid = c.address;
+      ++kid_count;
+    });
+    if (kid_count == 0) return;
+    cbt_targets.push_back({v, kid_count == 1 ? sole_kid : entry.group});
+  });
 
   for (const VifIndex v : native_tree_vifs) {
     std::vector<std::uint8_t> bytes =

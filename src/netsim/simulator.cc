@@ -13,6 +13,11 @@ namespace {
 // expected to use distinct prefixes supplied by the caller.
 constexpr std::uint32_t kP2pBase = (10u << 24) | (255u << 16);
 
+// Scoped-change journal bound. Consumers that fall further behind than
+// this must treat the whole topology as changed (routing falls back to a
+// full invalidation), so the cap only trades precision, not correctness.
+constexpr std::size_t kTopologyJournalCap = 256;
+
 }  // namespace
 
 Simulator::Simulator(std::uint64_t seed, EventQueue::Engine engine)
@@ -54,7 +59,8 @@ VifIndex Simulator::AttachWithHostPart(NodeId node_id, SubnetId subnet_id,
   iface.address = addr;
   n.interfaces.push_back(iface);
   s.attachments.emplace_back(node_id, iface.vif);
-  ++topology_epoch_;
+  RecordTopologyChange(TopologyChange::Kind::kAttach, subnet_id, node_id,
+                       true);
   return iface.vif;
 }
 
@@ -127,7 +133,8 @@ void Simulator::SetSubnetUp(SubnetId subnet_id, bool up) {
   SubnetRecord& s = subnet(subnet_id);
   if (s.up != up) {
     s.up = up;
-    ++topology_epoch_;
+    RecordTopologyChange(TopologyChange::Kind::kSubnetState, subnet_id,
+                         NodeId{}, up);
   }
 }
 
@@ -136,7 +143,8 @@ void Simulator::SetInterfaceUp(NodeId node_id, VifIndex vif, bool up) {
       node(node_id).interfaces.at(static_cast<std::size_t>(vif));
   if (iface.up != up) {
     iface.up = up;
-    ++topology_epoch_;
+    RecordTopologyChange(TopologyChange::Kind::kInterfaceState, iface.subnet,
+                         node_id, up);
   }
 }
 
@@ -144,8 +152,36 @@ void Simulator::SetNodeUp(NodeId node_id, bool up) {
   NodeRecord& n = node(node_id);
   if (n.up != up) {
     n.up = up;
-    ++topology_epoch_;
+    RecordTopologyChange(TopologyChange::Kind::kNodeState, SubnetId{}, node_id,
+                         up);
   }
+}
+
+void Simulator::RecordTopologyChange(TopologyChange::Kind kind,
+                                     SubnetId subnet_id, NodeId node_id,
+                                     bool up) {
+  ++topology_epoch_;
+  if (topology_journal_.size() >= kTopologyJournalCap) {
+    // Drop the older half in one move; amortized O(1) per change.
+    topology_journal_.erase(
+        topology_journal_.begin(),
+        topology_journal_.begin() + kTopologyJournalCap / 2);
+  }
+  topology_journal_.push_back(
+      TopologyChange{kind, topology_epoch_, subnet_id, node_id, up});
+}
+
+std::optional<std::span<const TopologyChange>> Simulator::ChangesSince(
+    std::uint64_t since) const {
+  if (since >= topology_epoch_) {
+    return std::span<const TopologyChange>{};
+  }
+  // Entries are contiguous (one per epoch) and end at topology_epoch_, so
+  // the requested range is present iff the journal is long enough.
+  const std::uint64_t count = topology_epoch_ - since;
+  if (count > topology_journal_.size()) return std::nullopt;
+  return std::span<const TopologyChange>(topology_journal_)
+      .last(static_cast<std::size_t>(count));
 }
 
 void Simulator::SetSubnetLossRate(SubnetId subnet_id, double loss_rate) {

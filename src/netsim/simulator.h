@@ -141,6 +141,23 @@ struct FrameEvent {
   std::size_t bytes;
 };
 
+/// One scoped topology mutation, journaled 1:1 with topology-epoch bumps
+/// so consumers (unicast routing) can invalidate only the state a change
+/// could have touched instead of recomputing the world.
+struct TopologyChange {
+  enum class Kind : std::uint8_t {
+    kSubnetState,     // subnet up/down       (subnet valid)
+    kInterfaceState,  // interface up/down    (node + subnet valid)
+    kNodeState,       // node up/down         (node valid; scope = its subnets)
+    kAttach,          // new attachment added (node + subnet valid; up=true)
+  };
+  Kind kind;
+  std::uint64_t epoch = 0;  // topology_epoch() value after this change
+  SubnetId subnet;
+  NodeId node;
+  bool up = true;  // the new state
+};
+
 class Simulator {
  public:
   /// `engine` selects the scheduler implementation; kLegacyHeap exists
@@ -216,6 +233,12 @@ class Simulator {
   /// Epoch counter bumped on every up/down change; routing watches this.
   std::uint64_t topology_epoch() const { return topology_epoch_; }
 
+  /// The scoped changes with epoch in (since, topology_epoch()], oldest
+  /// first. nullopt when the bounded journal has already discarded part
+  /// of that range — the caller must then assume everything changed.
+  std::optional<std::span<const TopologyChange>> ChangesSince(
+      std::uint64_t since) const;
+
   // --- Data plane ----------------------------------------------------------
 
   /// Emits `datagram` from `node` out of `vif`, link-addressed to
@@ -256,6 +279,10 @@ class Simulator {
   void DeliverFrame(NodeId receiver, VifIndex vif, Ipv4Address link_src,
                     Ipv4Address link_dst, const PacketRef& datagram);
 
+  /// Bumps the topology epoch and journals the scoped change.
+  void RecordTopologyChange(TopologyChange::Kind kind, SubnetId subnet,
+                            NodeId node, bool up);
+
   SimTime clock_ = 0;
   PacketArena arena_;  // outlives events_: queued closures hold PacketRefs
   EventQueue events_;
@@ -263,6 +290,9 @@ class Simulator {
   std::vector<NodeRecord> nodes_;
   std::vector<SubnetRecord> subnets_;
   std::uint64_t topology_epoch_ = 0;
+  /// Ring of recent scoped changes, one per epoch bump, contiguous up to
+  /// topology_epoch(); trimmed from the front when it outgrows the cap.
+  std::vector<TopologyChange> topology_journal_;
   std::function<void(const FrameEvent&)> frame_observer_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace cbt::core {
 namespace {
 
@@ -89,6 +92,64 @@ TEST(Fib, StateUnitsCountEntriesPlusChildren) {
   g1.AddChild(kChildB, 1, 0);
   fib.Create(Ipv4Address(239, 0, 0, 2));
   EXPECT_EQ(fib.StateUnits(), 4u);  // (1 entry + 2 children) + 1 entry
+}
+
+TEST(FibEntry, ForEachChildVifMatchesChildVifs) {
+  FibEntry entry;
+  entry.AddChild(kChildB, 1, 0);
+  entry.AddChild(kChildA, 0, 0);
+  entry.AddChild(kChildC, 1, 0);  // vif 1 again: must not repeat
+  std::vector<VifIndex> visited;
+  entry.ForEachChildVif([&](VifIndex v) { visited.push_back(v); });
+  EXPECT_EQ(visited, entry.ChildVifs());  // same first-seen order
+  ASSERT_EQ(visited.size(), 2u);
+  EXPECT_EQ(visited[0], 1);
+  EXPECT_EQ(visited[1], 0);
+}
+
+TEST(FibEntry, ForEachChildOnVifVisitsInInsertionOrder) {
+  FibEntry entry;
+  entry.AddChild(kChildB, 1, 0);
+  entry.AddChild(kChildA, 0, 0);
+  entry.AddChild(kChildC, 1, 0);
+  std::vector<Ipv4Address> seen;
+  entry.ForEachChildOnVif(1, [&](const ChildEntry& c) {
+    seen.push_back(c.address);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], kChildB);
+  EXPECT_EQ(seen[1], kChildC);
+  EXPECT_EQ(entry.ChildCountOnVif(1), 2u);
+  EXPECT_EQ(entry.ChildCountOnVif(0), 1u);
+  EXPECT_EQ(entry.ChildCountOnVif(9), 0u);
+}
+
+TEST(FibEntry, ChildrenSpillBeyondInlineCapacity) {
+  FibEntry entry;
+  for (int i = 1; i <= 9; ++i) {
+    entry.AddChild(Ipv4Address(10, 0, 0, (uint8_t)i), (VifIndex)(i % 3), 0);
+  }
+  EXPECT_EQ(entry.children.size(), 9u);
+  EXPECT_EQ(entry.ChildCountOnVif(0), 3u);
+  ASSERT_TRUE(entry.RemoveChild(Ipv4Address(10, 0, 0, 5)));
+  EXPECT_EQ(entry.children.size(), 8u);
+  EXPECT_EQ(entry.FindChild(Ipv4Address(10, 0, 0, 5)), nullptr);
+}
+
+TEST(Fib, IterationIsSortedByGroup) {
+  Fib fib;
+  // Insert out of order; the flat storage must iterate in ascending group
+  // order (the order the previous std::map storage exposed).
+  for (const std::uint8_t last : {9, 2, 7, 1, 5}) {
+    fib.Create(Ipv4Address(239, 0, 0, last));
+  }
+  Ipv4Address prev;
+  for (const auto& [group, entry] : fib) {
+    EXPECT_LT(prev, group);
+    EXPECT_EQ(entry.group, group);
+    prev = group;
+  }
+  EXPECT_EQ(fib.size(), 5u);
 }
 
 TEST(Fib, IterationVisitsAllGroups) {
