@@ -169,11 +169,23 @@ std::vector<NodeId> MospfRouter::MemberRouters(Ipv4Address group) const {
 NodeId MospfRouter::AttachmentRouter(Ipv4Address source) {
   // The lowest-addressed live router on the source's subnet (every MOSPF
   // router derives the same answer from the link-state database). The
-  // subnet comes from the routing layer's LPM index rather than a scan.
-  const auto sid = routes_->ResolveSubnet(source);
+  // subnet comes from the routing layer's LPM index rather than a scan;
+  // LPM ignores liveness, so if the most-specific subnet is down fall back
+  // to the liveness-aware scan — with overlapping prefixes a broader live
+  // subnet may still contain the source.
+  auto sid = routes_->ResolveSubnet(source);
+  if (sid && !sim_->subnet(*sid).up) sid.reset();
+  if (!sid) {
+    for (std::size_t si = 0; si < sim_->subnet_count(); ++si) {
+      const auto& s = sim_->subnet(SubnetId(static_cast<std::int32_t>(si)));
+      if (s.up && s.address.Contains(source)) {
+        sid = s.id;
+        break;
+      }
+    }
+  }
   if (!sid) return NodeId{};
   const auto& subnet = sim_->subnet(*sid);
-  if (!subnet.up) return NodeId{};
   NodeId best;
   Ipv4Address best_addr;
   for (const auto& [peer, pv] : subnet.attachments) {

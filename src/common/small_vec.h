@@ -43,6 +43,9 @@ class SmallVec {
     if (this == &other) return *this;
     delete[] heap_;
     heap_ = nullptr;
+    // Not adopting a heap block means we are back on the inline buffer, so
+    // the capacity must drop to N even when the source is empty.
+    capacity_ = N;
     size_ = other.size_;
     if (other.heap_ != nullptr) {
       heap_ = other.heap_;
@@ -50,7 +53,6 @@ class SmallVec {
       other.heap_ = nullptr;
     } else if (size_ > 0) {
       std::memcpy(inline_, other.inline_, size_ * sizeof(T));
-      capacity_ = N;
     }
     other.size_ = 0;
     other.capacity_ = N;

@@ -416,7 +416,11 @@ std::optional<SubnetId> RouteManager::ResolveSubnet(Ipv4Address dest) {
 // Queries
 // ---------------------------------------------------------------------------
 
-bool RouteManager::OverrideLive(NodeId node, const Route& route) const {
+bool RouteManager::OverrideLive(NodeId node, SubnetId dest_subnet,
+                                const Route& route) const {
+  // The destination subnet itself must be up — a computed route to a dead
+  // subnet returns nullopt, and an override must not outlive that.
+  if (!sim_->subnet(dest_subnet).up) return false;
   const netsim::NodeRecord& n = sim_->node(node);
   if (!n.up) return false;
   if (route.vif < 0 ||
@@ -437,7 +441,7 @@ std::optional<Route> RouteManager::Lookup(NodeId from, Ipv4Address dest) {
   // a dead override falls through to the computed route (and revives if
   // the path comes back).
   if (const auto it = overrides_.find({from, *subnet});
-      it != overrides_.end() && OverrideLive(from, it->second)) {
+      it != overrides_.end() && OverrideLive(from, *subnet, it->second)) {
     return it->second;
   }
 

@@ -198,7 +198,8 @@ class RouteManager {
   void RebuildLpmIndex();
 
   /// True when a static override's forwarding path is actually usable.
-  bool OverrideLive(NodeId node, const Route& route) const;
+  bool OverrideLive(NodeId node, SubnetId dest_subnet,
+                    const Route& route) const;
 
   static constexpr std::size_t kLpmCacheSize = 256;  // direct-mapped
 

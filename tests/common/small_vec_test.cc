@@ -84,6 +84,28 @@ TEST(SmallVec, MoveStealsHeapAndCopiesInline) {
   EXPECT_EQ(assigned[9], 9);
 }
 
+// Regression: move-assigning an empty inline source into a heap-backed
+// destination must reset capacity to the inline N. Leaving the old heap
+// capacity behind made later push_backs skip Grow and write past the
+// inline buffer (heap corruption in Fib's sorted-vector shifts).
+TEST(SmallVec, MoveAssignEmptyInlineIntoHeapBackedResetsCapacity) {
+  SmallVec<int, 2> dst;
+  for (int i = 0; i < 10; ++i) dst.push_back(i);
+  ASSERT_FALSE(dst.inlined());
+
+  dst = SmallVec<int, 2>{};
+  EXPECT_TRUE(dst.empty());
+  EXPECT_TRUE(dst.inlined());
+  EXPECT_EQ(dst.capacity(), 2u);
+
+  // Filling past N again must go through Grow, not scribble off the end
+  // of the inline buffer.
+  for (int i = 0; i < 10; ++i) dst.push_back(i);
+  EXPECT_EQ(dst.size(), 10u);
+  EXPECT_FALSE(dst.inlined());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dst[(std::size_t)i], i);
+}
+
 TEST(SmallVec, EqualityAndClear) {
   SmallVec<std::uint16_t, 3> a;
   SmallVec<std::uint16_t, 3> b;

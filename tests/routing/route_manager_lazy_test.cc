@@ -196,6 +196,13 @@ TEST(RouteManagerLazy, OverrideSkippedWhileItsPathIsDown) {
   EXPECT_EQ(sim.FindNodeByAddress(route->next_hop), r1);
   sim.SetSubnetUp(topo.router_lans[0], true);
   EXPECT_EQ(routes.Lookup(r0, dest)->next_hop, tunnel_peer);
+
+  // Destination subnet down: the computed route is nullopt, and the
+  // override (whose egress vif is still live) must not outlive it.
+  sim.SetSubnetUp(dest_subnet, false);
+  EXPECT_FALSE(routes.Lookup(r0, dest).has_value());
+  sim.SetSubnetUp(dest_subnet, true);
+  EXPECT_EQ(routes.Lookup(r0, dest)->next_hop, tunnel_peer);
 }
 
 TEST(RouteManagerLazy, TieBreakSurvivesScopedInvalidation) {
