@@ -1,20 +1,44 @@
-// Shared helpers for the experiment binaries: `--csv` switches the output
-// to machine-readable CSV (for plotting) instead of the aligned table.
+// Shared CLI + reporting layer for the experiment binaries.
+//
+// Every bench speaks the same flag dialect (bench::Options):
+//
+//   --csv           machine-readable CSV instead of aligned tables
+//   --smoke         shrunken workload for CI smoke runs
+//   --seed N        master RNG seed (default 1)
+//   --repeat N      repeat the measured sweep with seeds seed..seed+N-1
+//   --json FILE     write a structured report (bench::JsonReporter);
+//                   --out FILE is accepted as an alias
+//   --trace FILE    record an obs trace and export Chrome trace_event
+//                   JSON on exit (bench::TraceSession)
+//   --help          usage
+//
+// plus whatever bench-specific flags each binary registers (--events,
+// --routers, --engine, --routing, --plan, ...). Unknown flags are an
+// error: usage goes to stderr and the bench exits 2, so typos no longer
+// silently run the default workload.
+//
+// All BENCH_*.json files share one schema (schema_version 1):
+//
+//   { "bench": "<name>", "schema_version": 1,
+//     "params": { "<key>": <value>, ... },
+//     "series": [ { "name": "...", "units": "...",
+//                   "points": [ { "label": "...", "value": ... } ] } ] }
 #pragma once
 
-#include <cstring>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/table.h"
+#include "obs/trace.h"
 
 namespace cbt::bench {
-
-inline bool WantCsv(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) return true;
-  }
-  return false;
-}
 
 /// Prints the table in the selected format. In CSV mode, `tag` is emitted
 /// as a section marker line (`# <tag>`) so multi-table benches stay
@@ -27,5 +51,374 @@ inline void Emit(const analysis::Table& table, bool csv, const char* tag) {
     table.Print(std::cout);
   }
 }
+
+// ---------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------
+
+class Options {
+ public:
+  Options(std::string bench_name, std::string synopsis)
+      : bench_name_(std::move(bench_name)), synopsis_(std::move(synopsis)) {
+    Flag("csv", &csv, "emit CSV tables instead of aligned text");
+    Flag("smoke", &smoke, "shrunken workload for CI smoke runs");
+    U64("seed", &seed, "master RNG seed");
+    Int("repeat", &repeat, "repeat the sweep with seeds seed..seed+N-1");
+    Str("json", &json_path, "write the structured report to FILE");
+    Str("trace", &trace_path, "export a Chrome trace_event JSON to FILE");
+  }
+
+  // Built-ins; assign before Parse() to change a bench's defaults
+  // (e.g. event_engine defaults json_path to BENCH_event_engine.json).
+  bool csv = false;
+  bool smoke = false;
+  std::uint64_t seed = 1;
+  int repeat = 1;
+  std::string json_path;
+  std::string trace_path;
+
+  /// Registers a bench-specific boolean flag (present => true).
+  void Flag(std::string name, bool* target, std::string help) {
+    specs_.push_back({std::move(name), Spec::kBool, target, nullptr, nullptr,
+                      nullptr, std::move(help)});
+  }
+  void Int(std::string name, int* target, std::string help) {
+    specs_.push_back({std::move(name), Spec::kInt, nullptr, target, nullptr,
+                      nullptr, std::move(help)});
+  }
+  void U64(std::string name, std::uint64_t* target, std::string help) {
+    specs_.push_back({std::move(name), Spec::kU64, nullptr, nullptr, target,
+                      nullptr, std::move(help)});
+  }
+  void Str(std::string name, std::string* target, std::string help) {
+    specs_.push_back({std::move(name), Spec::kStr, nullptr, nullptr, nullptr,
+                      target, std::move(help)});
+  }
+
+  /// Parses argv. On --help prints usage to stdout and exits 0; on any
+  /// unknown flag or missing/garbled value prints usage to stderr and
+  /// exits 2.
+  void Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        PrintUsage(std::cout);
+        std::exit(0);
+      }
+      if (arg.rfind("--", 0) != 0) Fail("unexpected argument '" + arg + "'");
+      std::string name = arg.substr(2);
+      if (name == "out") name = "json";  // legacy alias kept for CI scripts
+      Spec* spec = Find(name);
+      if (spec == nullptr) Fail("unknown flag '" + arg + "'");
+      if (spec->kind == Spec::kBool) {
+        *spec->b = true;
+        continue;
+      }
+      if (i + 1 >= argc) Fail("flag '" + arg + "' expects a value");
+      const std::string value = argv[++i];
+      switch (spec->kind) {
+        case Spec::kInt:
+          if (!ParseInt(value, spec->i)) {
+            Fail("flag '" + arg + "' expects an integer, got '" + value + "'");
+          }
+          break;
+        case Spec::kU64:
+          if (!ParseU64(value, spec->u)) {
+            Fail("flag '" + arg + "' expects an integer, got '" + value + "'");
+          }
+          break;
+        case Spec::kStr:
+          *spec->s = value;
+          break;
+        case Spec::kBool:
+          break;  // unreachable
+      }
+    }
+    if (repeat < 1) Fail("--repeat expects a positive count");
+  }
+
+  const std::string& bench_name() const { return bench_name_; }
+
+ private:
+  struct Spec {
+    enum Kind { kBool, kInt, kU64, kStr };
+    std::string name;
+    Kind kind;
+    bool* b;
+    int* i;
+    std::uint64_t* u;
+    std::string* s;
+    std::string help;
+  };
+
+  Spec* Find(const std::string& name) {
+    for (Spec& spec : specs_) {
+      if (spec.name == name) return &spec;
+    }
+    return nullptr;
+  }
+
+  static bool ParseInt(const std::string& text, int* out) {
+    try {
+      std::size_t pos = 0;
+      const int v = std::stoi(text, &pos);
+      if (pos != text.size()) return false;
+      *out = v;
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  static bool ParseU64(const std::string& text, std::uint64_t* out) {
+    try {
+      std::size_t pos = 0;
+      const std::uint64_t v = std::stoull(text, &pos);
+      if (pos != text.size() || text.front() == '-') return false;
+      *out = v;
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  void PrintUsage(std::ostream& os) const {
+    os << "usage: bench_" << bench_name_ << " [flags]\n"
+       << "  " << synopsis_ << "\n\nflags:\n";
+    for (const Spec& spec : specs_) {
+      std::string left = "  --" + spec.name;
+      if (spec.kind != Spec::kBool) left += " <value>";
+      os << left;
+      for (std::size_t pad = left.size(); pad < 24; ++pad) os << ' ';
+      os << spec.help << "\n";
+    }
+    os << "  --out <value>         alias for --json\n";
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    std::cerr << "bench_" << bench_name_ << ": " << message << "\n\n";
+    PrintUsage(std::cerr);
+    std::exit(2);
+  }
+
+  std::string bench_name_;
+  std::string synopsis_;
+  std::vector<Spec> specs_;
+};
+
+// ---------------------------------------------------------------------
+// JsonReporter
+// ---------------------------------------------------------------------
+
+/// Builds the common BENCH_*.json report. Values are stored as
+/// pre-rendered JSON literals so integer counters round-trip exactly.
+class JsonReporter {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit JsonReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void Param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, Quote(value));
+  }
+  void Param(const std::string& key, const char* value) {
+    params_.emplace_back(key, Quote(value));
+  }
+  void Param(const std::string& key, bool value) {
+    params_.emplace_back(key, value ? "true" : "false");
+  }
+  void Param(const std::string& key, std::uint64_t value) {
+    params_.emplace_back(key, std::to_string(value));
+  }
+  void Param(const std::string& key, int value) {
+    params_.emplace_back(key, std::to_string(value));
+  }
+  void Param(const std::string& key, double value) {
+    params_.emplace_back(key, Number(value));
+  }
+
+  class Series {
+   public:
+    Series(std::string name, std::string units)
+        : name_(std::move(name)), units_(std::move(units)) {}
+    void Add(const std::string& label, double value) {
+      points_.emplace_back(label, Number(value));
+    }
+    void Add(const std::string& label, std::uint64_t value) {
+      points_.emplace_back(label, std::to_string(value));
+    }
+    void Add(const std::string& label, int value) {
+      points_.emplace_back(label, std::to_string(value));
+    }
+
+   private:
+    friend class JsonReporter;
+    std::string name_;
+    std::string units_;
+    std::vector<std::pair<std::string, std::string>> points_;
+  };
+
+  Series& AddSeries(const std::string& name, const std::string& units) {
+    series_.push_back(std::make_unique<Series>(name, units));
+    return *series_.back();
+  }
+
+  /// Converts an analysis::Table: every numeric column becomes one
+  /// series named "<tag>.<header>", with each row's first cell as the
+  /// point label. Non-numeric cells are skipped.
+  void AddTable(const std::string& tag, const analysis::Table& table,
+                const std::string& units = "") {
+    const auto& headers = table.headers();
+    for (std::size_t col = 1; col < headers.size(); ++col) {
+      Series* series = nullptr;
+      for (const auto& row : table.rows()) {
+        if (col >= row.size()) continue;
+        double value = 0;
+        if (!ParseNumber(row[col], &value)) continue;
+        if (series == nullptr) {
+          series = &AddSeries(tag + "." + headers[col], units);
+        }
+        series->Add(row.empty() ? "" : row[0], value);
+      }
+    }
+  }
+
+  void Write(std::ostream& os) const {
+    os << "{\n  \"bench\": " << Quote(bench_)
+       << ",\n  \"schema_version\": " << kSchemaVersion
+       << ",\n  \"params\": {";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    " << Quote(params_[i].first)
+         << ": " << params_[i].second;
+    }
+    os << (params_.empty() ? "" : "\n  ") << "},\n  \"series\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const Series& s = *series_[i];
+      os << (i == 0 ? "\n" : ",\n") << "    {\"name\": " << Quote(s.name_)
+         << ", \"units\": " << Quote(s.units_) << ", \"points\": [";
+      for (std::size_t p = 0; p < s.points_.size(); ++p) {
+        os << (p == 0 ? "\n" : ",\n") << "      {\"label\": "
+           << Quote(s.points_[p].first) << ", \"value\": "
+           << s.points_[p].second << "}";
+      }
+      os << (s.points_.empty() ? "" : "\n    ") << "]}";
+    }
+    os << (series_.empty() ? "" : "\n  ") << "]\n}\n";
+  }
+
+  /// Writes to `path`; reports to stderr so bench stdout stays
+  /// byte-comparable across runs. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench_" << bench_ << ": cannot write " << path << "\n";
+      return false;
+    }
+    Write(os);
+    std::cerr << "wrote " << path << "\n";
+    return os.good();
+  }
+
+ private:
+  static std::string Quote(const std::string& text) {
+    std::string out = "\"";
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string Number(double value) {
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    const std::string text = os.str();
+    // JSON requires a finite literal; our benches never produce inf/nan,
+    // but a report must not silently become unparseable if one does.
+    if (text.find_first_of("in") != std::string::npos &&
+        text.find_first_of("0123456789") == std::string::npos) {
+      return "null";
+    }
+    return text;
+  }
+
+  static bool ParseNumber(const std::string& text, double* out) {
+    if (text.empty()) return false;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(text, &pos);
+      if (pos != text.size()) return false;
+      *out = v;
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::unique_ptr<Series>> series_;
+};
+
+// ---------------------------------------------------------------------
+// TraceSession
+// ---------------------------------------------------------------------
+
+/// RAII tracing for bench mains. Constructed with the --trace path
+/// (empty => inert) BEFORE any Simulator is built: it installs the
+/// process-default TraceBuffer that every Simulator picks up at
+/// construction, and on destruction exports Chrome trace_event JSON.
+/// All status output goes to stderr — bench stdout must stay
+/// byte-identical whether or not tracing is on.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path,
+                        obs::TraceLevel level = obs::TraceLevel::kVerbose,
+                        std::size_t capacity = std::size_t{1} << 18)
+      : path_(path) {
+    if (path_.empty()) return;
+    buffer_ = std::make_unique<obs::TraceBuffer>(capacity, level);
+    obs::SetProcessTraceBuffer(buffer_.get());
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    if (buffer_ == nullptr) return;
+    obs::SetProcessTraceBuffer(nullptr);
+    std::ofstream os(path_);
+    if (!os) {
+      std::cerr << "trace: cannot write " << path_ << "\n";
+      return;
+    }
+    buffer_->ExportChromeTrace(os);
+    std::cerr << "wrote trace " << path_ << " (" << buffer_->size()
+              << " events retained, " << buffer_->dropped() << " dropped)\n";
+  }
+
+  bool active() const { return buffer_ != nullptr; }
+  obs::TraceBuffer* buffer() { return buffer_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::TraceBuffer> buffer_;
+};
 
 }  // namespace cbt::bench

@@ -19,7 +19,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -207,35 +206,33 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = bench::WantCsv(argc, argv);
+  bench::Options opts("chaos_soak",
+                      "randomized fault schedules vs the tree invariants");
   bool dump_plan = false;
-  std::uint64_t seed = 1;
   int event_count = 100;
   int routers = 0;  // 0 = default three-topology sweep
-  netsim::EventQueue::Engine engine = netsim::EventQueue::Engine::kTimerWheel;
-  routing::RouteManager::Mode routing_mode = routing::RouteManager::Mode::kLazy;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--plan") == 0) dump_plan = true;
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[i + 1], nullptr, 10);
-    }
-    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
-      event_count = std::atoi(argv[i + 1]);
-    }
-    if (std::strcmp(argv[i], "--routers") == 0 && i + 1 < argc) {
-      routers = std::atoi(argv[i + 1]);
-    }
-    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
-      engine = std::strcmp(argv[i + 1], "legacy") == 0
-                   ? netsim::EventQueue::Engine::kLegacyHeap
-                   : netsim::EventQueue::Engine::kTimerWheel;
-    }
-    if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc) {
-      routing_mode = std::strcmp(argv[i + 1], "eager") == 0
-                         ? routing::RouteManager::Mode::kEager
-                         : routing::RouteManager::Mode::kLazy;
-    }
-  }
+  std::string engine_name = "wheel";
+  std::string routing_name = "lazy";
+  opts.Flag("plan", &dump_plan, "dump the generated chaos schedule");
+  opts.Int("events", &event_count, "fault events per topology");
+  opts.Int("routers", &routers,
+           "scaling mode: one ~N-router grid instead of the sweep");
+  opts.Str("engine", &engine_name, "event engine under test: wheel|legacy");
+  opts.Str("routing", &routing_name, "unicast recompute: lazy|eager");
+  opts.Parse(argc, argv);
+  if (opts.smoke) event_count = std::min(event_count, 10);
+
+  // Before any Simulator exists, so every sim in the sweep records.
+  bench::TraceSession trace(opts.trace_path);
+
+  const bool csv = opts.csv;
+  const std::uint64_t seed = opts.seed;
+  const netsim::EventQueue::Engine engine =
+      engine_name == "legacy" ? netsim::EventQueue::Engine::kLegacyHeap
+                              : netsim::EventQueue::Engine::kTimerWheel;
+  const routing::RouteManager::Mode routing_mode =
+      routing_name == "eager" ? routing::RouteManager::Mode::kEager
+                              : routing::RouteManager::Mode::kLazy;
 
   if (!csv) {
     std::cout << "Chaos soak: seed=" << seed << ", " << event_count
@@ -250,6 +247,10 @@ int main(int argc, char** argv) {
                           "clean @s"});
 
   std::vector<SoakResult> results;
+  // --repeat reruns the whole sweep with seeds seed, seed+1, ...; each
+  // repetition appends its own rows (repeat=1 output is unchanged).
+  for (int rep = 0; rep < opts.repeat; ++rep) {
+  const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(rep);
   if (routers > 0) {
     // Scaling mode: one square grid of at least `routers` routers. The
     // whole domain runs (echo timers, IGMP queries, keepalives on every
@@ -263,7 +264,7 @@ int main(int argc, char** argv) {
                        {topo.routers[0], topo.routers[n - 1]}};
     results.push_back(RunSoak("grid-" + std::to_string(side) + "x" +
                                   std::to_string(side),
-                              sim, topo, members, seed, event_count,
+                              sim, topo, members, run_seed, event_count,
                               dump_plan, routing_mode));
   } else {
   {
@@ -271,8 +272,8 @@ int main(int argc, char** argv) {
     netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
     MemberPlan members{{3, 5, 10, 12}, {topo.routers[0], topo.routers[15]}};
     results.push_back(
-        RunSoak("grid-4x4", sim, topo, members, seed, event_count, dump_plan,
-                routing_mode));
+        RunSoak("grid-4x4", sim, topo, members, run_seed, event_count,
+                dump_plan, routing_mode));
   }
   {
     netsim::Simulator sim(1, engine);
@@ -281,7 +282,7 @@ int main(int argc, char** argv) {
     wp.seed = 7;
     netsim::Topology topo = netsim::MakeWaxman(sim, wp);
     MemberPlan members{{4, 9, 14, 19}, {topo.routers[0], topo.routers[13]}};
-    results.push_back(RunSoak("waxman-20", sim, topo, members, seed,
+    results.push_back(RunSoak("waxman-20", sim, topo, members, run_seed,
                               event_count, dump_plan, routing_mode));
   }
   {
@@ -292,8 +293,9 @@ int main(int argc, char** argv) {
     tp.stub_size = 3;
     netsim::Topology topo = netsim::MakeTransitStub(sim, tp);
     MemberPlan members{{6, 11, 16, 21}, {topo.routers[0], topo.routers[1]}};
-    results.push_back(RunSoak("transit-stub", sim, topo, members, seed,
+    results.push_back(RunSoak("transit-stub", sim, topo, members, run_seed,
                               event_count, dump_plan, routing_mode));
+  }
   }
   }
 
@@ -319,6 +321,19 @@ int main(int argc, char** argv) {
   bench::Emit(recovery, csv, "recovery");
   if (!csv) std::cout << "\n";
   bench::Emit(totals, csv, "totals");
+
+  if (!opts.json_path.empty()) {
+    bench::JsonReporter report(opts.bench_name());
+    report.Param("seed", seed);
+    report.Param("repeat", opts.repeat);
+    report.Param("events", event_count);
+    report.Param("routers", routers);
+    report.Param("engine", engine_name);
+    report.Param("routing", routing_name);
+    report.AddTable("recovery", recovery, "s");
+    report.AddTable("totals", totals);
+    report.WriteFile(opts.json_path);
+  }
 
   bool all_clean = true;
   for (const SoakResult& r : results) all_clean &= r.final_clean;

@@ -110,7 +110,11 @@ std::uint64_t RunDvmrp(int groups, std::uint64_t* data_transmissions) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = cbt::bench::WantCsv(argc, argv);
+  cbt::bench::Options opts("control_overhead",
+                           "E6: steady-state control overhead vs DVMRP");
+  opts.Parse(argc, argv);
+  cbt::bench::TraceSession trace(opts.trace_path);
+  const bool csv = opts.csv;
   std::cout << "E6: steady-state control overhead — 5x5 grid, "
             << kMembersPerGroup << " member routers/group, 10 minutes\n"
             << "(CBT: echo keepalives; DVMRP: prunes+grafts, plus the "
@@ -133,5 +137,11 @@ int main(int argc, char** argv) {
                "aggregated column stays near the 1-group cost; DVMRP's "
                "row shows the re-flood data cost per-source trees pay "
                "for statelessness.\n";
+  if (!opts.json_path.empty()) {
+    cbt::bench::JsonReporter report(opts.bench_name());
+    report.Param("members_per_group", kMembersPerGroup);
+    report.AddTable("control_overhead", table, "msgs");
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

@@ -35,7 +35,11 @@ struct Accumulated {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = cbt::bench::WantCsv(argc, argv);
+  cbt::bench::Options opts("delay_ratio",
+                           "E3: shared-tree delay penalty vs core placement");
+  opts.Parse(argc, argv);
+  cbt::bench::TraceSession trace(opts.trace_path);
+  const bool csv = opts.csv;
   std::cout << "E3: shared-tree delay penalty vs core placement — Waxman n="
             << kRouters << ", " << kMembers << " members, " << kSeeds
             << " seeds\n(ratio = tree-path delay / unicast delay over all "
@@ -116,5 +120,13 @@ int main(int argc, char** argv) {
                "hash rotation over spread candidates pays the most. The "
                "large max ratios come from near-by member pairs forced "
                "via the core — the shared tree's inherent tail cost.\n";
+  if (!opts.json_path.empty()) {
+    cbt::bench::JsonReporter report(opts.bench_name());
+    report.Param("routers", kRouters);
+    report.Param("members", kMembers);
+    report.Param("seeds", kSeeds);
+    report.AddTable("delay_ratio", table);
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

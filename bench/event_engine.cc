@@ -12,16 +12,15 @@
 // Both workloads are seeded and also compare a fire-order checksum
 // across engines, so the bench doubles as a quick determinism probe.
 // Results go to stdout and to BENCH_event_engine.json (overridable with
-// --out) so CI can track the perf trajectory; --smoke shrinks the sizes
-// for a fast correctness-only pass.
+// --json / --out) so CI can track the perf trajectory; --smoke shrinks
+// the sizes for a fast correctness-only pass.
 #include <chrono>
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "netsim/event_queue.h"
 
@@ -130,14 +129,12 @@ void PrintRow(const WorkloadResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path = "BENCH_event_engine.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[i + 1];
-    }
-  }
+  bench::Options opts("event_engine",
+                      "event-engine microbench: timer wheel vs legacy heap");
+  opts.json_path = "BENCH_event_engine.json";  // always reported
+  opts.Parse(argc, argv);
+  bench::TraceSession trace(opts.trace_path);
+  const bool smoke = opts.smoke;
 
   const std::size_t timers = smoke ? 2'000 : 100'000;
   const std::uint64_t rearm_ops = smoke ? 20'000 : 2'000'000;
@@ -174,20 +171,23 @@ int main(int argc, char** argv) {
     std::cout << "  " << wheel.name << " speedup: " << speedup << "x\n";
   }
 
-  std::ofstream json(out_path);
-  json << "{\n  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
-       << "  \"deterministic\": " << (deterministic ? "true" : "false")
-       << ",\n  \"workloads\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const WorkloadResult& r = results[i];
-    json << "    {\"name\": \"" << r.name << "\", \"engine\": \"" << r.engine
-         << "\", \"ops\": " << r.ops << ", \"seconds\": " << r.seconds
-         << ", \"mops\": " << r.mops() << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+  bench::JsonReporter report(opts.bench_name());
+  report.Param("mode", smoke ? "smoke" : "full");
+  report.Param("deterministic", deterministic);
+  report.Param("timers", static_cast<std::uint64_t>(timers));
+  auto& ops_series = report.AddSeries("ops", "ops");
+  auto& secs_series = report.AddSeries("seconds", "s");
+  auto& mops_series = report.AddSeries("mops", "Mops/s");
+  for (const WorkloadResult& r : results) {
+    const std::string label = r.name + "/" + r.engine;
+    ops_series.Add(label, r.ops);
+    secs_series.Add(label, r.seconds);
+    mops_series.Add(label, r.mops());
   }
-  json << "  ],\n  \"speedup\": {\"cancel_rearm\": " << rearm_speedup
-       << ", \"schedule_drain\": " << drain_speedup << "}\n}\n";
-  std::cout << "wrote " << out_path << "\n";
+  auto& speedup = report.AddSeries("speedup", "x");
+  speedup.Add("cancel_rearm", rearm_speedup);
+  speedup.Add("schedule_drain", drain_speedup);
+  report.WriteFile(opts.json_path);
 
   return deterministic ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "analysis/table.h"
+#include "bench_util.h"
 #include "cbt/domain.h"
 #include "netsim/topologies.h"
 
@@ -75,7 +76,12 @@ Recovery RunDiamond(SimDuration echo_interval, SimDuration echo_timeout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Options opts("failure_recovery",
+                      "E7: parent-failure detection and branch re-attach");
+  opts.Parse(argc, argv);
+  bench::TraceSession trace(opts.trace_path);
+
   std::cout << "E7: failure recovery — parent router dies; child branch "
                "re-attaches via the alternate path\n\n(a) diamond "
                "topology, echo timer sweep\n\n";
@@ -156,5 +162,11 @@ int main() {
                "timers recover faster but cost proportionally more "
                "keepalive messages. After the primary-core failure the "
                "secondary core anchors delivery.\n";
+  if (!opts.json_path.empty()) {
+    bench::JsonReporter report(opts.bench_name());
+    report.AddTable("echo_sweep", sweep, "s");
+    report.AddTable("grid_core_failover", grid_table);
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "analysis/table.h"
+#include "bench_util.h"
 #include "cbt/domain.h"
 #include "netsim/topologies.h"
 
@@ -19,7 +20,12 @@ constexpr Ipv4Address kGroup(239, 1, 2, 3);
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Options opts("figure1_walkthrough",
+                      "E8: the spec's Figure-1 worked examples");
+  opts.Parse(argc, argv);
+  bench::TraceSession trace(opts.trace_path);
+
   netsim::Simulator sim(1);
   netsim::Topology topo = netsim::MakeFigure1(sim);
   core::CbtConfig config;
@@ -117,5 +123,10 @@ int main() {
                    domain.router("R3").IsOnTree(kGroup) ? "on-tree"
                                                         : "OFF-TREE"});
   teardown.Print(std::cout);
+  if (!opts.json_path.empty()) {
+    bench::JsonReporter report(opts.bench_name());
+    report.AddTable("data_walkthrough", data, "packets");
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

@@ -11,11 +11,11 @@
 //      (plus the LAN hop), linear in distance.
 // Also ablates the proxy-ack optimization (section 2.6): latency is the
 // same, but the LAN's D-DR keeps state without it.
-#include <cstring>
 #include <iostream>
 #include <optional>
 
 #include "analysis/table.h"
+#include "bench_util.h"
 #include "cbt/domain.h"
 #include "netsim/topologies.h"
 
@@ -59,13 +59,15 @@ JoinLatency MeasureJoin(netsim::Simulator& sim, core::CbtDomain& domain,
 int main(int argc, char** argv) {
   // `--routing lazy|eager` selects the unicast recompute strategy so the
   // differential cross-check can pin both modes to identical output.
-  auto routing_mode = cbt::routing::RouteManager::Mode::kLazy;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--routing") == 0 && i + 1 < argc &&
-        std::strcmp(argv[i + 1], "eager") == 0) {
-      routing_mode = cbt::routing::RouteManager::Mode::kEager;
-    }
-  }
+  bench::Options opts("join_latency", "E5: join latency vs distance to core");
+  std::string routing_name = "lazy";
+  opts.Str("routing", &routing_name, "unicast recompute: lazy|eager");
+  opts.Parse(argc, argv);
+  const auto routing_mode = routing_name == "eager"
+                                ? cbt::routing::RouteManager::Mode::kEager
+                                : cbt::routing::RouteManager::Mode::kLazy;
+
+  bench::TraceSession trace(opts.trace_path);
 
   std::cout << "E5: join latency\n\n(a) Figure-1 walkthrough (1ms link "
                "delays; joins issued sequentially; latency = IGMP report "
@@ -151,5 +153,14 @@ int main(int argc, char** argv) {
                "first hop is never on the member LAN, so both columns "
                "hold state here — the Figure-1 B case above shows the "
                "stateless-DR effect).\n";
+
+  if (!opts.json_path.empty()) {
+    bench::JsonReporter report(opts.bench_name());
+    report.Param("routing", routing_name);
+    report.Param("seed", opts.seed);
+    report.AddTable("figure1", fig1, "ms");
+    report.AddTable("line", line, "ms");
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

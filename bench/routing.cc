@@ -14,17 +14,16 @@
 // Every workload folds its answers into a checksum and the post-flap /
 // lookup runs are executed under both strategies with identical seeds, so
 // the bench doubles as a lazy==eager / indexed==linear differential.
-// Results go to stdout and BENCH_routing.json (--out overrides; --smoke
-// shrinks sizes for the CI correctness pass).
+// Results go to stdout and BENCH_routing.json (--json / --out overrides;
+// --smoke shrinks sizes for the CI correctness pass).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "netsim/simulator.h"
 #include "netsim/topologies.h"
@@ -180,14 +179,12 @@ void PrintRow(const RunResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path = "BENCH_routing.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[i + 1];
-    }
-  }
+  bench::Options opts("routing",
+                      "routing microbench: lazy invalidation + LPM index");
+  opts.json_path = "BENCH_routing.json";  // always reported
+  opts.Parse(argc, argv);
+  bench::TraceSession trace(opts.trace_path);
+  const bool smoke = opts.smoke;
 
   // Full mode: a 16x16 grid = 256 routers, the ISSUE's scaling floor.
   const int side = smoke ? 8 : 16;
@@ -242,28 +239,30 @@ int main(int argc, char** argv) {
             << "  lookup speedup (LPM vs linear scan): " << lookup_speedup
             << "x\n";
 
-  std::ofstream json(out_path);
-  json << "{\n  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
-       << "  \"routers\": " << side * side << ",\n"
-       << "  \"deterministic\": " << (deterministic ? "true" : "false")
-       << ",\n  \"workloads\": [\n";
+  bench::JsonReporter report(opts.bench_name());
+  report.Param("mode", smoke ? "smoke" : "full");
+  report.Param("routers", side * side);
+  report.Param("deterministic", deterministic);
+  auto& ops_series = report.AddSeries("ops", "queries");
+  auto& secs_series = report.AddSeries("seconds", "s");
+  auto& computed_series = report.AddSeries("tables_computed", "tables");
+  auto& warm_series = report.AddSeries("tables_kept_warm", "tables");
   const RunResult* all[] = {&cold_lazy, &cold_eager, &flap_lazy,
                             &flap_eager, &look_idx,  &look_lin};
-  for (std::size_t i = 0; i < std::size(all); ++i) {
-    const RunResult& r = *all[i];
-    json << "    {\"name\": \"" << r.name << "\", \"ops\": " << r.ops
-         << ", \"seconds\": " << r.seconds
-         << ", \"tables_computed\": " << r.tables_computed
-         << ", \"tables_kept_warm\": " << r.tables_kept_warm << "}"
-         << (i + 1 < std::size(all) ? "," : "") << "\n";
+  for (const RunResult* r : all) {
+    ops_series.Add(r->name, r->ops);
+    secs_series.Add(r->name, r->seconds);
+    computed_series.Add(r->name, r->tables_computed);
+    warm_series.Add(r->name, r->tables_kept_warm);
   }
-  json << "  ],\n  \"post_flap\": {\"eager_tables_per_flap\": "
-       << eager_tables_per_flap
-       << ", \"lazy_tables_per_flap\": " << lazy_tables_per_flap
-       << ", \"work_reduction\": " << work_reduction
-       << ", \"time_speedup\": " << flap_speedup
-       << "},\n  \"lookup\": {\"speedup\": " << lookup_speedup << "}\n}\n";
-  std::cout << "wrote " << out_path << "\n";
+  auto& headline = report.AddSeries("headline", "x");
+  headline.Add("post_flap_work_reduction", work_reduction);
+  headline.Add("post_flap_time_speedup", flap_speedup);
+  headline.Add("lookup_speedup", lookup_speedup);
+  auto& per_flap = report.AddSeries("tables_per_flap", "tables");
+  per_flap.Add("eager", eager_tables_per_flap);
+  per_flap.Add("lazy", lazy_tables_per_flap);
+  report.WriteFile(opts.json_path);
 
   return deterministic ? 0 : 1;
 }

@@ -176,7 +176,11 @@ Result RunMospf(int groups, int senders, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = cbt::bench::WantCsv(argc, argv);
+  cbt::bench::Options opts("state_scaling",
+                           "E1: router state scaling vs DVMRP and MOSPF");
+  opts.Parse(argc, argv);
+  cbt::bench::TraceSession trace(opts.trace_path);
+  const bool csv = opts.csv;
   std::cout << "E1: router state scaling — CBT shared tree vs DVMRP "
                "flood-and-prune vs MOSPF link-state\n"
             << "(Waxman n=" << kRouters << ", " << kMembersPerGroup
@@ -213,5 +217,12 @@ int main(int argc, char** argv) {
                "groups x senders at every router; MOSPF holds membership "
                "knowledge (groups x member-routers) at EVERY router plus "
                "per-(S,G) cache on tree routers.\n";
+  if (!opts.json_path.empty()) {
+    cbt::bench::JsonReporter report(opts.bench_name());
+    report.Param("routers", kRouters);
+    report.Param("members_per_group", kMembersPerGroup);
+    report.AddTable("state_scaling", table, "state units");
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

@@ -52,7 +52,11 @@ LoadSummary Summarize(const std::map<std::pair<NodeId, NodeId>, int>& load) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = cbt::bench::WantCsv(argc, argv);
+  cbt::bench::Options opts("traffic_concentration",
+                           "E4: link-load concentration across schemes");
+  opts.Parse(argc, argv);
+  cbt::bench::TraceSession trace(opts.trace_path);
+  const bool csv = opts.csv;
   std::cout << "E4: traffic concentration (all members send one packet) — "
                "Waxman n="
             << kRouters << ", " << kSeeds << " seeds\n\n";
@@ -200,5 +204,13 @@ int main(int argc, char** argv) {
                "(up-leg + down-leg); SPT peak clearly lower with load "
                "spread over more links — CBT's bidirectionality is the "
                "cheaper of the two shared-tree designs.\n";
+  if (!opts.json_path.empty()) {
+    cbt::bench::JsonReporter report(opts.bench_name());
+    report.Param("routers", kRouters);
+    report.Param("seeds", kSeeds);
+    report.AddTable("oracle_link_load", table, "packets");
+    report.AddTable("live_grid", live, "frames");
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

@@ -28,7 +28,11 @@ constexpr int kSeeds = 5;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = cbt::bench::WantCsv(argc, argv);
+  cbt::bench::Options opts("tree_cost",
+                           "E2: shared-tree vs per-source tree cost");
+  opts.Parse(argc, argv);
+  cbt::bench::TraceSession trace(opts.trace_path);
+  const bool csv = opts.csv;
   std::cout << "E2: tree cost (links) vs group size — Waxman n=" << kRouters
             << ", averaged over " << kSeeds << " seeds\n"
             << "(senders = members; 'SPT union' is the per-source state a "
@@ -94,5 +98,12 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: shared-tree cost tracks a single SPT "
                "(within ~1.2x); the per-source union costs several times "
                "more links and the gap widens with group size.\n";
+  if (!opts.json_path.empty()) {
+    cbt::bench::JsonReporter report(opts.bench_name());
+    report.Param("routers", kRouters);
+    report.Param("seeds", kSeeds);
+    report.AddTable("tree_cost", table, "links");
+    report.WriteFile(opts.json_path);
+  }
   return 0;
 }

@@ -92,6 +92,10 @@ void InvariantAuditor::AuditGroup(Ipv4Address group,
   netsim::Simulator& sim = domain_->sim();
 
   const auto note = [&](InvariantKind kind, NodeId node, std::string detail) {
+    OBS_TRACE(sim.trace(), .time = sim.Now(),
+              .kind = obs::TraceKind::kInvariant,
+              .name = InvariantKindName(kind), .node = node.value(),
+              .group = group);
     report.violations.push_back(
         Violation{kind, group, node, SubnetId{}, std::move(detail)});
   };
@@ -246,6 +250,12 @@ void InvariantAuditor::AuditGroup(Ipv4Address group,
       }
     }
     if (present && !served) {
+      OBS_TRACE(sim.trace(), .time = sim.Now(),
+                .kind = obs::TraceKind::kInvariant,
+                .name = InvariantKindName(InvariantKind::kMemberLanDetached),
+                .group = group,
+                .arg_a = static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(sid.value())));
       report.violations.push_back(Violation{
           InvariantKind::kMemberLanDetached, group, NodeId{}, sid,
           "LAN " + subnet.name + " has members but no on-tree DR"});

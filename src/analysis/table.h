@@ -32,6 +32,10 @@ class Table {
   /// RFC-4180-ish CSV (no quoting needed for our numeric cells).
   void PrintCsv(std::ostream& os) const;
 
+  /// Raw access for machine exporters (bench::JsonReporter).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -34,6 +34,17 @@ class DvmrpDomain {
   std::uint64_t TotalControlMessages() const;
   std::size_t TotalForwardingEntries() const;
 
+  /// Binds router ("dvmrp.router.<id>.*"), routing, and subnet counters
+  /// into `registry` (mirrors CbtDomain::BindMetrics).
+  void BindMetrics(obs::Registry& registry) {
+    sim_->SetMetrics(&registry);
+    for (const auto& [id, router] : routers_) {
+      obs::BindStats(registry, "dvmrp.router." + std::to_string(id.value()),
+                     router->mutable_stats());
+    }
+    obs::BindStats(registry, "dvmrp.routing", routes_.mutable_stats());
+  }
+
  private:
   netsim::Simulator* sim_;
   netsim::Topology* topo_;

@@ -22,9 +22,11 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/dvmrp_message.h"
+#include "obs/fields.h"
 #include "igmp/router_igmp.h"
 #include "netsim/simulator.h"
 #include "netsim/timer.h"
@@ -54,10 +56,34 @@ struct DvmrpStats {
   std::uint64_t graft_acks_received = 0;
   std::uint64_t control_bytes_sent = 0;
 
+  /// Historical rollup: prunes + grafts only (retransmits and graft-acks
+  /// were never counted; the kControlSent tags below pin that).
   std::uint64_t ControlMessagesSent() const {
-    return prunes_sent + grafts_sent;
+    return obs::SumTagged(*this, obs::FieldTag::kControlSent);
   }
+
+  void Reset() { obs::ResetStats(*this); }
 };
+
+/// obs reflection (see obs/fields.h).
+template <typename Stats, typename Fn>
+  requires std::is_same_v<std::remove_const_t<Stats>, DvmrpStats>
+void ForEachStatsField(Stats& s, Fn&& fn) {
+  using Tag = obs::FieldTag;
+  fn("data_forwarded", s.data_forwarded, Tag::kNone);
+  fn("data_delivered_lan", s.data_delivered_lan, Tag::kNone);
+  fn("data_dropped_rpf", s.data_dropped_rpf, Tag::kNone);
+  fn("data_dropped_pruned", s.data_dropped_pruned, Tag::kNone);
+  fn("data_dropped_ttl", s.data_dropped_ttl, Tag::kNone);
+  fn("prunes_sent", s.prunes_sent, Tag::kControlSent);
+  fn("prunes_received", s.prunes_received, Tag::kNone);
+  fn("grafts_sent", s.grafts_sent, Tag::kControlSent);
+  fn("grafts_received", s.grafts_received, Tag::kNone);
+  fn("graft_retransmits", s.graft_retransmits, Tag::kNone);
+  fn("graft_acks_sent", s.graft_acks_sent, Tag::kNone);
+  fn("graft_acks_received", s.graft_acks_received, Tag::kNone);
+  fn("control_bytes_sent", s.control_bytes_sent, Tag::kNone);
+}
 
 class DvmrpRouter : public netsim::NetworkAgent {
  public:
@@ -68,8 +94,10 @@ class DvmrpRouter : public netsim::NetworkAgent {
   void Start() override;
   void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
                   std::span<const std::uint8_t> datagram) override;
+  void ResetProtocolCounters() override { stats_.Reset(); }
 
   const DvmrpStats& stats() const { return stats_; }
+  DvmrpStats& mutable_stats() { return stats_; }
   const igmp::RouterIgmp& igmp() const { return igmp_; }
 
   /// (S,G) entries currently held.

@@ -22,10 +22,12 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "igmp/router_igmp.h"
 #include "netsim/simulator.h"
+#include "obs/fields.h"
 #include "packet/encap.h"
 #include "routing/route_manager.h"
 
@@ -44,10 +46,30 @@ struct MospfStats {
   std::uint64_t data_dropped_ttl = 0;
   std::uint64_t control_bytes_sent = 0;
 
+  /// Historical rollup: originations + re-floods (receptions and SPT
+  /// work were never counted; the kControlSent tags below pin that).
   std::uint64_t ControlMessagesSent() const {
-    return lsas_originated + lsas_flooded;
+    return obs::SumTagged(*this, obs::FieldTag::kControlSent);
   }
+
+  void Reset() { obs::ResetStats(*this); }
 };
+
+/// obs reflection (see obs/fields.h).
+template <typename Stats, typename Fn>
+  requires std::is_same_v<std::remove_const_t<Stats>, MospfStats>
+void ForEachStatsField(Stats& s, Fn&& fn) {
+  using Tag = obs::FieldTag;
+  fn("lsas_originated", s.lsas_originated, Tag::kControlSent);
+  fn("lsas_flooded", s.lsas_flooded, Tag::kControlSent);
+  fn("lsas_received", s.lsas_received, Tag::kNone);
+  fn("spt_computations", s.spt_computations, Tag::kNone);
+  fn("data_forwarded", s.data_forwarded, Tag::kNone);
+  fn("data_delivered_lan", s.data_delivered_lan, Tag::kNone);
+  fn("data_dropped_off_tree", s.data_dropped_off_tree, Tag::kNone);
+  fn("data_dropped_ttl", s.data_dropped_ttl, Tag::kNone);
+  fn("control_bytes_sent", s.control_bytes_sent, Tag::kNone);
+}
 
 /// Wire format of a group-membership LSA (flooded over UDP 7780).
 struct MembershipLsa {
@@ -70,8 +92,10 @@ class MospfRouter : public netsim::NetworkAgent {
   void Start() override;
   void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
                   std::span<const std::uint8_t> datagram) override;
+  void ResetProtocolCounters() override { stats_.Reset(); }
 
   const MospfStats& stats() const { return stats_; }
+  MospfStats& mutable_stats() { return stats_; }
   const igmp::RouterIgmp& igmp() const { return igmp_; }
 
   /// Member routers for `group` according to the LSDB (plus self).

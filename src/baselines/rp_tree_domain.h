@@ -29,6 +29,17 @@ class RpTreeDomain {
   std::size_t TotalStateUnits() const;
   std::uint64_t TotalControlMessages() const;
 
+  /// Binds router ("rptree.router.<id>.*"), routing, and subnet counters
+  /// into `registry` (mirrors CbtDomain::BindMetrics).
+  void BindMetrics(obs::Registry& registry) {
+    sim_->SetMetrics(&registry);
+    for (const auto& [id, router] : routers_) {
+      obs::BindStats(registry, "rptree.router." + std::to_string(id.value()),
+                     router->mutable_stats());
+    }
+    obs::BindStats(registry, "rptree.routing", routes_.mutable_stats());
+  }
+
  private:
   netsim::Simulator* sim_;
   netsim::Topology* topo_;

@@ -28,11 +28,13 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "igmp/router_igmp.h"
 #include "netsim/simulator.h"
 #include "netsim/timer.h"
+#include "obs/fields.h"
 #include "packet/encap.h"
 #include "routing/route_manager.h"
 
@@ -58,8 +60,31 @@ struct RpTreeStats {
   std::uint64_t data_dropped_off_tree = 0;
   std::uint64_t control_bytes_sent = 0;
 
-  std::uint64_t ControlMessagesSent() const { return joins_sent + prunes_sent; }
+  /// Historical rollup: joins + prunes only (registers were never
+  /// counted; the kControlSent tags below pin that).
+  std::uint64_t ControlMessagesSent() const {
+    return obs::SumTagged(*this, obs::FieldTag::kControlSent);
+  }
+
+  void Reset() { obs::ResetStats(*this); }
 };
+
+/// obs reflection (see obs/fields.h).
+template <typename Stats, typename Fn>
+  requires std::is_same_v<std::remove_const_t<Stats>, RpTreeStats>
+void ForEachStatsField(Stats& s, Fn&& fn) {
+  using Tag = obs::FieldTag;
+  fn("joins_sent", s.joins_sent, Tag::kControlSent);
+  fn("joins_received", s.joins_received, Tag::kNone);
+  fn("prunes_sent", s.prunes_sent, Tag::kControlSent);
+  fn("prunes_received", s.prunes_received, Tag::kNone);
+  fn("registers_sent", s.registers_sent, Tag::kNone);
+  fn("registers_relayed", s.registers_relayed, Tag::kNone);
+  fn("data_forwarded", s.data_forwarded, Tag::kNone);
+  fn("data_delivered_lan", s.data_delivered_lan, Tag::kNone);
+  fn("data_dropped_off_tree", s.data_dropped_off_tree, Tag::kNone);
+  fn("control_bytes_sent", s.control_bytes_sent, Tag::kNone);
+}
 
 /// Join/prune message (UDP 7781).
 struct RpTreeMessage {
@@ -85,8 +110,10 @@ class RpTreeRouter : public netsim::NetworkAgent {
   void Start() override;
   void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
                   std::span<const std::uint8_t> datagram) override;
+  void ResetProtocolCounters() override { stats_.Reset(); }
 
   const RpTreeStats& stats() const { return stats_; }
+  RpTreeStats& mutable_stats() { return stats_; }
   bool HasTreeState(Ipv4Address group) const { return entries_.contains(group); }
   std::size_t StateUnits() const;
 

@@ -102,6 +102,20 @@ std::uint64_t CbtDomain::TotalControlMessages() const {
   return total;
 }
 
+void CbtDomain::BindMetrics(obs::Registry& registry) {
+  sim_->SetMetrics(&registry);  // binds netsim.subnet.<id>.* as a side effect
+  for (const auto& [id, router] : routers_) {
+    obs::BindStats(registry, "cbt.router." + std::to_string(id.value()),
+                   router->mutable_stats());
+  }
+  obs::BindStats(registry, "cbt.routing", routes_.mutable_stats());
+}
+
+obs::MetricSet CbtDomain::MetricsSnapshot() const {
+  assert(sim_->metrics() != nullptr && "call BindMetrics first");
+  return sim_->metrics()->Snapshot();
+}
+
 std::vector<NodeId> CbtDomain::OnTreeRouters(Ipv4Address group) const {
   std::vector<NodeId> out;
   for (const auto& [id, router] : routers_) {

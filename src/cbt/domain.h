@@ -17,6 +17,7 @@
 #include "cbt/router.h"
 #include "netsim/chaos.h"
 #include "netsim/topologies.h"
+#include "obs/metrics.h"
 #include "routing/route_manager.h"
 
 namespace cbt::core {
@@ -71,6 +72,16 @@ class CbtDomain {
   std::uint64_t TotalControlMessages() const;
   /// Routers holding a FIB entry for `group`.
   std::vector<NodeId> OnTreeRouters(Ipv4Address group) const;
+
+  /// Binds every router's protocol counters ("cbt.router.<id>.*"), the
+  /// route manager's work counters ("cbt.routing.*"), and the simulator's
+  /// subnet counters into `registry`, and makes it the simulator's
+  /// registry for late additions.
+  void BindMetrics(obs::Registry& registry);
+
+  /// Flat point-in-time view of everything bound by BindMetrics (plus
+  /// per-subnet counters). Requires a prior BindMetrics call.
+  obs::MetricSet MetricsSnapshot() const;
 
  private:
   netsim::Simulator* sim_;

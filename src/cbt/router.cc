@@ -107,6 +107,11 @@ void CbtRouter::OnDatagram(VifIndex vif, Ipv4Address /*link_src*/,
 
 void CbtRouter::HandleControl(VifIndex vif, const packet::Ipv4Header& ip,
                               const ControlPacket& pkt) {
+  OBS_TRACE_VERBOSE(sim_->trace(), .time = sim_->Now(),
+                    .kind = obs::TraceKind::kPacket,
+                    .name = packet::ControlTypeName(pkt.type),
+                    .node = self_.value(), .group = pkt.group,
+                    .arg_a = ip.src.bits(), .detail = "rx");
   switch (pkt.type) {
     case ControlType::kJoinRequest:
       HandleJoinRequest(vif, ip, pkt);
@@ -197,6 +202,9 @@ void CbtRouter::HandleJoinRequest(VifIndex vif, const packet::Ipv4Header& ip,
       // REJOIN-NACTIVE, keeps the origin, inserts its own address in the
       // core-address field, and forwards over its parent interface.
       ++stats_.rejoins_converted;
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm, .name = "rejoin-converted",
+                .node = self_.value(), .group = group);
       ControlPacket nactive;
       nactive.type = ControlType::kJoinRequest;
       nactive.code = static_cast<std::uint8_t>(JoinSubcode::kRejoinNactive);
@@ -264,6 +272,9 @@ void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
     // newly-established parent (or abort the still-pending join; the
     // NACTIVE can outrun our own JOIN-ACK) and retry.
     ++stats_.loops_detected;
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "loop-detected",
+              .node = self_.value(), .group = group);
     const auto quit_toward = [&](VifIndex out_vif, Ipv4Address parent) {
       ControlPacket quit;
       quit.type = ControlType::kQuitRequest;
@@ -391,6 +402,9 @@ void CbtRouter::AckRequesters(PendingJoin& pending, FibEntry& entry) {
       // router already converted it — converting again would duplicate
       // the NACTIVE probe.)
       ++stats_.rejoins_converted;
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm, .name = "rejoin-converted",
+                .node = self_.value(), .group = entry.group);
       ControlPacket nactive;
       nactive.type = ControlType::kJoinRequest;
       nactive.code = static_cast<std::uint8_t>(JoinSubcode::kRejoinNactive);
@@ -433,6 +447,11 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
     const bool fire = p.locally_originated;
     pending_.erase(it);
     if (fire) {
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm,
+                .phase = obs::TracePhase::kEnd, .name = "join",
+                .node = self_.value(), .group = group,
+                .detail = "proxy-acked");
       NotifyHostsJoined(group);
       if (callbacks_.on_group_established) {
         callbacks_.on_group_established(group);
@@ -476,6 +495,10 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
               echo);
 
   if (locally) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
+              .name = "join", .node = self_.value(), .group = group,
+              .detail = was_reconnect ? "reconnected" : "established");
     if (was_reconnect) {
       ++stats_.reconnects_succeeded;
       if (callbacks_.on_reconnected) callbacks_.on_reconnected(group);
@@ -540,6 +563,10 @@ void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
     if (entry.cores.empty()) entry.cores = cores;
     entry.is_core = true;
     entry.is_primary_core = OwnsAddress(cores.front());
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "core-anchored",
+              .node = self_.value(), .group = group,
+              .arg_a = entry.is_primary_core ? 1u : 0u);
     if (!entry.is_primary_core && !entry.HasParent()) {
       CoreRejoinPrimary(entry);
     }
@@ -576,6 +603,10 @@ void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
   PendingJoin& ref = *p;
   pending_[group] = std::move(p);
   ++stats_.joins_originated;
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .phase = obs::TracePhase::kBegin, .name = "join",
+            .node = self_.value(), .group = group,
+            .arg_a = ref.target_core.bits(), .arg_b = reconnect ? 1u : 0u);
   // Section 6.1: if a core is unreachable, "an alternate core is
   // arbitrarily elected from the core list" — cycle until one routes.
   for (std::size_t attempt = 0; attempt < ref.cores.size(); ++attempt) {
@@ -703,6 +734,12 @@ void CbtRouter::PendingJoinFailed(Ipv4Address group) {
   CBT_TRACE("[%s %s] pending join for %s failed (origin=%d reconnect=%d)",
             FormatSimTime(sim_->Now()).c_str(), sim_->node(self_).name.c_str(),
             group.ToString().c_str(), p.locally_originated, p.reconnect);
+  if (p.locally_originated) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
+              .name = "join", .node = self_.value(), .group = group,
+              .detail = "failed");
+  }
 
   // Propagate failure downstream so cached requesters stop waiting.
   for (const DownstreamRequester& req : p.requesters) {
@@ -759,6 +796,8 @@ void CbtRouter::SimulateRestart() {
 
 void CbtRouter::Crash() {
   alive_ = false;
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "crash", .node = self_.value());
   SimulateRestart();  // wipes FIB + transient state (their timers die too)
   echo_timer_.Cancel();
   child_scan_timer_.Cancel();
@@ -768,6 +807,8 @@ void CbtRouter::Crash() {
 
 void CbtRouter::Restart() {
   alive_ = true;
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "restart", .node = self_.value());
   Start();
 }
 
@@ -860,6 +901,10 @@ void CbtRouter::LaunchCoreRejoin(FibEntry& entry) {
   PendingJoin& ref = *p;
   pending_[entry.group] = std::move(p);
   ++stats_.joins_originated;
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .phase = obs::TracePhase::kBegin, .name = "join",
+            .node = self_.value(), .group = entry.group,
+            .arg_a = ref.target_core.bits(), .arg_b = 2 /*core rejoin*/);
   if (!ForwardJoin(ref)) {
     PendingJoinFailed(entry.group);
   }
@@ -893,6 +938,8 @@ void CbtRouter::HandleQuitAck(const ControlPacket& pkt) {
   const auto it = quitting_.find(pkt.group);
   if (it == quitting_.end()) return;
   quitting_.erase(it);
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "left-tree", .node = self_.value(), .group = pkt.group);
   RemoveGroupState(pkt.group);
 }
 
@@ -976,6 +1023,9 @@ void CbtRouter::HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
     return;
   }
   SendFlushToChildren(*entry);
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "flushed", .node = self_.value(), .group = pkt.group,
+            .arg_a = ip.src.bits());
 
   const bool had_members = igmp_.AnyMembers(pkt.group);
   std::vector<Ipv4Address> cores = entry->cores;
@@ -1070,6 +1120,9 @@ void CbtRouter::OnEchoTick() {
   }
   for (const Ipv4Address& group : lost) {
     ++stats_.parent_losses;
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "parent-lost",
+              .node = self_.value(), .group = group);
     CBT_DEBUG("cbt[%s]: parent unreachable for %s, reconnecting",
               sim_->node(self_).name.c_str(), group.ToString().c_str());
     if (callbacks_.on_parent_lost) callbacks_.on_parent_lost(group);

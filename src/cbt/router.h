@@ -75,6 +75,7 @@ class CbtRouter : public netsim::NetworkAgent {
   void Start() override;
   void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
                   std::span<const std::uint8_t> datagram) override;
+  void ResetProtocolCounters() override { stats_.Reset(); }
 
   // --- Introspection (tests & experiments) -----------------------------------
   NodeId id() const { return self_; }

@@ -1,7 +1,16 @@
 // Per-router protocol counters, consumed by the experiment harness.
+//
+// The struct's plain fields are the hot-path storage (an increment is one
+// inline add); the ForEachStatsField reflection below is the single
+// source of truth for the obs registry names ("cbt.router.<id>.<field>"),
+// the MetricSet snapshot view, the generic reset, and the
+// ControlMessagesSent() rollup.
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
+
+#include "obs/fields.h"
 
 namespace cbt::core {
 
@@ -53,12 +62,64 @@ struct RouterStats {
   std::uint64_t data_dropped_not_local = 0;  // section 5 local-origin check
   std::uint64_t data_bytes_sent = 0;
 
+  /// Sum of every field tagged kControlSent below (joins originated,
+  /// forwarded and retransmitted, acks, nacks, quits, flushes, echoes,
+  /// pings — transmissions only, never receptions).
   std::uint64_t ControlMessagesSent() const {
-    return joins_originated + joins_forwarded + join_retransmits + acks_sent +
-           proxy_acks_sent + nacks_sent + quits_sent + quit_acks_sent +
-           flushes_sent + echo_requests_sent + echo_replies_sent +
-           core_pings_sent + ping_replies_sent;
+    return obs::SumTagged(*this, obs::FieldTag::kControlSent);
   }
+
+  void Reset() { obs::ResetStats(*this); }
 };
+
+/// obs reflection: one call per counter field (see obs/fields.h).
+template <typename Stats, typename Fn>
+  requires std::is_same_v<std::remove_const_t<Stats>, RouterStats>
+void ForEachStatsField(Stats& s, Fn&& fn) {
+  using Tag = obs::FieldTag;
+  fn("joins_originated", s.joins_originated, Tag::kControlSent);
+  fn("joins_forwarded", s.joins_forwarded, Tag::kControlSent);
+  fn("joins_received", s.joins_received, Tag::kNone);
+  fn("joins_cached", s.joins_cached, Tag::kNone);
+  fn("join_retransmits", s.join_retransmits, Tag::kControlSent);
+  fn("acks_sent", s.acks_sent, Tag::kControlSent);
+  fn("acks_received", s.acks_received, Tag::kNone);
+  fn("proxy_acks_sent", s.proxy_acks_sent, Tag::kControlSent);
+  fn("proxy_acks_received", s.proxy_acks_received, Tag::kNone);
+  fn("nacks_sent", s.nacks_sent, Tag::kControlSent);
+  fn("nacks_received", s.nacks_received, Tag::kNone);
+  fn("quits_sent", s.quits_sent, Tag::kControlSent);
+  fn("quits_received", s.quits_received, Tag::kNone);
+  fn("quit_acks_sent", s.quit_acks_sent, Tag::kControlSent);
+  fn("quit_acks_received", s.quit_acks_received, Tag::kNone);
+  fn("flushes_sent", s.flushes_sent, Tag::kControlSent);
+  fn("flushes_received", s.flushes_received, Tag::kNone);
+  fn("echo_requests_sent", s.echo_requests_sent, Tag::kControlSent);
+  fn("echo_requests_received", s.echo_requests_received, Tag::kNone);
+  fn("echo_replies_sent", s.echo_replies_sent, Tag::kControlSent);
+  fn("echo_replies_received", s.echo_replies_received, Tag::kNone);
+  fn("rejoins_converted", s.rejoins_converted, Tag::kNone);
+  fn("loops_detected", s.loops_detected, Tag::kNone);
+  fn("parent_losses", s.parent_losses, Tag::kNone);
+  fn("reconnects_succeeded", s.reconnects_succeeded, Tag::kNone);
+  fn("reconnects_failed", s.reconnects_failed, Tag::kNone);
+  fn("children_expired", s.children_expired, Tag::kNone);
+  fn("core_pings_sent", s.core_pings_sent, Tag::kControlSent);
+  fn("core_pings_received", s.core_pings_received, Tag::kNone);
+  fn("ping_replies_sent", s.ping_replies_sent, Tag::kControlSent);
+  fn("ping_replies_received", s.ping_replies_received, Tag::kNone);
+  fn("malformed_control", s.malformed_control, Tag::kNone);
+  fn("control_bytes_sent", s.control_bytes_sent, Tag::kNone);
+  fn("data_forwarded_tree", s.data_forwarded_tree, Tag::kNone);
+  fn("data_delivered_lan", s.data_delivered_lan, Tag::kNone);
+  fn("data_encapsulated", s.data_encapsulated, Tag::kNone);
+  fn("data_decapsulated", s.data_decapsulated, Tag::kNone);
+  fn("data_nonmember_relayed", s.data_nonmember_relayed, Tag::kNone);
+  fn("data_dropped_off_tree", s.data_dropped_off_tree, Tag::kNone);
+  fn("data_dropped_ttl", s.data_dropped_ttl, Tag::kNone);
+  fn("data_dropped_no_state", s.data_dropped_no_state, Tag::kNone);
+  fn("data_dropped_not_local", s.data_dropped_not_local, Tag::kNone);
+  fn("data_bytes_sent", s.data_bytes_sent, Tag::kNone);
+}
 
 }  // namespace cbt::core

@@ -74,6 +74,12 @@ void RouterIgmp::OnMessage(VifIndex vif, Ipv4Address src,
       break;
     case IgmpType::kMembershipReport: {
       const bool newly = !vs.groups.contains(msg.group);
+      if (newly) {
+        OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                  .kind = obs::TraceKind::kIgmp, .name = "member-appeared",
+                  .node = self_.value(), .group = msg.group,
+                  .arg_a = static_cast<std::uint64_t>(vif));
+      }
       RefreshGroup(vs, msg.group, config_.GroupMembershipTimeout(),
                    /*from_leave=*/false);
       if (callbacks_.on_report) {
@@ -102,6 +108,11 @@ void RouterIgmp::HandleQuery(VifState& vs, Ipv4Address src,
       CBT_DEBUG("igmp[%s vif%d]: yielding querier duty to %s",
                 sim_->node(self_).name.c_str(), vs.vif,
                 src.ToString().c_str());
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kIgmp, .name = "querier-deposed",
+                .node = self_.value(),
+                .arg_a = static_cast<std::uint64_t>(vs.vif),
+                .arg_b = src.bits());
     }
     vs.querier = false;
     vs.other_querier = src;
@@ -111,6 +122,10 @@ void RouterIgmp::HandleQuery(VifState& vs, Ipv4Address src,
           // The other querier went silent: take over.
           vs.querier = true;
           vs.other_querier = Ipv4Address{};
+          OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                    .kind = obs::TraceKind::kIgmp, .name = "querier-elected",
+                    .node = self_.value(),
+                    .arg_a = static_cast<std::uint64_t>(vs.vif));
           SendGeneralQuery(vs);
         });
   }
@@ -159,6 +174,10 @@ void RouterIgmp::RefreshGroup(VifState& vs, Ipv4Address group,
     CBT_DEBUG("igmp[%s vif%d]: group %s expired",
               sim_->node(self_).name.c_str(), vs.vif,
               group.ToString().c_str());
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kIgmp, .name = "member-expired",
+              .node = self_.value(), .group = group,
+              .arg_a = static_cast<std::uint64_t>(vs.vif));
     if (callbacks_.on_group_expired) callbacks_.on_group_expired(vs.vif, group);
   });
 }

@@ -139,6 +139,13 @@ void ChaosInjector::Arm(ChaosPlan plan) {
 
 void ChaosInjector::Inject(std::size_t index) {
   const ChaosEvent& e = plan_.events[index];
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+            .kind = obs::TraceKind::kChaos,
+            .phase = obs::TracePhase::kBegin,
+            .name = ChaosEventTypeName(e.type), .node = e.node.value(),
+            .arg_a = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(e.subnet.value())),
+            .arg_b = static_cast<std::uint64_t>(e.duration));
   switch (e.type) {
     case ChaosEventType::kLinkFlap:
       sim_->SetSubnetUp(e.subnet, false);
@@ -172,6 +179,11 @@ void ChaosInjector::Inject(std::size_t index) {
 
 void ChaosInjector::Repair(std::size_t index) {
   const ChaosEvent& e = plan_.events[index];
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+            .kind = obs::TraceKind::kChaos, .phase = obs::TracePhase::kEnd,
+            .name = ChaosEventTypeName(e.type), .node = e.node.value(),
+            .arg_a = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(e.subnet.value())));
   switch (e.type) {
     case ChaosEventType::kLinkFlap:
       sim_->SetSubnetUp(e.subnet, true);

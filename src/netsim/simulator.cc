@@ -21,7 +21,17 @@ constexpr std::size_t kTopologyJournalCap = 256;
 }  // namespace
 
 Simulator::Simulator(std::uint64_t seed, EventQueue::Engine engine)
-    : events_(engine), rng_(seed) {}
+    : events_(engine), rng_(seed), trace_(obs::ProcessTraceBuffer()) {}
+
+void Simulator::SetMetrics(obs::Registry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  for (SubnetRecord& s : subnets_) {
+    obs::BindStats(*metrics_,
+                   "netsim.subnet." + std::to_string(s.id.value()),
+                   s.counters);
+  }
+}
 
 NodeId Simulator::AddNode(std::string name, bool is_router) {
   const NodeId id(static_cast<std::int32_t>(nodes_.size()));
@@ -38,6 +48,10 @@ SubnetId Simulator::AddSubnet(std::string name, SubnetAddress address,
   rec.address = address;
   rec.delay = delay;
   subnets_.push_back(std::move(rec));
+  if (metrics_ != nullptr) {
+    obs::BindStats(*metrics_, "netsim.subnet." + std::to_string(id.value()),
+                   subnets_.back().counters);
+  }
   return id;
 }
 
@@ -169,6 +183,14 @@ void Simulator::RecordTopologyChange(TopologyChange::Kind kind,
   }
   topology_journal_.push_back(
       TopologyChange{kind, topology_epoch_, subnet_id, node_id, up});
+  static const char* const kKindNames[] = {"subnet-state", "interface-state",
+                                           "node-state", "attach"};
+  OBS_TRACE(trace_, .time = clock_, .kind = obs::TraceKind::kTopology,
+            .name = kKindNames[static_cast<std::size_t>(kind)],
+            .node = node_id.value(),
+            .arg_a = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(subnet_id.value())),
+            .arg_b = up ? 1u : 0u);
 }
 
 std::optional<std::span<const TopologyChange>> Simulator::ChangesSince(
@@ -291,6 +313,11 @@ void Simulator::DeliverFrame(NodeId receiver, VifIndex vif,
 
 void Simulator::ResetCounters() {
   for (SubnetRecord& s : subnets_) s.counters.Reset();
+  // Protocol counters reset in the same stroke, so a windowed measurement
+  // (reset; run; read) never mixes warmup traffic into either layer.
+  for (NodeRecord& n : nodes_) {
+    if (n.agent != nullptr) n.agent->ResetProtocolCounters();
+  }
 }
 
 void Simulator::RunUntil(SimTime until) {

@@ -28,12 +28,15 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/random.h"
 #include "common/types.h"
 #include "netsim/event_queue.h"
 #include "netsim/packet_arena.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cbt::netsim {
 
@@ -59,6 +62,12 @@ class NetworkAgent {
   /// Called once after the agent is attached, with the simulator clock
   /// running; protocols start their timers here.
   virtual void Start() {}
+
+  /// Called by Simulator::ResetCounters(): agents zero their protocol
+  /// counters so benches that diff measurement windows don't double-count
+  /// warmup traffic. Delivery ledgers (e.g. a host's per-group received
+  /// counts) are state, not counters, and must survive.
+  virtual void ResetProtocolCounters() {}
 };
 
 /// One attachment point of a node to a subnet.
@@ -91,8 +100,24 @@ struct SubnetCounters {
   std::uint64_t frames_reordered = 0;   // deliveries given extra jitter
   std::uint64_t frames_corrupted = 0;   // deliveries with flipped bits
 
-  void Reset() { *this = SubnetCounters{}; }
+  /// Field-wise zeroing (via the obs reflection) — deliberately not the
+  /// old `*this = SubnetCounters{}` self-assignment, which would sever
+  /// any registry binding that mirrors these fields by address.
+  void Reset() { obs::ResetStats(*this); }
 };
+
+/// obs reflection (see obs/fields.h): registry names + reset + snapshots.
+template <typename Counters, typename Fn>
+  requires std::is_same_v<std::remove_const_t<Counters>, SubnetCounters>
+void ForEachStatsField(Counters& c, Fn&& fn) {
+  using Tag = obs::FieldTag;
+  fn("frames_sent", c.frames_sent, Tag::kNone);
+  fn("bytes_sent", c.bytes_sent, Tag::kNone);
+  fn("frames_dropped", c.frames_dropped, Tag::kNone);
+  fn("frames_duplicated", c.frames_duplicated, Tag::kNone);
+  fn("frames_reordered", c.frames_reordered, Tag::kNone);
+  fn("frames_corrupted", c.frames_corrupted, Tag::kNone);
+}
 
 /// Per-subnet fault model, applied independently to every receiver of a
 /// frame (like independent per-NIC noise). All probabilities in [0, 1].
@@ -199,6 +224,29 @@ class Simulator {
   SimTime Now() const { return clock_; }
   Rng& rng() { return rng_; }
 
+  // --- Observability ------------------------------------------------------
+
+  /// Attaches a metrics registry: existing and future subnet counters are
+  /// mirrored under `netsim.subnet.<id>.<field>`. Protocol agents bind
+  /// their own stats via their domain's BindMetrics(). Pass nullptr to
+  /// detach (bindings in the registry persist but stop being updated
+  /// only when their owners die — detach before tearing the sim down
+  /// if the registry outlives it).
+  void SetMetrics(obs::Registry* metrics);
+  obs::Registry* metrics() const { return metrics_; }
+
+  /// Trace buffer for this simulation. Defaults to the process-wide
+  /// buffer (obs::SetProcessTraceBuffer) captured at construction; null
+  /// means tracing off. Recording is passive — event order, RNG draws
+  /// and all outputs are byte-identical with tracing on or off.
+  void SetTrace(obs::TraceBuffer* trace) { trace_ = trace; }
+  obs::TraceBuffer* trace() const { return trace_; }
+
+  /// Lane label for Chrome-trace export when one process runs several
+  /// topologies (benches bump it per sweep entry).
+  void SetTracePid(int pid) { trace_pid_ = pid; }
+  int trace_pid() const { return trace_pid_; }
+
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t subnet_count() const { return subnets_.size(); }
 
@@ -294,6 +342,9 @@ class Simulator {
   /// topology_epoch(); trimmed from the front when it outgrows the cap.
   std::vector<TopologyChange> topology_journal_;
   std::function<void(const FrameEvent&)> frame_observer_;
+  obs::Registry* metrics_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  int trace_pid_ = 1;
 };
 
 }  // namespace cbt::netsim

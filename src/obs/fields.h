@@ -1,0 +1,62 @@
+// Stats-field reflection: the glue between the legacy per-protocol
+// counter structs (cbt::core::RouterStats, baselines::DvmrpStats, ...)
+// and the obs metrics registry.
+//
+// Each stats struct declares, next to its definition, an overload of
+//
+//   template <typename S, typename Fn>
+//   void ForEachStatsField(S& stats, Fn&& fn);
+//
+// that calls `fn(name, field, tag)` once per counter field, where `name`
+// is a static string, `field` a (possibly const) std::uint64_t reference,
+// and `tag` an obs::FieldTag classifying the field for rollups. That one
+// enumeration is the single source of truth for:
+//  * registry names         (obs::BindStats / obs::StatsSnapshot),
+//  * cross-protocol rollups (obs::SumTagged — ControlMessagesSent et al.),
+//  * resets                 (obs::ResetStats — replaces `*this = S{}`).
+//
+// This header is dependency-free on purpose: stats headers include it
+// without pulling the registry or trace machinery into hot-path TUs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace cbt::obs {
+
+/// Rollup classification of a counter field. Tags mirror the semantics of
+/// the historical bespoke accessors exactly: a field is tagged
+/// kControlSent iff the struct's old ControlMessagesSent() summed it
+/// (e.g. DVMRP counts prunes+grafts but *not* graft acks/retransmits —
+/// acks piggyback on the graft exchange and were never billed).
+enum class FieldTag : std::uint8_t {
+  kNone = 0,
+  /// Counted by ControlMessagesSent() — one originated/forwarded control
+  /// transmission on the wire.
+  kControlSent = 1,
+};
+
+/// Sums every field tagged `tag`. The generic body of every
+/// ControlMessagesSent()-style rollup.
+template <typename Stats>
+std::uint64_t SumTagged(const Stats& stats, FieldTag tag) {
+  std::uint64_t total = 0;
+  ForEachStatsField(stats, [&](const char*, const std::uint64_t& field,
+                               FieldTag field_tag) {
+    if (field_tag == tag) total += field;
+  });
+  return total;
+}
+
+/// Zeroes every enumerated field — the reset idiom that replaces
+/// `*this = Stats{}` struct-copy (which quietly breaks once external
+/// consumers hold pointers into the struct).
+template <typename Stats>
+void ResetStats(Stats& stats) {
+  ForEachStatsField(stats,
+                    [](const char*, std::uint64_t& field, FieldTag) {
+                      field = 0;
+                    });
+}
+
+}  // namespace cbt::obs

@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbt::obs {
+
+namespace {
+/// Shared sink for unbound handles: instrumented code can always record,
+/// registered or not, without a branch.
+std::uint64_t g_scratch_slot = 0;
+HistogramData g_scratch_histogram;
+}  // namespace
+
+Counter::Counter() : slot_(&g_scratch_slot) {}
+Gauge::Gauge() : slot_(&g_scratch_slot) {}
+Histogram::Histogram() : data_(&g_scratch_histogram) {
+  if (g_scratch_histogram.counts.empty()) {
+    g_scratch_histogram.counts.resize(1);  // overflow bucket only
+  }
+}
+
+// --- MetricSet -------------------------------------------------------------
+
+MetricSet::MetricSet(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+}
+
+std::optional<std::uint64_t> MetricSet::Get(std::string_view name) const {
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), name,
+      [](const Sample& s, std::string_view n) { return s.name < n; });
+  if (it == samples_.end() || it->name != name) return std::nullopt;
+  return it->value;
+}
+
+std::uint64_t MetricSet::ValueOr(std::string_view name,
+                                 std::uint64_t fallback) const {
+  return Get(name).value_or(fallback);
+}
+
+MetricSet MetricSet::WithPrefix(std::string_view prefix) const {
+  std::vector<Sample> out;
+  for (const Sample& s : samples_) {
+    if (s.name.size() >= prefix.size() &&
+        std::string_view(s.name).substr(0, prefix.size()) == prefix) {
+      out.push_back(s);
+    }
+  }
+  return MetricSet(std::move(out));
+}
+
+std::uint64_t MetricSet::SumWithSuffix(std::string_view suffix) const {
+  std::uint64_t total = 0;
+  for (const Sample& s : samples_) {
+    if (s.name.size() >= suffix.size() &&
+        std::string_view(s.name).substr(s.name.size() - suffix.size()) ==
+            suffix) {
+      total += s.value;
+    }
+  }
+  return total;
+}
+
+MetricSet MetricSet::Diff(const MetricSet& earlier) const {
+  std::vector<Sample> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    out.push_back({s.name, s.value - earlier.ValueOr(s.name, 0)});
+  }
+  return MetricSet(std::move(out));
+}
+
+void MetricSet::Merge(const MetricSet& other) {
+  for (const Sample& s : other.samples_) {
+    if (!Get(s.name)) samples_.push_back(s);
+  }
+  std::sort(samples_.begin(), samples_.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry::Entry& Registry::FindOrCreate(const std::string& name,
+                                        Entry::Kind kind) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return *it->second;
+  entries_.emplace_back();
+  Entry& entry = entries_.back();
+  entry.kind = kind;
+  index_[name] = &entry;
+  return entry;
+}
+
+Counter Registry::RegisterCounter(const std::string& name) {
+  Entry& entry = FindOrCreate(name, Entry::Kind::kOwned);
+  assert(entry.kind != Entry::Kind::kHistogram);
+  return Counter(entry.kind == Entry::Kind::kExternal ? entry.external
+                                                      : &entry.owned);
+}
+
+Gauge Registry::RegisterGauge(const std::string& name) {
+  Entry& entry = FindOrCreate(name, Entry::Kind::kOwned);
+  assert(entry.kind != Entry::Kind::kHistogram);
+  return Gauge(entry.kind == Entry::Kind::kExternal ? entry.external
+                                                    : &entry.owned);
+}
+
+Histogram Registry::RegisterHistogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  Entry& entry = FindOrCreate(name, Entry::Kind::kHistogram);
+  assert(entry.kind == Entry::Kind::kHistogram);
+  if (entry.histogram.counts.empty()) {
+    assert(std::is_sorted(bounds.begin(), bounds.end()));
+    entry.histogram.bounds = std::move(bounds);
+    entry.histogram.counts.resize(entry.histogram.bounds.size() + 1);
+  }
+  return Histogram(&entry.histogram);
+}
+
+void Registry::RegisterExternal(const std::string& name,
+                                std::uint64_t* field) {
+  Entry& entry = FindOrCreate(name, Entry::Kind::kExternal);
+  assert(entry.kind == Entry::Kind::kExternal);
+  entry.external = field;  // re-registration rebinds (see header)
+}
+
+bool Registry::Contains(const std::string& name) const {
+  return index_.contains(name);
+}
+
+MetricSet Registry::Snapshot() const {
+  std::vector<Sample> samples;
+  samples.reserve(index_.size());
+  for (const auto& [name, entry] : index_) {
+    switch (entry->kind) {
+      case Entry::Kind::kOwned:
+        samples.push_back({name, entry->owned});
+        break;
+      case Entry::Kind::kExternal:
+        samples.push_back({name, *entry->external});
+        break;
+      case Entry::Kind::kHistogram: {
+        const HistogramData& h = entry->histogram;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          samples.push_back(
+              {name + ".le_" + std::to_string(h.bounds[i]), h.counts[i]});
+        }
+        samples.push_back({name + ".le_inf", h.counts.back()});
+        samples.push_back({name + ".count", h.count});
+        samples.push_back({name + ".sum", h.sum});
+        break;
+      }
+    }
+  }
+  return MetricSet(std::move(samples));
+}
+
+void Registry::Reset() {
+  for (Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Entry::Kind::kOwned:
+        entry.owned = 0;
+        break;
+      case Entry::Kind::kExternal:
+        *entry.external = 0;
+        break;
+      case Entry::Kind::kHistogram:
+        std::fill(entry.histogram.counts.begin(), entry.histogram.counts.end(),
+                  0);
+        entry.histogram.count = 0;
+        entry.histogram.sum = 0;
+        break;
+    }
+  }
+}
+
+}  // namespace cbt::obs

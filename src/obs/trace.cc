@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+namespace cbt::obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFsm:
+      return "fsm";
+    case TraceKind::kPacket:
+      return "packet";
+    case TraceKind::kChaos:
+      return "chaos";
+    case TraceKind::kRouting:
+      return "routing";
+    case TraceKind::kInvariant:
+      return "invariant";
+    case TraceKind::kTopology:
+      return "topology";
+    case TraceKind::kIgmp:
+      return "igmp";
+    case TraceKind::kMarker:
+      return "marker";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* PhaseCode(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kInstant:
+      return "i";
+    case TracePhase::kBegin:
+      return "B";
+    case TracePhase::kEnd:
+      return "E";
+  }
+  return "i";
+}
+
+/// Minimal JSON string escaping; event names are static literals under
+/// our control, but be safe about quotes/backslashes/control bytes.
+void WriteJsonString(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      os << '\\' << *s;
+    } else if (c < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      os << "\\u00" << hex[c >> 4] << hex[c & 0xF];
+    } else {
+      os << *s;
+    }
+  }
+  os << '"';
+}
+
+void WriteArgs(std::ostream& os, const TraceEvent& e, std::uint64_t seq) {
+  os << "\"args\":{\"seq\":" << seq;
+  if (!e.group.IsUnspecified()) {
+    os << ",\"group\":\"" << e.group.ToString() << "\"";
+  }
+  os << ",\"a\":" << e.arg_a << ",\"b\":" << e.arg_b;
+  if (e.detail != nullptr) {
+    os << ",\"detail\":";
+    WriteJsonString(os, e.detail);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity, TraceLevel level)
+    : ring_(capacity == 0 ? 1 : capacity), level_(level) {}
+
+void TraceBuffer::Emit(const TraceEvent& event) {
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    ++dropped_;
+    ++first_seq_;
+  }
+  ++next_seq_;
+}
+
+void TraceBuffer::Clear() {
+  head_ = 0;
+  count_ = 0;
+  first_seq_ = next_seq_;
+  dropped_ = 0;
+}
+
+void TraceBuffer::ExportJsonl(std::ostream& os) const {
+  ForEach([&](std::uint64_t seq, const TraceEvent& e) {
+    os << "{\"seq\":" << seq << ",\"t_us\":" << e.time << ",\"cat\":\""
+       << TraceKindName(e.kind) << "\",\"ph\":\"" << PhaseCode(e.phase)
+       << "\",\"name\":";
+    WriteJsonString(os, e.name);
+    os << ",\"node\":" << e.node;
+    if (!e.group.IsUnspecified()) {
+      os << ",\"group\":\"" << e.group.ToString() << "\"";
+    }
+    os << ",\"a\":" << e.arg_a << ",\"b\":" << e.arg_b;
+    if (e.detail != nullptr) {
+      os << ",\"detail\":";
+      WriteJsonString(os, e.detail);
+    }
+    os << "}\n";
+  });
+}
+
+void TraceBuffer::ExportChromeTrace(std::ostream& os, int pid) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  ForEach([&](std::uint64_t seq, const TraceEvent& e) {
+    if (!first) os << ",";
+    first = false;
+    // Sim time is already microseconds — Chrome's "ts" unit.
+    os << "\n{\"name\":";
+    WriteJsonString(os, e.name);
+    os << ",\"cat\":\"" << TraceKindName(e.kind) << "\",\"ph\":\""
+       << PhaseCode(e.phase) << "\",\"ts\":" << e.time << ",\"pid\":" << pid
+       << ",\"tid\":" << e.node;
+    if (e.phase == TracePhase::kInstant) os << ",\"s\":\"t\"";
+    os << ",";
+    WriteArgs(os, e, seq);
+    os << "}";
+  });
+  os << "\n]}\n";
+}
+
+namespace {
+TraceBuffer* g_process_trace = nullptr;
+}  // namespace
+
+TraceBuffer* ProcessTraceBuffer() { return g_process_trace; }
+void SetProcessTraceBuffer(TraceBuffer* buffer) { g_process_trace = buffer; }
+
+}  // namespace cbt::obs

@@ -1,0 +1,166 @@
+// Deterministic sim-time protocol tracing: a bounded ring buffer of
+// structured events, exportable as JSONL or Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// Determinism contract
+// --------------------
+// Tracing is record-only: emitting an event writes one POD slot into a
+// pre-sized ring and touches neither the RNG nor the event queue, so a
+// run with tracing enabled at any level is byte-identical — in event
+// order and in every bench/test output — to the same run with tracing
+// off. CI enforces this with a tracing-on vs tracing-off differential
+// over bench_chaos_soak.
+//
+// Cost contract
+// -------------
+// Emission is a level check plus a struct store; event names/categories
+// are static strings (no allocation, no formatting until export). The
+// OBS_TRACE* macros compile to nothing when CBT_OBS_COMPILED_TRACE_LEVEL
+// is 0, for builds that want the instrumentation gone entirely.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cbt::obs {
+
+/// Runtime verbosity. kSpans records protocol state-machine transitions
+/// and fault spans; kVerbose adds per-packet lifecycle instants
+/// (join/ack/quit/flush receptions) and routing-invalidation detail.
+enum class TraceLevel : std::uint8_t { kOff = 0, kSpans = 1, kVerbose = 2 };
+
+/// Broad event classification (the "cat" field of the Chrome export).
+enum class TraceKind : std::uint8_t {
+  kFsm,        // CBT group state machine: joining -> active -> rejoining
+  kPacket,     // control-packet lifecycle (join/ack/quit/flush/echo)
+  kChaos,      // fault injection / repair
+  kRouting,    // unicast-routing invalidations
+  kInvariant,  // auditor violations
+  kTopology,   // netsim up/down and attach changes
+  kIgmp,       // querier elections, membership edges
+  kMarker,     // free-form bench/test markers
+};
+
+const char* TraceKindName(TraceKind kind);
+
+/// Chrome trace_event phase: instants, and begin/end span brackets
+/// (matched per (pid, tid=node, name) by the viewer).
+enum class TracePhase : std::uint8_t { kInstant, kBegin, kEnd };
+
+/// One trace record. POD; `name`/`detail` must be static strings (string
+/// literals or other process-lifetime constants) — the ring stores the
+/// pointers only.
+struct TraceEvent {
+  SimTime time = 0;
+  TraceKind kind = TraceKind::kMarker;
+  TracePhase phase = TracePhase::kInstant;
+  TraceLevel level = TraceLevel::kSpans;
+  const char* name = "";
+  /// Emitting node (-1 when not node-scoped); the Chrome "tid".
+  std::int32_t node = -1;
+  /// Multicast group the event concerns (unspecified when N/A).
+  Ipv4Address group;
+  /// Event-specific scalars (subnet id, epoch, counts...; see call sites).
+  std::uint64_t arg_a = 0;
+  std::uint64_t arg_b = 0;
+  /// Optional static detail string.
+  const char* detail = nullptr;
+};
+
+/// Bounded ring of TraceEvents. When full, the oldest events are
+/// overwritten (and counted in dropped()) — a chaos soak keeps the tail
+/// of history leading up to whatever went wrong.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16,
+                       TraceLevel level = TraceLevel::kSpans);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  TraceLevel level() const { return level_; }
+  void set_level(TraceLevel level) { level_ = level; }
+
+  bool enabled(TraceLevel level) const {
+    return level_ != TraceLevel::kOff &&
+           static_cast<std::uint8_t>(level) <=
+               static_cast<std::uint8_t>(level_);
+  }
+
+  /// Records `event` (assigns its sequence number). Callers normally go
+  /// through the OBS_TRACE* macros, which add the level gate.
+  void Emit(const TraceEvent& event);
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t emitted() const { return next_seq_; }
+
+  void Clear();
+
+  /// Visits retained events oldest -> newest; fn(seq, event).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i) {
+      const std::size_t idx = (start + i) % ring_.size();
+      fn(first_seq_ + i, ring_[idx]);
+    }
+  }
+
+  /// One JSON object per line: {"seq":..,"t_us":..,"cat":..,"name":..,...}.
+  void ExportJsonl(std::ostream& os) const;
+
+  /// Chrome trace_event JSON object ({"traceEvents":[...]}); `pid` labels
+  /// the process lane (benches use one pid per simulated topology).
+  void ExportChromeTrace(std::ostream& os, int pid = 1) const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;   // next write slot
+  std::size_t count_ = 0;  // retained events
+  std::uint64_t first_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  TraceLevel level_;
+};
+
+/// Process-default buffer picked up by every netsim::Simulator at
+/// construction (benches set it once in main(), before building sims, so
+/// multi-topology sweeps trace without threading a pointer through every
+/// harness helper). Null by default: tracing off.
+TraceBuffer* ProcessTraceBuffer();
+void SetProcessTraceBuffer(TraceBuffer* buffer);
+
+#ifndef CBT_OBS_COMPILED_TRACE_LEVEL
+#define CBT_OBS_COMPILED_TRACE_LEVEL 2
+#endif
+
+// Callsite macros: `buf` is a TraceBuffer* (may be null); the event
+// expression is only evaluated when the buffer accepts the level.
+#if CBT_OBS_COMPILED_TRACE_LEVEL >= 1
+#define OBS_TRACE_AT(buf, lvl, ...)                              \
+  do {                                                           \
+    ::cbt::obs::TraceBuffer* obs_tb_ = (buf);                    \
+    if (obs_tb_ != nullptr && obs_tb_->enabled(lvl) &&           \
+        static_cast<int>(lvl) <= CBT_OBS_COMPILED_TRACE_LEVEL) { \
+      obs_tb_->Emit(::cbt::obs::TraceEvent{__VA_ARGS__});        \
+    }                                                            \
+  } while (false)
+#else
+#define OBS_TRACE_AT(buf, lvl, ...) \
+  do {                              \
+  } while (false)
+#endif
+
+/// Span/transition-level event (TraceLevel::kSpans).
+#define OBS_TRACE(buf, ...) \
+  OBS_TRACE_AT(buf, ::cbt::obs::TraceLevel::kSpans, __VA_ARGS__)
+/// Per-packet-level event (TraceLevel::kVerbose).
+#define OBS_TRACE_VERBOSE(buf, ...) \
+  OBS_TRACE_AT(buf, ::cbt::obs::TraceLevel::kVerbose, __VA_ARGS__)
+
+}  // namespace cbt::obs

@@ -62,12 +62,18 @@ void RouteManager::SyncTopology() {
 
 void RouteManager::InvalidateAllTables() {
   ++stats_.full_invalidations;
+  std::uint64_t dirtied = 0;
   for (NodeRoutes& t : tables_) {
     if (t.valid) {
       t.valid = false;
       ++stats_.tables_dirtied;
+      ++dirtied;
     }
   }
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+            .kind = obs::TraceKind::kRouting, .name = "full-invalidation",
+            .arg_a = dirtied,
+            .arg_b = static_cast<std::uint64_t>(tables_.size()));
 }
 
 void RouteManager::Invalidate() {
@@ -135,6 +141,9 @@ void RouteManager::ApplyScopedChanges(
     if (dirty) {
       table.valid = false;
       ++stats_.tables_dirtied;
+      OBS_TRACE_VERBOSE(sim_->trace(), .time = sim_->Now(),
+                        .kind = obs::TraceKind::kRouting,
+                        .name = "table-dirtied", .node = source.value());
       continue;
     }
     if (!patch.empty()) {
@@ -225,6 +234,9 @@ RouteManager::NodeRoutes& RouteManager::Freshen(NodeId source) {
 }
 
 void RouteManager::ComputeFrom(NodeId source) {
+  OBS_TRACE_VERBOSE(sim_->trace(), .time = sim_->Now(),
+                    .kind = obs::TraceKind::kRouting, .name = "table-computed",
+                    .node = source.value());
   const std::size_t n = sim_->node_count();
   NodeRoutes& table = tables_[static_cast<std::size_t>(source.value())];
   table.to_node.assign(n, Route{kInvalidVif, Ipv4Address{}, kInfinity, 0, 0});

@@ -32,8 +32,11 @@
 #include <span>
 #include <vector>
 
+#include <type_traits>
+
 #include "common/types.h"
 #include "netsim/simulator.h"
+#include "obs/fields.h"
 
 namespace cbt::routing {
 
@@ -124,7 +127,8 @@ class RouteManager {
   void Invalidate();
 
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  Stats& mutable_stats() { return stats_; }
+  void ResetStats() { obs::ResetStats(stats_); }
 
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
@@ -218,5 +222,20 @@ class RouteManager {
   std::array<LpmCacheSlot, kLpmCacheSize> lpm_cache_{};
   Stats stats_;
 };
+
+/// obs reflection over the work counters (see obs/fields.h); binds them
+/// under "cbt.routing.*" and powers the generic ResetStats.
+template <typename Stats, typename Fn>
+  requires std::is_same_v<std::remove_const_t<Stats>, RouteManager::Stats>
+void ForEachStatsField(Stats& s, Fn&& fn) {
+  using Tag = obs::FieldTag;
+  fn("tables_computed", s.tables_computed, Tag::kNone);
+  fn("tables_dirtied", s.tables_dirtied, Tag::kNone);
+  fn("tables_kept_warm", s.tables_kept_warm, Tag::kNone);
+  fn("full_invalidations", s.full_invalidations, Tag::kNone);
+  fn("lookups", s.lookups, Tag::kNone);
+  fn("lpm_cache_hits", s.lpm_cache_hits, Tag::kNone);
+  fn("lpm_index_rebuilds", s.lpm_index_rebuilds, Tag::kNone);
+}
 
 }  // namespace cbt::routing

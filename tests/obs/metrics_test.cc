@@ -1,0 +1,196 @@
+// Unit tests for the obs metrics registry: handle stability across
+// re-registration, snapshot/diff/reset semantics, histogram bucket
+// edges, and the external stats-struct binding path.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "cbt/stats.h"
+#include "obs/fields.h"
+
+namespace cbt::obs {
+namespace {
+
+TEST(Registry, CounterRoundTrip) {
+  Registry registry;
+  Counter joins = registry.RegisterCounter("cbt.router.1.joins_originated");
+  joins.Increment();
+  joins.Increment(4);
+  EXPECT_EQ(joins.value(), 5u);
+  EXPECT_TRUE(registry.Contains("cbt.router.1.joins_originated"));
+  EXPECT_EQ(registry.Snapshot().ValueOr("cbt.router.1.joins_originated", 0),
+            5u);
+}
+
+TEST(Registry, ReRegistrationReturnsSameSlot) {
+  Registry registry;
+  Counter first = registry.RegisterCounter("x.count");
+  first.Increment(3);
+  Counter second = registry.RegisterCounter("x.count");
+  second.Increment(2);
+  // Both handles alias one slot; neither invalidates the other.
+  EXPECT_EQ(first.value(), 5u);
+  EXPECT_EQ(second.value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, HandlesSurviveManyRegistrations) {
+  // std::deque storage: growing the registry must not move earlier slots.
+  Registry registry;
+  Counter early = registry.RegisterCounter("early");
+  early.Increment();
+  for (int i = 0; i < 1000; ++i) {
+    registry.RegisterCounter("filler." + std::to_string(i));
+  }
+  early.Increment();
+  EXPECT_EQ(early.value(), 2u);
+  EXPECT_EQ(registry.Snapshot().ValueOr("early", 0), 2u);
+}
+
+TEST(Registry, UnboundHandlesAreSafe) {
+  Counter counter;  // never registered
+  counter.Increment(7);
+  EXPECT_GE(counter.value(), 7u);  // scratch slot is shared, not per-handle
+  Gauge gauge;
+  gauge.Set(3);
+  Histogram histogram;
+  histogram.Observe(10);  // no buckets; count/sum only
+  EXPECT_GE(histogram.data().count, 1u);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  Registry registry;
+  Gauge g = registry.RegisterGauge("queue.depth");
+  g.Set(10);
+  g.Add(5);
+  EXPECT_EQ(g.value(), 15u);
+  g.Set(2);
+  EXPECT_EQ(registry.Snapshot().ValueOr("queue.depth", 0), 2u);
+}
+
+TEST(Registry, HistogramBucketEdges) {
+  Registry registry;
+  Histogram h = registry.RegisterHistogram("lat", {10, 100});
+  h.Observe(0);    // <= 10
+  h.Observe(10);   // boundary lands in the le_10 bucket (inclusive)
+  h.Observe(11);   // <= 100
+  h.Observe(100);  // boundary, le_100
+  h.Observe(101);  // overflow
+  const MetricSet snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.ValueOr("lat.le_10", 99), 2u);
+  EXPECT_EQ(snapshot.ValueOr("lat.le_100", 99), 2u);
+  EXPECT_EQ(snapshot.ValueOr("lat.le_inf", 99), 1u);
+  EXPECT_EQ(snapshot.ValueOr("lat.count", 0), 5u);
+  EXPECT_EQ(snapshot.ValueOr("lat.sum", 0), 0u + 10 + 11 + 100 + 101);
+}
+
+TEST(Registry, HistogramReRegistrationKeepsOriginalBounds) {
+  Registry registry;
+  Histogram first = registry.RegisterHistogram("h", {5});
+  first.Observe(3);
+  Histogram second = registry.RegisterHistogram("h", {50, 500});
+  second.Observe(4);
+  EXPECT_EQ(second.data().bounds.size(), 1u);  // original bounds win
+  EXPECT_EQ(registry.Snapshot().ValueOr("h.le_5", 0), 2u);
+}
+
+TEST(Registry, ExternalFieldIsMirroredLive) {
+  Registry registry;
+  std::uint64_t field = 0;
+  registry.RegisterExternal("ext.value", &field);
+  field = 42;  // owner keeps writing its plain field
+  EXPECT_EQ(registry.Snapshot().ValueOr("ext.value", 0), 42u);
+
+  // Re-registration rebinds to a new address (sequential bench runs).
+  std::uint64_t replacement = 7;
+  registry.RegisterExternal("ext.value", &replacement);
+  EXPECT_EQ(registry.Snapshot().ValueOr("ext.value", 0), 7u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, ResetZeroesOwnedAndExternal) {
+  Registry registry;
+  Counter c = registry.RegisterCounter("owned");
+  c.Increment(9);
+  std::uint64_t field = 13;
+  registry.RegisterExternal("external", &field);
+  Histogram h = registry.RegisterHistogram("hist", {1});
+  h.Observe(5);
+
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(field, 0u);
+  const MetricSet snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.ValueOr("hist.count", 99), 0u);
+  EXPECT_EQ(snapshot.ValueOr("hist.sum", 99), 0u);
+}
+
+TEST(MetricSet, SnapshotDiffWindow) {
+  Registry registry;
+  Counter a = registry.RegisterCounter("a");
+  Counter b = registry.RegisterCounter("b");
+  a.Increment(10);
+  const MetricSet before = registry.Snapshot();
+  a.Increment(5);
+  b.Increment(2);
+  const MetricSet delta = registry.Snapshot().Diff(before);
+  EXPECT_EQ(delta.ValueOr("a", 99), 5u);
+  EXPECT_EQ(delta.ValueOr("b", 99), 2u);
+}
+
+TEST(MetricSet, PrefixAndSuffixQueries) {
+  MetricSet set(std::vector<Sample>{{"cbt.router.1.joins_originated", 3},
+                                    {"cbt.router.2.joins_originated", 4},
+                                    {"netsim.subnet.0.frames_sent", 9}});
+  EXPECT_EQ(set.WithPrefix("cbt.router.").size(), 2u);
+  EXPECT_EQ(set.SumWithSuffix(".joins_originated"), 7u);
+  EXPECT_FALSE(set.Get("missing").has_value());
+}
+
+TEST(MetricSet, SnapshotIsNameSorted) {
+  MetricSet set(std::vector<Sample>{{"zebra", 1}, {"apple", 2}, {"mid", 3}});
+  std::string previous;
+  for (const Sample& sample : set) {
+    EXPECT_LE(previous, sample.name);
+    previous = sample.name;
+  }
+}
+
+TEST(BindStats, RouterStatsFieldsAppearAndSum) {
+  Registry registry;
+  core::RouterStats stats;
+  BindStats(registry, "cbt.router.7", stats);
+  stats.joins_originated = 2;
+  stats.acks_sent = 3;
+  stats.data_forwarded_tree = 11;  // not a control message
+
+  const MetricSet snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.ValueOr("cbt.router.7.joins_originated", 0), 2u);
+  EXPECT_EQ(snapshot.ValueOr("cbt.router.7.acks_sent", 0), 3u);
+  // The tagged rollup matches the struct's own accessor.
+  EXPECT_EQ(stats.ControlMessagesSent(), 5u);
+  EXPECT_EQ(SumTagged(stats, FieldTag::kControlSent), 5u);
+}
+
+TEST(BindStats, ResetStatsZeroesEveryEnumeratedField) {
+  core::RouterStats stats;
+  stats.joins_originated = 1;
+  stats.malformed_control = 2;
+  stats.data_delivered_lan = 3;
+  stats.Reset();
+  EXPECT_EQ(stats.joins_originated, 0u);
+  EXPECT_EQ(stats.malformed_control, 0u);
+  EXPECT_EQ(stats.data_delivered_lan, 0u);
+  EXPECT_EQ(stats.ControlMessagesSent(), 0u);
+}
+
+TEST(BindStats, StatsSnapshotWithoutRegistry) {
+  core::RouterStats stats;
+  stats.quits_sent = 6;
+  const MetricSet snapshot = StatsSnapshot(stats, "r");
+  EXPECT_EQ(snapshot.ValueOr("r.quits_sent", 0), 6u);
+  EXPECT_GT(snapshot.size(), 30u);  // all RouterStats fields enumerated
+}
+
+}  // namespace
+}  // namespace cbt::obs
