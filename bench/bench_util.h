@@ -10,6 +10,19 @@
 //                   --out FILE is accepted as an alias
 //   --trace FILE    record an obs trace and export Chrome trace_event
 //                   JSON on exit (bench::TraceSession)
+//   --jobs N        worker threads for independent simulation replicas
+//                   (exec::Pool). 0 = hardware concurrency; 1 = the
+//                   exact serial legacy path. Output is byte-identical
+//                   for every N — replicas are isolated in RunContexts
+//                   and reduced in replica order (see src/exec/).
+//                   Timing microbenches (bench_routing,
+//                   bench_event_engine, bench_codec) default to 1 so
+//                   parallel replicas cannot distort their wall-clock
+//                   comparisons; --jobs opts in explicitly.
+//   --exec-json F   write per-replica + aggregate wall-clock of the
+//                   replica executor to F (default BENCH_exec.json;
+//                   deliberately a separate file: the bench's own JSON
+//                   stays byte-identical across --jobs values)
 //   --help          usage
 //
 // plus whatever bench-specific flags each binary registers (--events,
@@ -36,19 +49,24 @@
 #include <vector>
 
 #include "analysis/table.h"
+#include "exec/pool.h"
+#include "exec/run_context.h"
+#include "exec/sweep.h"
 #include "obs/trace.h"
 
 namespace cbt::bench {
 
 /// Prints the table in the selected format. In CSV mode, `tag` is emitted
 /// as a section marker line (`# <tag>`) so multi-table benches stay
-/// parseable.
-inline void Emit(const analysis::Table& table, bool csv, const char* tag) {
+/// parseable. `os` defaults to stdout; replica jobs pass their
+/// RunContext::out instead.
+inline void Emit(const analysis::Table& table, bool csv, const char* tag,
+                 std::ostream& os = std::cout) {
   if (csv) {
-    std::cout << "# " << tag << "\n";
-    table.PrintCsv(std::cout);
+    os << "# " << tag << "\n";
+    table.PrintCsv(os);
   } else {
-    table.Print(std::cout);
+    table.Print(os);
   }
 }
 
@@ -66,6 +84,10 @@ class Options {
     Int("repeat", &repeat, "repeat the sweep with seeds seed..seed+N-1");
     Str("json", &json_path, "write the structured report to FILE");
     Str("trace", &trace_path, "export a Chrome trace_event JSON to FILE");
+    Int("jobs", &jobs,
+        "replica worker threads (0 = hardware concurrency, 1 = serial)");
+    Str("exec-json", &exec_json_path,
+        "write executor wall-clock report to FILE (empty disables)");
   }
 
   // Built-ins; assign before Parse() to change a bench's defaults
@@ -74,8 +96,10 @@ class Options {
   bool smoke = false;
   std::uint64_t seed = 1;
   int repeat = 1;
+  int jobs = 0;
   std::string json_path;
   std::string trace_path;
+  std::string exec_json_path = "BENCH_exec.json";
 
   /// Registers a bench-specific boolean flag (present => true).
   void Flag(std::string name, bool* target, std::string help) {
@@ -135,6 +159,7 @@ class Options {
       }
     }
     if (repeat < 1) Fail("--repeat expects a positive count");
+    if (jobs < 0) Fail("--jobs expects a nonnegative thread count");
   }
 
   const std::string& bench_name() const { return bench_name_; }
@@ -386,6 +411,12 @@ class JsonReporter {
 /// construction, and on destruction exports Chrome trace_event JSON.
 /// All status output goes to stderr — bench stdout must stay
 /// byte-identical whether or not tracing is on.
+///
+/// Replica sweeps record into per-replica rings instead (the process
+/// buffer is masked inside each exec::RunContext); the reducer hands
+/// those rings to Adopt(), and the export merges them as one process
+/// lane per replica (pid 2, 3, ... in replica order — pid 1 is the main
+/// thread), so the exported trace is deterministic for every --jobs N.
 class TraceSession {
  public:
   explicit TraceSession(const std::string& path,
@@ -408,17 +439,132 @@ class TraceSession {
       std::cerr << "trace: cannot write " << path_ << "\n";
       return;
     }
-    buffer_->ExportChromeTrace(os);
-    std::cerr << "wrote trace " << path_ << " (" << buffer_->size()
-              << " events retained, " << buffer_->dropped() << " dropped)\n";
+    std::size_t events = buffer_->size();
+    std::size_t dropped = buffer_->dropped();
+    if (adopted_.empty()) {
+      buffer_->ExportChromeTrace(os);
+    } else {
+      std::vector<const obs::TraceBuffer*> lanes;
+      lanes.push_back(buffer_.get());
+      for (const auto& ring : adopted_) {
+        lanes.push_back(ring.get());
+        events += ring->size();
+        dropped += ring->dropped();
+      }
+      obs::ExportCombinedChromeTrace(os, lanes);
+    }
+    std::cerr << "wrote trace " << path_ << " (" << events
+              << " events retained, " << dropped << " dropped)\n";
   }
 
   bool active() const { return buffer_ != nullptr; }
   obs::TraceBuffer* buffer() { return buffer_.get(); }
 
+  /// Takes ownership of a replica's trace ring (call from the RunSweep
+  /// reducer — reduction order is replica order, so lane numbering is
+  /// deterministic). No-op when the session is inert or the replica
+  /// recorded nothing.
+  void Adopt(std::unique_ptr<obs::TraceBuffer> ring) {
+    if (buffer_ == nullptr || ring == nullptr) return;
+    adopted_.push_back(std::move(ring));
+  }
+
  private:
   std::string path_;
   std::unique_ptr<obs::TraceBuffer> buffer_;
+  std::vector<std::unique_ptr<obs::TraceBuffer>> adopted_;
 };
+
+// ---------------------------------------------------------------------
+// ExecReport
+// ---------------------------------------------------------------------
+
+/// Collects exec::SweepTiming from every sweep a bench runs and writes
+/// BENCH_exec.json (per-replica wall-clock, per-sweep wall-clock, and
+/// aggregates). This is deliberately a SEPARATE file from the bench's
+/// own BENCH_*.json: wall-clock is the one thing that legitimately
+/// varies across --jobs values, and keeping it out of the bench report
+/// preserves the byte-identical `--jobs 1` vs `--jobs N` contract.
+class ExecReport {
+ public:
+  explicit ExecReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& sweep, const exec::SweepTiming& timing) {
+    entries_.push_back({sweep, timing});
+  }
+
+  /// Writes to opts.exec_json_path ("" disables). Call once at the end
+  /// of main, after every sweep has been Add()ed.
+  void WriteIfRequested(const Options& opts) const {
+    if (opts.exec_json_path.empty() || entries_.empty()) return;
+    JsonReporter report("exec");
+    report.Param("source_bench", bench_);
+    report.Param("jobs", entries_.front().timing.jobs);
+    report.Param("hardware_concurrency", exec::Pool::HardwareConcurrency());
+    auto& replica = report.AddSeries("replica_wall_seconds", "s");
+    auto& sweeps = report.AddSeries("sweep_wall_seconds", "s");
+    double total_wall = 0;
+    double total_replica = 0;
+    std::size_t replicas = 0;
+    for (const auto& entry : entries_) {
+      for (std::size_t i = 0; i < entry.timing.replica_seconds.size(); ++i) {
+        replica.Add(entry.sweep + "/r" + std::to_string(i),
+                    entry.timing.replica_seconds[i]);
+        total_replica += entry.timing.replica_seconds[i];
+        ++replicas;
+      }
+      sweeps.Add(entry.sweep, entry.timing.wall_seconds);
+      total_wall += entry.timing.wall_seconds;
+    }
+    auto& aggregate = report.AddSeries("aggregate", "s");
+    aggregate.Add("total_wall_seconds", total_wall);
+    aggregate.Add("total_replica_seconds", total_replica);
+    aggregate.Add("replica_count", static_cast<std::uint64_t>(replicas));
+    report.WriteFile(opts.exec_json_path);
+  }
+
+ private:
+  struct Entry {
+    std::string sweep;
+    exec::SweepTiming timing;
+  };
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------
+// Sweep helpers
+// ---------------------------------------------------------------------
+
+/// Sweep options derived from the shared flags: replica i gets seed
+/// opts.seed + i, and per-replica trace rings iff --trace is on.
+inline exec::SweepOptions MakeSweepOptions(const Options& opts,
+                                           const TraceSession& trace) {
+  exec::SweepOptions sweep;
+  sweep.base_seed = opts.seed;
+  sweep.trace = trace.active();
+  return sweep;
+}
+
+/// Runs `body(ctx)` once per --repeat replica on `pool`, flushing each
+/// replica's buffered output in replica order (so output order — and
+/// bytes — match the legacy `for (rep)` loop exactly). `body` returns
+/// the replica's exit code; RunRepeated returns the maximum. This is
+/// the adoption path for single-loop benches; multi-sweep benches call
+/// exec::RunSweep directly.
+template <typename Body>
+int RunRepeated(exec::Pool& pool, const Options& opts, TraceSession& trace,
+                ExecReport& report, Body&& body) {
+  int rc = 0;
+  const exec::SweepTiming timing = exec::RunSweep(
+      pool, static_cast<std::size_t>(opts.repeat), MakeSweepOptions(opts, trace),
+      [&](exec::RunContext& ctx) { return body(ctx); },
+      [&](exec::RunContext& ctx, int code) {
+        if (code > rc) rc = code;
+        trace.Adopt(std::move(ctx.trace));
+      });
+  report.Add("repeat", timing);
+  return rc;
+}
 
 }  // namespace cbt::bench

@@ -79,6 +79,10 @@ struct SoakResult {
   std::uint64_t malformed = 0;
   bool final_clean = false;
   double final_clean_at_s = -1;
+  /// Nonempty => the run aborted (warmup never converged). Replica jobs
+  /// must not std::exit() from a worker thread, so the error rides back
+  /// to main() in the result.
+  std::string error;
 };
 
 double Percentile(std::vector<double> values, double q) {
@@ -97,7 +101,8 @@ struct MemberPlan {
 SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
                    netsim::Topology& topo, const MemberPlan& members,
                    std::uint64_t seed, int event_count, bool dump_plan,
-                   routing::RouteManager::Mode routing_mode) {
+                   routing::RouteManager::Mode routing_mode,
+                   std::ostream& out) {
   SoakResult result;
   result.topology = name;
 
@@ -142,7 +147,7 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
   params.max_down = 20 * kSecond;
   const netsim::ChaosPlan plan =
       netsim::MakeRandomPlan(seed, params, crashable, flappable);
-  if (dump_plan) std::cout << plan.Describe() << "\n";
+  if (dump_plan) out << plan.Describe() << "\n";
 
   netsim::ChaosInjector injector(sim, domain.ChaosHooks());
   injector.Arm(plan);
@@ -160,9 +165,8 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
   // Let the tree build, then demand a clean baseline before any fault.
   analysis::InvariantAuditor auditor(domain);
   if (!analysis::RunUntilInvariantsHold(domain, params.start - kSecond)) {
-    std::cerr << "warmup never converged:\n"
-              << auditor.Audit().Summary() << "\n";
-    std::exit(1);
+    result.error = "warmup never converged:\n" + auditor.Audit().Summary();
+    return result;
   }
 
   // Drive fault -> repair -> converge for every event. Gaps are sized so
@@ -246,58 +250,107 @@ int main(int argc, char** argv) {
                           "lost", "ctl msgs", "malformed", "final audit",
                           "clean @s"});
 
-  std::vector<SoakResult> results;
-  // --repeat reruns the whole sweep with seeds seed, seed+1, ...; each
-  // repetition appends its own rows (repeat=1 output is unchanged).
+  // Replica plan: --repeat reruns the whole sweep with seeds seed,
+  // seed+1, ...; each repetition appends its own rows (repeat=1 output
+  // is unchanged). Every (repetition x topology) pair is one
+  // independent replica — its own Simulator, domain, plan — fanned over
+  // the --jobs pool and reduced in plan order, so the tables (and every
+  // byte of output) match the legacy serial loop exactly.
+  enum class Topo { kScalingGrid, kGrid4x4, kWaxman20, kTransitStub };
+  struct ReplicaSpec {
+    Topo topo;
+    std::uint64_t seed;
+  };
+  std::vector<ReplicaSpec> specs;
   for (int rep = 0; rep < opts.repeat; ++rep) {
-  const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(rep);
-  if (routers > 0) {
-    // Scaling mode: one square grid of at least `routers` routers. The
-    // whole domain runs (echo timers, IGMP queries, keepalives on every
-    // router), so this is the end-to-end event-engine stressor.
-    const int side = std::max(
-        2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(routers)))));
-    netsim::Simulator sim(1, engine);
-    netsim::Topology topo = netsim::MakeGrid(sim, side, side);
-    const std::size_t n = topo.router_lans.size();
-    MemberPlan members{{0, n / 3, (2 * n) / 3, n - 1},
-                       {topo.routers[0], topo.routers[n - 1]}};
-    results.push_back(RunSoak("grid-" + std::to_string(side) + "x" +
-                                  std::to_string(side),
-                              sim, topo, members, run_seed, event_count,
-                              dump_plan, routing_mode));
-  } else {
-  {
-    netsim::Simulator sim(1, engine);
-    netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
-    MemberPlan members{{3, 5, 10, 12}, {topo.routers[0], topo.routers[15]}};
-    results.push_back(
-        RunSoak("grid-4x4", sim, topo, members, run_seed, event_count,
-                dump_plan, routing_mode));
+    const std::uint64_t run_seed = seed + static_cast<std::uint64_t>(rep);
+    if (routers > 0) {
+      specs.push_back({Topo::kScalingGrid, run_seed});
+    } else {
+      specs.push_back({Topo::kGrid4x4, run_seed});
+      specs.push_back({Topo::kWaxman20, run_seed});
+      specs.push_back({Topo::kTransitStub, run_seed});
+    }
   }
-  {
-    netsim::Simulator sim(1, engine);
-    netsim::WaxmanParams wp;
-    wp.n = 20;
-    wp.seed = 7;
-    netsim::Topology topo = netsim::MakeWaxman(sim, wp);
-    MemberPlan members{{4, 9, 14, 19}, {topo.routers[0], topo.routers[13]}};
-    results.push_back(RunSoak("waxman-20", sim, topo, members, run_seed,
-                              event_count, dump_plan, routing_mode));
+
+  exec::Pool pool(opts.jobs);
+  bench::ExecReport exec_report(opts.bench_name());
+  exec::SweepOptions sweep = bench::MakeSweepOptions(opts, trace);
+  sweep.seeds.reserve(specs.size());
+  for (const ReplicaSpec& spec : specs) sweep.seeds.push_back(spec.seed);
+
+  std::vector<SoakResult> results;
+  const exec::SweepTiming timing = exec::RunSweep(
+      pool, specs.size(), sweep,
+      [&](exec::RunContext& ctx) -> SoakResult {
+        const ReplicaSpec& spec = specs[ctx.index];
+        switch (spec.topo) {
+          case Topo::kScalingGrid: {
+            // Scaling mode: one square grid of at least `routers`
+            // routers. The whole domain runs (echo timers, IGMP
+            // queries, keepalives on every router), so this is the
+            // end-to-end event-engine stressor.
+            const int side = std::max(
+                2, static_cast<int>(
+                       std::ceil(std::sqrt(static_cast<double>(routers)))));
+            netsim::Simulator sim(1, engine);
+            netsim::Topology topo = netsim::MakeGrid(sim, side, side);
+            const std::size_t n = topo.router_lans.size();
+            MemberPlan members{{0, n / 3, (2 * n) / 3, n - 1},
+                               {topo.routers[0], topo.routers[n - 1]}};
+            return RunSoak(
+                "grid-" + std::to_string(side) + "x" + std::to_string(side),
+                sim, topo, members, ctx.seed, event_count, dump_plan,
+                routing_mode, ctx.out);
+          }
+          case Topo::kGrid4x4: {
+            netsim::Simulator sim(1, engine);
+            netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
+            MemberPlan members{{3, 5, 10, 12},
+                               {topo.routers[0], topo.routers[15]}};
+            return RunSoak("grid-4x4", sim, topo, members, ctx.seed,
+                           event_count, dump_plan, routing_mode, ctx.out);
+          }
+          case Topo::kWaxman20: {
+            netsim::Simulator sim(1, engine);
+            netsim::WaxmanParams wp;
+            wp.n = 20;
+            wp.seed = 7;
+            netsim::Topology topo = netsim::MakeWaxman(sim, wp);
+            MemberPlan members{{4, 9, 14, 19},
+                               {topo.routers[0], topo.routers[13]}};
+            return RunSoak("waxman-20", sim, topo, members, ctx.seed,
+                           event_count, dump_plan, routing_mode, ctx.out);
+          }
+          case Topo::kTransitStub:
+          default: {
+            netsim::Simulator sim(1, engine);
+            netsim::TransitStubParams tp;
+            tp.transit_nodes = 4;
+            tp.stub_domains = 6;
+            tp.stub_size = 3;
+            netsim::Topology topo = netsim::MakeTransitStub(sim, tp);
+            MemberPlan members{{6, 11, 16, 21},
+                               {topo.routers[0], topo.routers[1]}};
+            return RunSoak("transit-stub", sim, topo, members, ctx.seed,
+                           event_count, dump_plan, routing_mode, ctx.out);
+          }
+        }
+      },
+      [&](exec::RunContext& ctx, SoakResult result) {
+        results.push_back(std::move(result));
+        trace.Adopt(std::move(ctx.trace));
+      });
+  exec_report.Add("soak", timing);
+  exec_report.WriteIfRequested(opts);
+
+  bool failed = false;
+  for (const SoakResult& r : results) {
+    if (r.error.empty()) continue;
+    std::cerr << r.topology << ": " << r.error << "\n";
+    failed = true;
   }
-  {
-    netsim::Simulator sim(1, engine);
-    netsim::TransitStubParams tp;
-    tp.transit_nodes = 4;
-    tp.stub_domains = 6;
-    tp.stub_size = 3;
-    netsim::Topology topo = netsim::MakeTransitStub(sim, tp);
-    MemberPlan members{{6, 11, 16, 21}, {topo.routers[0], topo.routers[1]}};
-    results.push_back(RunSoak("transit-stub", sim, topo, members, run_seed,
-                              event_count, dump_plan, routing_mode));
-  }
-  }
-  }
+  if (failed) return 1;
 
   for (const SoakResult& r : results) {
     for (const auto& [type, stats] : r.by_class) {

@@ -1,11 +1,22 @@
-// Experiment E9 — wire-codec microbenchmarks (google-benchmark).
+// Experiment E9 — wire-codec microbenchmarks (google-benchmark engine,
+// bench::Options dialect).
 //
 // The spec argues CBT-mode encapsulation is cheap ("decapsulation is
 // relatively efficient", section 5); these benchmarks measure our
 // implementation's per-packet costs: header encode/decode, checksum, and
 // the full CBT-mode encapsulate/decapsulate round trip.
+//
+// The binary speaks the shared bench flag dialect (--smoke, --json/--out,
+// --filter, ...) and writes the common BENCH_codec.json schema; google-
+// benchmark stays the measurement engine underneath (its console output
+// is unchanged, and its native flags are reachable via --filter /
+// --smoke rather than exposed raw).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/checksum.h"
 #include "packet/encap.h"
 
@@ -139,4 +150,70 @@ void BM_IgmpCoreReportRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_IgmpCoreReportRoundTrip);
 
+/// Console reporter that also keeps every per-iteration run so main()
+/// can emit the shared BENCH_*.json schema after the engine finishes.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) collected.push_back(run);
+    ConsoleReporter::ReportRuns(runs);
+  }
+  std::vector<Run> collected;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  cbt::bench::Options opts("codec",
+                           "E9: wire-codec microbenchmarks "
+                           "(google-benchmark engine)");
+  opts.json_path = "BENCH_codec.json";  // always reported
+  opts.jobs = 1;  // timing microbench; google-benchmark runs serially
+  std::string filter;
+  opts.Str("filter", &filter, "run only benchmarks matching this regex");
+  opts.Parse(argc, argv);
+
+  // Re-assemble an argv for google-benchmark from the shared dialect:
+  // --smoke shrinks min_time to a correctness-only pass, --filter maps
+  // to --benchmark_filter.
+  std::vector<std::string> engine_args = {argv[0]};
+  if (opts.smoke) engine_args.push_back("--benchmark_min_time=0.01");
+  if (!filter.empty()) {
+    engine_args.push_back("--benchmark_filter=" + filter);
+  }
+  std::vector<char*> engine_argv;
+  engine_argv.reserve(engine_args.size());
+  for (std::string& arg : engine_args) engine_argv.push_back(arg.data());
+  int engine_argc = static_cast<int>(engine_argv.size());
+  benchmark::Initialize(&engine_argc, engine_argv.data());
+
+  CollectingReporter reporter;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!opts.json_path.empty()) {
+    cbt::bench::JsonReporter report(opts.bench_name());
+    report.Param("engine", "google-benchmark");
+    report.Param("mode", opts.smoke ? "smoke" : "full");
+    report.Param("benchmarks", static_cast<std::uint64_t>(ran));
+    auto& real_series = report.AddSeries("real_time", "ns");
+    auto& cpu_series = report.AddSeries("cpu_time", "ns");
+    auto& iter_series = report.AddSeries("iterations", "iterations");
+    auto& bytes_series = report.AddSeries("bytes_per_second", "B/s");
+    for (const auto& run : reporter.collected) {
+      if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) {
+        continue;
+      }
+      const std::string label = run.benchmark_name();
+      real_series.Add(label, run.GetAdjustedRealTime());
+      cpu_series.Add(label, run.GetAdjustedCPUTime());
+      iter_series.Add(label, static_cast<std::uint64_t>(run.iterations));
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        bytes_series.Add(label, static_cast<double>(bytes->second));
+      }
+    }
+    report.WriteFile(opts.json_path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -132,8 +132,14 @@ int main(int argc, char** argv) {
   bench::Options opts("event_engine",
                       "event-engine microbench: timer wheel vs legacy heap");
   opts.json_path = "BENCH_event_engine.json";  // always reported
+  // Timing microbench: serial by default so parallel replicas cannot
+  // distort the wheel-vs-legacy wall-clock comparison (--jobs opts in;
+  // the fire-order checksums stay identical either way).
+  opts.jobs = 1;
   opts.Parse(argc, argv);
   bench::TraceSession trace(opts.trace_path);
+  exec::Pool pool(opts.jobs);
+  bench::ExecReport exec_report(opts.bench_name());
   const bool smoke = opts.smoke;
 
   const std::size_t timers = smoke ? 2'000 : 100'000;
@@ -145,15 +151,32 @@ int main(int argc, char** argv) {
             << " cancel/re-arm ops, " << drain_events
             << " schedule/drain events\n";
 
-  std::vector<WorkloadResult> results;
-  results.push_back(
-      CancelRearm(EventQueue::Engine::kTimerWheel, timers, rearm_ops));
-  results.push_back(
-      CancelRearm(EventQueue::Engine::kLegacyHeap, timers, rearm_ops));
-  results.push_back(
-      ScheduleDrain(EventQueue::Engine::kTimerWheel, drain_events));
-  results.push_back(
-      ScheduleDrain(EventQueue::Engine::kLegacyHeap, drain_events));
+  // Four independent (workload, engine) replicas over the --jobs pool.
+  std::vector<WorkloadResult> results(4);
+  exec_report.Add(
+      "workloads",
+      exec::RunSweep(
+          pool, results.size(), bench::MakeSweepOptions(opts, trace),
+          [&](exec::RunContext& ctx) -> WorkloadResult {
+            switch (ctx.index) {
+              case 0:
+                return CancelRearm(EventQueue::Engine::kTimerWheel, timers,
+                                   rearm_ops);
+              case 1:
+                return CancelRearm(EventQueue::Engine::kLegacyHeap, timers,
+                                   rearm_ops);
+              case 2:
+                return ScheduleDrain(EventQueue::Engine::kTimerWheel,
+                                     drain_events);
+              default:
+                return ScheduleDrain(EventQueue::Engine::kLegacyHeap,
+                                     drain_events);
+            }
+          },
+          [&](exec::RunContext& ctx, WorkloadResult r) {
+            results[ctx.index] = std::move(r);
+            trace.Adopt(std::move(ctx.trace));
+          }));
   for (const WorkloadResult& r : results) PrintRow(r);
 
   bool deterministic = true;
@@ -188,6 +211,7 @@ int main(int argc, char** argv) {
   speedup.Add("cancel_rearm", rearm_speedup);
   speedup.Add("schedule_drain", drain_speedup);
   report.WriteFile(opts.json_path);
+  exec_report.WriteIfRequested(opts);
 
   return deterministic ? 0 : 1;
 }

@@ -9,7 +9,10 @@
 // Topologies: a diamond (single alternate path) and the Figure-1 network
 // with the secondary core taking over after the primary's site fails.
 #include <iostream>
+#include <iterator>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "analysis/table.h"
 #include "bench_util.h"
@@ -81,11 +84,15 @@ int main(int argc, char** argv) {
                       "E7: parent-failure detection and branch re-attach");
   opts.Parse(argc, argv);
   bench::TraceSession trace(opts.trace_path);
+  exec::Pool pool(opts.jobs);
+  bench::ExecReport exec_report(opts.bench_name());
 
   std::cout << "E7: failure recovery — parent router dies; child branch "
                "re-attaches via the alternate path\n\n(a) diamond "
                "topology, echo timer sweep\n\n";
 
+  // One replica per timer case (a), one for the grid failover (b): each
+  // builds its own simulator, so the cases fan out over --jobs workers.
   analysis::Table sweep({"echo interval s", "echo timeout s", "detect s",
                          "recover s", "ctl msgs (10 min)"});
   const struct {
@@ -95,14 +102,23 @@ int main(int argc, char** argv) {
       {30 * kSecond, 90 * kSecond},  // the spec's defaults
       {60 * kSecond, 180 * kSecond},
   };
-  for (const auto& t : timer_cases) {
-    const Recovery r = RunDiamond(t.interval, t.timeout);
-    sweep.AddRow({analysis::Table::Num(t.interval / kSecond),
-                  analysis::Table::Num(t.timeout / kSecond),
-                  analysis::Table::Fixed(r.detect_s, 1),
-                  analysis::Table::Fixed(r.recover_s, 1),
-                  analysis::Table::Num(r.messages)});
-  }
+  exec_report.Add(
+      "echo_sweep",
+      exec::RunSweep(
+          pool, std::size(timer_cases), bench::MakeSweepOptions(opts, trace),
+          [&](exec::RunContext& ctx) {
+            const auto& t = timer_cases[ctx.index];
+            return RunDiamond(t.interval, t.timeout);
+          },
+          [&](exec::RunContext& ctx, Recovery r) {
+            const auto& t = timer_cases[ctx.index];
+            sweep.AddRow({analysis::Table::Num(t.interval / kSecond),
+                          analysis::Table::Num(t.timeout / kSecond),
+                          analysis::Table::Fixed(r.detect_s, 1),
+                          analysis::Table::Fixed(r.recover_s, 1),
+                          analysis::Table::Num(r.messages)});
+            trace.Adopt(std::move(ctx.trace));
+          }));
   sweep.Print(std::cout);
 
   std::cout << "\n(b) 4x4 grid: primary core fails; orphaned branches "
@@ -112,50 +128,62 @@ int main(int argc, char** argv) {
                "no multicast protocol can survive; hence the 2-connected "
                "grid here)\n\n";
   analysis::Table grid_table({"event", "value"});
-  {
-    netsim::Simulator sim(1);
-    netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
-    core::CbtDomain domain(sim, topo);
-    // Primary core: corner (0,0); secondary: corner (3,3).
-    domain.RegisterGroup(kGroup, {topo.routers[0], topo.routers[15]});
-    domain.Start();
-    sim.RunUntil(kSecond);
-    // Members behind four spread routers.
-    std::vector<core::HostAgent*> members;
-    for (const std::size_t idx : {3u, 5u, 10u, 12u}) {
-      members.push_back(
-          &domain.AddHost(topo.router_lans[idx], "m" + std::to_string(idx)));
-      members.back()->JoinGroup(kGroup);
-    }
-    sim.RunUntil(30 * kSecond);
+  exec_report.Add(
+      "grid_core_failover",
+      exec::RunSweep(
+          pool, 1, bench::MakeSweepOptions(opts, trace),
+          [&](exec::RunContext&) {
+            std::vector<std::vector<std::string>> rows;
+            netsim::Simulator sim(1);
+            netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
+            core::CbtDomain domain(sim, topo);
+            // Primary core: corner (0,0); secondary: corner (3,3).
+            domain.RegisterGroup(kGroup, {topo.routers[0], topo.routers[15]});
+            domain.Start();
+            sim.RunUntil(kSecond);
+            // Members behind four spread routers.
+            std::vector<core::HostAgent*> members;
+            for (const std::size_t idx : {3u, 5u, 10u, 12u}) {
+              members.push_back(&domain.AddHost(topo.router_lans[idx],
+                                                "m" + std::to_string(idx)));
+              members.back()->JoinGroup(kGroup);
+            }
+            sim.RunUntil(30 * kSecond);
 
-    const SimTime failure = sim.Now();
-    sim.SetNodeUp(topo.routers[0], false);
-    sim.RunUntil(failure + 600 * kSecond);
+            const SimTime failure = sim.Now();
+            sim.SetNodeUp(topo.routers[0], false);
+            sim.RunUntil(failure + 600 * kSecond);
 
-    // Validate delivery end-to-end after recovery: member 3 sends.
-    members[0]->SendToGroup(kGroup, std::vector<std::uint8_t>{1});
-    sim.RunUntil(sim.Now() + 10 * kSecond);
+            // Validate delivery end-to-end after recovery: member 3 sends.
+            members[0]->SendToGroup(kGroup, std::vector<std::uint8_t>{1});
+            sim.RunUntil(sim.Now() + 10 * kSecond);
 
-    std::uint64_t losses = 0, reconnects = 0;
-    for (const NodeId id : domain.router_ids()) {
-      losses += domain.router(id).stats().parent_losses;
-      reconnects += domain.router(id).stats().reconnects_succeeded;
-    }
-    grid_table.AddRow(
-        {"routers that lost a parent", analysis::Table::Num(losses)});
-    grid_table.AddRow(
-        {"successful reconnects", analysis::Table::Num(reconnects)});
-    grid_table.AddRow(
-        {"secondary core anchors tree",
-         domain.router(topo.routers[15]).IsOnTree(kGroup) ? "yes" : "NO"});
-    int delivered = 0;
-    for (std::size_t i = 1; i < members.size(); ++i) {
-      if (members[i]->ReceivedCount(kGroup) > 0) ++delivered;
-    }
-    grid_table.AddRow({"members receiving after recovery",
-                       analysis::Table::Num(delivered) + "/3"});
-  }
+            std::uint64_t losses = 0, reconnects = 0;
+            for (const NodeId id : domain.router_ids()) {
+              losses += domain.router(id).stats().parent_losses;
+              reconnects += domain.router(id).stats().reconnects_succeeded;
+            }
+            rows.push_back(
+                {"routers that lost a parent", analysis::Table::Num(losses)});
+            rows.push_back(
+                {"successful reconnects", analysis::Table::Num(reconnects)});
+            rows.push_back(
+                {"secondary core anchors tree",
+                 domain.router(topo.routers[15]).IsOnTree(kGroup) ? "yes"
+                                                                  : "NO"});
+            int delivered = 0;
+            for (std::size_t i = 1; i < members.size(); ++i) {
+              if (members[i]->ReceivedCount(kGroup) > 0) ++delivered;
+            }
+            rows.push_back({"members receiving after recovery",
+                            analysis::Table::Num(delivered) + "/3"});
+            return rows;
+          },
+          [&](exec::RunContext& ctx,
+              std::vector<std::vector<std::string>> rows) {
+            for (auto& row : rows) grid_table.AddRow(std::move(row));
+            trace.Adopt(std::move(ctx.trace));
+          }));
   grid_table.Print(std::cout);
   std::cout << "\nExpected shape: detection ~= echo timeout (+ up to one "
                "interval), repair ~= one join RTT on top; smaller echo "
@@ -168,5 +196,6 @@ int main(int argc, char** argv) {
     report.AddTable("grid_core_failover", grid_table);
     report.WriteFile(opts.json_path);
   }
+  exec_report.WriteIfRequested(opts);
   return 0;
 }

@@ -182,8 +182,14 @@ int main(int argc, char** argv) {
   bench::Options opts("routing",
                       "routing microbench: lazy invalidation + LPM index");
   opts.json_path = "BENCH_routing.json";  // always reported
+  // Timing microbench: parallel replicas would contend for cores and
+  // distort the lazy-vs-eager wall-clock comparison, so the default is
+  // the serial path; --jobs N opts in (the checksums stay identical).
+  opts.jobs = 1;
   opts.Parse(argc, argv);
   bench::TraceSession trace(opts.trace_path);
+  exec::Pool pool(opts.jobs);
+  bench::ExecReport exec_report(opts.bench_name());
   const bool smoke = opts.smoke;
 
   // Full mode: a 16x16 grid = 256 routers, the ISSUE's scaling floor.
@@ -196,16 +202,42 @@ int main(int argc, char** argv) {
             << side * side << " routers, " << flaps << " flaps x " << queried
             << " queries, " << lookups << " lookups\n";
 
-  const RunResult cold_lazy = RunCold(RouteManager::Mode::kLazy, side);
-  const RunResult cold_eager = RunCold(RouteManager::Mode::kEager, side);
-  const RunResult flap_lazy =
-      RunPostFlap(RouteManager::Mode::kLazy, side, flaps, queried);
-  const RunResult flap_eager =
-      RunPostFlap(RouteManager::Mode::kEager, side, flaps, queried);
-  const RunResult look_idx =
-      RunLookup(RouteManager::LpmMode::kIndexed, side, lookups);
-  const RunResult look_lin =
-      RunLookup(RouteManager::LpmMode::kLinearScan, side, lookups);
+  // The six workloads are independent replicas (each builds its own
+  // simulator + grid); the reducer stores them back into the named
+  // slots the report expects.
+  std::vector<RunResult> runs(6);
+  exec_report.Add(
+      "workloads",
+      exec::RunSweep(
+          pool, runs.size(), bench::MakeSweepOptions(opts, trace),
+          [&](exec::RunContext& ctx) -> RunResult {
+            switch (ctx.index) {
+              case 0: return RunCold(RouteManager::Mode::kLazy, side);
+              case 1: return RunCold(RouteManager::Mode::kEager, side);
+              case 2:
+                return RunPostFlap(RouteManager::Mode::kLazy, side, flaps,
+                                   queried);
+              case 3:
+                return RunPostFlap(RouteManager::Mode::kEager, side, flaps,
+                                   queried);
+              case 4:
+                return RunLookup(RouteManager::LpmMode::kIndexed, side,
+                                 lookups);
+              default:
+                return RunLookup(RouteManager::LpmMode::kLinearScan, side,
+                                 lookups);
+            }
+          },
+          [&](exec::RunContext& ctx, RunResult r) {
+            runs[ctx.index] = std::move(r);
+            trace.Adopt(std::move(ctx.trace));
+          }));
+  const RunResult& cold_lazy = runs[0];
+  const RunResult& cold_eager = runs[1];
+  const RunResult& flap_lazy = runs[2];
+  const RunResult& flap_eager = runs[3];
+  const RunResult& look_idx = runs[4];
+  const RunResult& look_lin = runs[5];
 
   for (const RunResult& r :
        {cold_lazy, cold_eager, flap_lazy, flap_eager, look_idx, look_lin}) {
@@ -263,6 +295,7 @@ int main(int argc, char** argv) {
   per_flap.Add("eager", eager_tables_per_flap);
   per_flap.Add("lazy", lazy_tables_per_flap);
   report.WriteFile(opts.json_path);
+  exec_report.WriteIfRequested(opts);
 
   return deterministic ? 0 : 1;
 }

@@ -180,49 +180,63 @@ int main(int argc, char** argv) {
                            "E1: router state scaling vs DVMRP and MOSPF");
   opts.Parse(argc, argv);
   cbt::bench::TraceSession trace(opts.trace_path);
+  cbt::exec::Pool pool(opts.jobs);
+  cbt::bench::ExecReport exec_report(opts.bench_name());
   const bool csv = opts.csv;
-  std::cout << "E1: router state scaling — CBT shared tree vs DVMRP "
+
+  // --repeat replicas fan out over the --jobs pool; the workload is
+  // deterministic, so every repetition prints the same tables (the
+  // repeat knob exists for wall-clock sampling via BENCH_exec.json).
+  analysis::Table first_table({""});
+  const int rc = cbt::bench::RunRepeated(
+      pool, opts, trace, exec_report, [&](cbt::exec::RunContext& ctx) -> int {
+        std::ostream& out = ctx.out;
+        out << "E1: router state scaling — CBT shared tree vs DVMRP "
                "flood-and-prune vs MOSPF link-state\n"
             << "(Waxman n=" << kRouters << ", " << kMembersPerGroup
             << " member routers per group; state units = FIB entries + "
                "children / (S,G) entries + prune records)\n\n";
 
-  analysis::Table table(
-      {"groups", "senders", "CBT total", "CBT max/rtr", "CBT routers",
-       "DVMRP total", "DVMRP routers", "MOSPF total", "MOSPF routers",
-       "DVMRP/CBT"});
-  for (const int groups : {4, 8, 16, 32}) {
-    for (const int senders : {1, 4, 8}) {
-      const Result cbt = RunCbt(groups, senders, 42);
-      const Result dvmrp = RunDvmrp(groups, senders, 42);
-      const Result mospf = RunMospf(groups, senders, 42);
-      table.AddRow({analysis::Table::Num(groups),
-                    analysis::Table::Num(senders),
-                    analysis::Table::Num(cbt.total),
-                    analysis::Table::Num(cbt.max_per_router),
-                    analysis::Table::Num(cbt.routers_with_state),
-                    analysis::Table::Num(dvmrp.total),
-                    analysis::Table::Num(dvmrp.routers_with_state),
-                    analysis::Table::Num(mospf.total),
-                    analysis::Table::Num(mospf.routers_with_state),
-                    analysis::Table::Fixed(
-                        cbt.total > 0 ? static_cast<double>(dvmrp.total) /
-                                            static_cast<double>(cbt.total)
-                                      : 0.0)});
-    }
-  }
-  cbt::bench::Emit(table, csv, "E1 state scaling");
-  std::cout << "\nExpected shape: CBT column flat in senders, linear in "
+        analysis::Table table(
+            {"groups", "senders", "CBT total", "CBT max/rtr", "CBT routers",
+             "DVMRP total", "DVMRP routers", "MOSPF total", "MOSPF routers",
+             "DVMRP/CBT"});
+        for (const int groups : {4, 8, 16, 32}) {
+          for (const int senders : {1, 4, 8}) {
+            const Result cbt = RunCbt(groups, senders, 42);
+            const Result dvmrp = RunDvmrp(groups, senders, 42);
+            const Result mospf = RunMospf(groups, senders, 42);
+            table.AddRow(
+                {analysis::Table::Num(groups), analysis::Table::Num(senders),
+                 analysis::Table::Num(cbt.total),
+                 analysis::Table::Num(cbt.max_per_router),
+                 analysis::Table::Num(cbt.routers_with_state),
+                 analysis::Table::Num(dvmrp.total),
+                 analysis::Table::Num(dvmrp.routers_with_state),
+                 analysis::Table::Num(mospf.total),
+                 analysis::Table::Num(mospf.routers_with_state),
+                 analysis::Table::Fixed(
+                     cbt.total > 0 ? static_cast<double>(dvmrp.total) /
+                                         static_cast<double>(cbt.total)
+                                   : 0.0)});
+          }
+        }
+        cbt::bench::Emit(table, csv, "E1 state scaling", out);
+        out << "\nExpected shape: CBT column flat in senders, linear in "
                "groups, held only by on-tree routers; DVMRP grows with "
                "groups x senders at every router; MOSPF holds membership "
                "knowledge (groups x member-routers) at EVERY router plus "
                "per-(S,G) cache on tree routers.\n";
+        if (ctx.index == 0) first_table = table;
+        return 0;
+      });
   if (!opts.json_path.empty()) {
     cbt::bench::JsonReporter report(opts.bench_name());
     report.Param("routers", kRouters);
     report.Param("members_per_group", kMembersPerGroup);
-    report.AddTable("state_scaling", table, "state units");
+    report.AddTable("state_scaling", first_table, "state units");
     report.WriteFile(opts.json_path);
   }
-  return 0;
+  exec_report.WriteIfRequested(opts);
+  return rc;
 }

@@ -56,8 +56,16 @@ int main(int argc, char** argv) {
                            "E4: link-load concentration across schemes");
   opts.Parse(argc, argv);
   cbt::bench::TraceSession trace(opts.trace_path);
+  cbt::exec::Pool pool(opts.jobs);
+  cbt::bench::ExecReport exec_report(opts.bench_name());
   const bool csv = opts.csv;
-  std::cout << "E4: traffic concentration (all members send one packet) — "
+
+  analysis::Table first_table({""});
+  analysis::Table first_live({""});
+  const int rc = cbt::bench::RunRepeated(
+      pool, opts, trace, exec_report, [&](cbt::exec::RunContext& ctx) -> int {
+  std::ostream& out = ctx.out;
+  out << "E4: traffic concentration (all members send one packet) — "
                "Waxman n="
             << kRouters << ", " << kSeeds << " seeds\n\n";
 
@@ -116,14 +124,14 @@ int main(int argc, char** argv) {
     row("unidir RP tree", unidir);
     row("per-source SPT", spt);
   }
-  cbt::bench::Emit(table, csv, "E4 oracle link load");
+  cbt::bench::Emit(table, csv, "E4 oracle link load", out);
 
   // ------------------------------------------------------------------
   // (b) Protocol-level confirmation: run the same workload through the
   // real routers on a 5x5 grid and read the per-subnet frame counters.
   // ------------------------------------------------------------------
-  std::cout << "\n(b) live-simulation confirmation — 5x5 grid, 8 members "
-               "each sending 10 packets; peak frames on any one subnet\n\n";
+  out << "\n(b) live-simulation confirmation — 5x5 grid, 8 members "
+         "each sending 10 packets; peak frames on any one subnet\n\n";
   analysis::Table live({"scheme", "peak subnet frames", "total data frames"});
   enum class Scheme { kCbt, kDvmrp, kRpTree };
   const auto run_live = [&](Scheme scheme) {
@@ -194,17 +202,25 @@ int main(int argc, char** argv) {
   run_live(Scheme::kCbt);
   run_live(Scheme::kDvmrp);
   run_live(Scheme::kRpTree);
-  cbt::bench::Emit(live, csv, "E4 live grid confirmation");
-  std::cout << "\n(the live CBT peak includes keepalive frames on the "
-               "busiest tree link; DVMRP's total shows the flooding cost)\n";
+  cbt::bench::Emit(live, csv, "E4 live grid confirmation", out);
+  out << "\n(the live CBT peak includes keepalive frames on the "
+         "busiest tree link; DVMRP's total shows the flooding cost)\n";
 
-  std::cout << "\nExpected shape: bidirectional shared-tree peak == "
-               "#senders regardless of core placement; the unidirectional "
-               "(PIM-SM-shape) RP tree is strictly worse near the root "
-               "(up-leg + down-leg); SPT peak clearly lower with load "
-               "spread over more links — CBT's bidirectionality is the "
-               "cheaper of the two shared-tree designs.\n";
+  out << "\nExpected shape: bidirectional shared-tree peak == "
+         "#senders regardless of core placement; the unidirectional "
+         "(PIM-SM-shape) RP tree is strictly worse near the root "
+         "(up-leg + down-leg); SPT peak clearly lower with load "
+         "spread over more links — CBT's bidirectionality is the "
+         "cheaper of the two shared-tree designs.\n";
+  if (ctx.index == 0) {
+    first_table = table;
+    first_live = live;
+  }
+  return 0;
+      });
   if (!opts.json_path.empty()) {
+    analysis::Table& table = first_table;
+    analysis::Table& live = first_live;
     cbt::bench::JsonReporter report(opts.bench_name());
     report.Param("routers", kRouters);
     report.Param("seeds", kSeeds);
@@ -212,5 +228,6 @@ int main(int argc, char** argv) {
     report.AddTable("live_grid", live, "frames");
     report.WriteFile(opts.json_path);
   }
-  return 0;
+  exec_report.WriteIfRequested(opts);
+  return rc;
 }

@@ -7,10 +7,18 @@
 namespace cbt {
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
-Logger::Sink g_sink;  // empty → default stderr sink
+/// Shared fallback config: what every thread logs through until a
+/// per-run config is installed. Mutated only by single-threaded setup
+/// code (tests, bench mains) — concurrent replicas get their own
+/// LogConfig via InstallThreadConfig and never touch this one.
+LogConfig g_process_config;
 
-const char* LevelName(LogLevel level) {
+/// The calling thread's override; null → g_process_config.
+thread_local LogConfig* t_config = nullptr;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
@@ -22,18 +30,27 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+LogConfig& Logger::CurrentConfig() {
+  return t_config != nullptr ? *t_config : g_process_config;
+}
 
-LogLevel Logger::level() { return g_level; }
-void Logger::SetLevel(LogLevel level) { g_level = level; }
-void Logger::SetSink(Sink sink) { g_sink = std::move(sink); }
+LogConfig* Logger::InstallThreadConfig(LogConfig* config) {
+  LogConfig* previous = t_config;
+  t_config = config;
+  return previous;
+}
+
+LogLevel Logger::level() { return CurrentConfig().level; }
+void Logger::SetLevel(LogLevel level) { CurrentConfig().level = level; }
+void Logger::SetSink(Sink sink) { CurrentConfig().sink = std::move(sink); }
 
 void Logger::Write(LogLevel level, std::string message) {
-  if (g_sink) {
-    g_sink(level, message);
+  const LogConfig& config = CurrentConfig();
+  if (config.sink) {
+    config.sink(level, message);
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
 }
 
 namespace logging_detail {

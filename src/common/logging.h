@@ -4,6 +4,17 @@
 // parent lost...) at Debug/Trace; experiments run with logging off so
 // measured message counts are unaffected. The sink is injectable so tests
 // can capture and assert on trace output.
+//
+// Concurrency model
+// -----------------
+// There is no process-wide mutable configuration on the hot path anymore.
+// The logger reads a *current* LogConfig through a thread-local pointer:
+// by default every thread shares the process config (single-threaded
+// programs behave exactly as before), but the parallel replica executor
+// (exec::ScopedRunContext) installs a per-replica LogConfig for the
+// duration of a replica, so concurrent replicas can neither interleave
+// log lines nor observe each other's level changes. SetLevel/SetSink
+// always act on the calling thread's current config.
 #pragma once
 
 #include <functional>
@@ -20,22 +31,44 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Process-wide logging configuration (the simulator is single-threaded).
-class Logger {
- public:
+/// One logging configuration: a level plus an output sink. The process
+/// owns one default instance; each exec::RunContext owns its own.
+struct LogConfig {
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
+  LogLevel level = LogLevel::kOff;
+  Sink sink;  // empty → default stderr sink
+};
+
+class Logger {
+ public:
+  using Sink = LogConfig::Sink;
+
+  /// Level/sink of the calling thread's current config (the process
+  /// config unless a per-run config is installed on this thread).
   static LogLevel level();
   static void SetLevel(LogLevel level);
 
-  /// Replaces the output sink (default writes to stderr). Pass nullptr to
-  /// restore the default.
+  /// Replaces the output sink of the current config (default writes to
+  /// stderr). Pass nullptr to restore the default.
   static void SetSink(Sink sink);
 
   static void Write(LogLevel level, std::string message);
 
   static bool Enabled(LogLevel level) { return level >= Logger::level(); }
+
+  /// Installs `config` as this thread's current config; nullptr restores
+  /// the shared process config. Returns the previously installed config
+  /// (nullptr if the thread was on the process config), so callers can
+  /// restore it — exec::ScopedRunContext does this RAII-style.
+  static LogConfig* InstallThreadConfig(LogConfig* config);
+
+  /// The config the calling thread currently logs through.
+  static LogConfig& CurrentConfig();
 };
+
+/// "TRACE" / "DEBUG" / ... — the tag the default stderr sink prints.
+const char* LogLevelName(LogLevel level);
 
 namespace logging_detail {
 std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

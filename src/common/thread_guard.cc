@@ -1,0 +1,21 @@
+#include "common/thread_guard.h"
+
+#ifndef NDEBUG
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cbt {
+
+void ThreadOwnershipGuard::Die(const char* what) {
+  std::fprintf(stderr,
+               "ThreadOwnershipGuard: %s touched from a second thread — "
+               "simulation structures must stay within one replica/thread "
+               "(see src/exec/)\n",
+               what);
+  std::abort();
+}
+
+}  // namespace cbt
+
+#endif  // NDEBUG

@@ -1,0 +1,15 @@
+#include "exec/run_context.h"
+
+namespace cbt::exec {
+
+RunContext::RunContext() {
+  // Inherit the verbosity the launching thread runs at, but capture the
+  // lines privately in the stderr-compatible format, so a parallel sweep
+  // emits exactly the bytes (in exactly the order) a serial one would.
+  log.level = Logger::level();
+  log.sink = [this](LogLevel level, const std::string& message) {
+    log_out << '[' << LogLevelName(level) << "] " << message << '\n';
+  };
+}
+
+}  // namespace cbt::exec

@@ -50,6 +50,7 @@ void EventQueue::FreeSlot(std::uint32_t index) {
 }
 
 EventId EventQueue::ScheduleAt(SimTime when, EventFn fn) {
+  guard_.AssertOwned("netsim::EventQueue");
   ++live_;
   if (engine_ == Engine::kLegacyHeap) {
     const EventId id = legacy_next_id_++;
@@ -176,6 +177,7 @@ void EventQueue::HeapRemove(std::uint32_t pos) {
 }
 
 bool EventQueue::Cancel(EventId id) {
+  guard_.AssertOwned("netsim::EventQueue");
   if (engine_ == Engine::kLegacyHeap) {
     // The heap entry stays behind and is skipped lazily when it surfaces
     // (the known tombstone leak the wheel engine fixes).
@@ -323,6 +325,7 @@ SimTime EventQueue::NextTime() {
 }
 
 bool EventQueue::RunNext(SimTime& clock) {
+  guard_.AssertOwned("netsim::EventQueue");
   if (engine_ == Engine::kLegacyHeap) {
     LegacyDropCancelledHead();
     if (legacy_heap_.empty()) return false;

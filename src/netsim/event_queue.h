@@ -38,6 +38,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_guard.h"
 #include "common/types.h"
 #include "netsim/event_fn.h"
 
@@ -149,6 +150,10 @@ class EventQueue {
   bool EnsureDueFront();
   void RefillDue();
 
+  /// Slab links and generation counters are non-atomic: one queue
+  /// belongs to one replica. Debug builds abort on cross-thread use
+  /// (checked at the public entry points: ScheduleAt/Cancel/RunNext).
+  ThreadOwnershipGuard guard_;
   Engine engine_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -5,6 +5,7 @@
 namespace cbt::netsim {
 
 PacketRef PacketArena::Make(std::span<const std::uint8_t> bytes) {
+  guard_.AssertOwned("netsim::PacketArena");
   std::uint32_t index;
   if (free_head_ != kNil) {
     index = free_head_;
@@ -29,6 +30,7 @@ std::span<std::uint8_t> PacketArena::MutableBytes(const PacketRef& ref) {
 }
 
 void PacketArena::Release(std::uint32_t index) {
+  guard_.AssertOwned("netsim::PacketArena");
   Buffer& buf = buffers_[index];
   assert(buf.refs > 0);
   if (--buf.refs == 0) {

@@ -12,12 +12,18 @@
 // Lifetime rule: a PacketRef must not outlive its arena. The simulator
 // owns one arena and destroys it after the event queue, so closures
 // holding PacketRefs always die first.
+//
+// Threading rule: the refcounts are non-atomic by design (one arena
+// belongs to one simulation replica). Debug builds enforce this with a
+// ThreadOwnershipGuard — touching an arena from a second thread aborts.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "common/thread_guard.h"
 
 namespace cbt::netsim {
 
@@ -82,9 +88,13 @@ class PacketArena {
   };
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  void AddRef(std::uint32_t index) { ++buffers_[index].refs; }
+  void AddRef(std::uint32_t index) {
+    guard_.AssertOwned("netsim::PacketArena");
+    ++buffers_[index].refs;
+  }
   void Release(std::uint32_t index);
 
+  ThreadOwnershipGuard guard_;
   std::vector<Buffer> buffers_;
   std::uint32_t free_head_ = kNil;
   std::size_t live_ = 0;

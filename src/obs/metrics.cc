@@ -7,16 +7,19 @@ namespace cbt::obs {
 
 namespace {
 /// Shared sink for unbound handles: instrumented code can always record,
-/// registered or not, without a branch.
-std::uint64_t g_scratch_slot = 0;
-HistogramData g_scratch_histogram;
+/// registered or not, without a branch. Thread-local so concurrent
+/// simulation replicas never write the same scratch slot (the values are
+/// garbage by design; the isolation is for the data-race freedom the
+/// parallel executor's TSan suite enforces).
+thread_local std::uint64_t t_scratch_slot = 0;
+thread_local HistogramData t_scratch_histogram;
 }  // namespace
 
-Counter::Counter() : slot_(&g_scratch_slot) {}
-Gauge::Gauge() : slot_(&g_scratch_slot) {}
-Histogram::Histogram() : data_(&g_scratch_histogram) {
-  if (g_scratch_histogram.counts.empty()) {
-    g_scratch_histogram.counts.resize(1);  // overflow bucket only
+Counter::Counter() : slot_(&t_scratch_slot) {}
+Gauge::Gauge() : slot_(&t_scratch_slot) {}
+Histogram::Histogram() : data_(&t_scratch_histogram) {
+  if (t_scratch_histogram.counts.empty()) {
+    t_scratch_histogram.counts.resize(1);  // overflow bucket only
   }
 }
 

@@ -114,10 +114,13 @@ void TraceBuffer::ExportJsonl(std::ostream& os) const {
   });
 }
 
-void TraceBuffer::ExportChromeTrace(std::ostream& os, int pid) const {
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
-  ForEach([&](std::uint64_t seq, const TraceEvent& e) {
+namespace {
+
+/// Shared body of the single- and multi-buffer Chrome exports: emits the
+/// comma-prefixed event objects for one buffer lane.
+void WriteChromeEvents(std::ostream& os, const TraceBuffer& buffer, int pid,
+                       bool& first) {
+  buffer.ForEach([&](std::uint64_t seq, const TraceEvent& e) {
     if (!first) os << ",";
     first = false;
     // Sim time is already microseconds — Chrome's "ts" unit.
@@ -131,14 +134,49 @@ void TraceBuffer::ExportChromeTrace(std::ostream& os, int pid) const {
     WriteArgs(os, e, seq);
     os << "}";
   });
+}
+
+}  // namespace
+
+void TraceBuffer::ExportChromeTrace(std::ostream& os, int pid) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  WriteChromeEvents(os, *this, pid, first);
+  os << "\n]}\n";
+}
+
+void ExportCombinedChromeTrace(
+    std::ostream& os, const std::vector<const TraceBuffer*>& buffers) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    if (buffers[i] == nullptr) continue;
+    WriteChromeEvents(os, *buffers[i], static_cast<int>(i) + 1, first);
+  }
   os << "\n]}\n";
 }
 
 namespace {
 TraceBuffer* g_process_trace = nullptr;
+thread_local TraceBuffer* t_trace_override = nullptr;
+thread_local bool t_trace_override_installed = false;
 }  // namespace
 
-TraceBuffer* ProcessTraceBuffer() { return g_process_trace; }
+TraceBuffer* ProcessTraceBuffer() {
+  return t_trace_override_installed ? t_trace_override : g_process_trace;
+}
 void SetProcessTraceBuffer(TraceBuffer* buffer) { g_process_trace = buffer; }
+
+ScopedThreadTraceBuffer::ScopedThreadTraceBuffer(TraceBuffer* buffer)
+    : previous_(t_trace_override),
+      previous_installed_(t_trace_override_installed) {
+  t_trace_override = buffer;
+  t_trace_override_installed = true;
+}
+
+ScopedThreadTraceBuffer::~ScopedThreadTraceBuffer() {
+  t_trace_override = previous_;
+  t_trace_override_installed = previous_installed_;
+}
 
 }  // namespace cbt::obs

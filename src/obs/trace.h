@@ -128,12 +128,44 @@ class TraceBuffer {
   TraceLevel level_;
 };
 
-/// Process-default buffer picked up by every netsim::Simulator at
-/// construction (benches set it once in main(), before building sims, so
+/// Default buffer picked up by every netsim::Simulator at construction
+/// (benches set it once in main(), before building sims, so
 /// multi-topology sweeps trace without threading a pointer through every
 /// harness helper). Null by default: tracing off.
+///
+/// Resolution order: a thread-local override installed with
+/// ScopedThreadTraceBuffer wins (the parallel replica executor gives
+/// every replica its own ring — or null — so concurrent replicas never
+/// share one); otherwise the process-wide default set with
+/// SetProcessTraceBuffer.
 TraceBuffer* ProcessTraceBuffer();
 void SetProcessTraceBuffer(TraceBuffer* buffer);
+
+/// RAII thread-local override of ProcessTraceBuffer(). Installing
+/// nullptr is meaningful: it masks the process default, turning tracing
+/// off for this thread — exactly what an untraced replica needs while a
+/// traced bench main holds a process buffer. Nests; restores the
+/// previous override on destruction.
+class ScopedThreadTraceBuffer {
+ public:
+  explicit ScopedThreadTraceBuffer(TraceBuffer* buffer);
+  ~ScopedThreadTraceBuffer();
+
+  ScopedThreadTraceBuffer(const ScopedThreadTraceBuffer&) = delete;
+  ScopedThreadTraceBuffer& operator=(const ScopedThreadTraceBuffer&) = delete;
+
+ private:
+  TraceBuffer* previous_;
+  bool previous_installed_;
+};
+
+/// Chrome trace_event export of several buffers into one JSON object:
+/// buffers[i] becomes process lane `pid` = i + 1, events in buffer order.
+/// The replica executor's ordered reducer collects per-replica rings and
+/// exports them here, so the combined trace is deterministic for a given
+/// replica order. Null entries are skipped (their lane stays empty).
+void ExportCombinedChromeTrace(std::ostream& os,
+                               const std::vector<const TraceBuffer*>& buffers);
 
 #ifndef CBT_OBS_COMPILED_TRACE_LEVEL
 #define CBT_OBS_COMPILED_TRACE_LEVEL 2
