@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -27,6 +28,9 @@
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "cbt/domain.h"
+#include "check/cbt_expectations.h"
+#include "check/expectation.h"
+#include "check/trace_view.h"
 #include "netsim/chaos.h"
 #include "netsim/event_queue.h"
 #include "netsim/topologies.h"
@@ -79,6 +83,10 @@ struct SoakResult {
   std::uint64_t malformed = 0;
   bool final_clean = false;
   double final_clean_at_s = -1;
+  /// --check: the causal-path expectation report over this replica's
+  /// trace ring (empty when checking is off or the replica has no ring).
+  check::CheckReport check_report;
+  bool check_ran = false;
   /// Nonempty => the run aborted (warmup never converged). Replica jobs
   /// must not std::exit() from a worker thread, so the error rides back
   /// to main() in the result.
@@ -102,11 +110,14 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
                    netsim::Topology& topo, const MemberPlan& members,
                    std::uint64_t seed, int event_count, bool dump_plan,
                    routing::RouteManager::Mode routing_mode,
+                   core::ProtocolMutation mutation, bool run_check,
                    std::ostream& out) {
   SoakResult result;
   result.topology = name;
 
-  core::CbtDomain domain(sim, topo, SoakCbtConfig(), SoakIgmpConfig());
+  core::CbtConfig cbt_config = SoakCbtConfig();
+  cbt_config.mutation = mutation;
+  core::CbtDomain domain(sim, topo, cbt_config, SoakIgmpConfig());
   domain.routes().set_mode(routing_mode);
   domain.RegisterGroup(kGroup, members.cores);
   domain.Start();
@@ -204,6 +215,22 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
   for (const NodeId id : domain.router_ids()) {
     result.malformed += domain.router(id).stats().malformed_control;
   }
+
+  // Post-hoc behavioural validation: replay this replica's trace ring
+  // through the expectation suite. Runs inside the replica body because
+  // the suite needs the simulator (address resolver), the exact config
+  // (deadlines), and the end-of-run time for truncated-window verdicts.
+  if (run_check) {
+    if (obs::TraceBuffer* ring = obs::ProcessTraceBuffer()) {
+      check::CbtSuiteOptions suite_options;
+      suite_options.config = cbt_config;
+      suite_options.node_of = check::MakeAddressResolver(sim);
+      result.check_report = check::RunExpectations(
+          check::TraceView(*ring), check::CbtExpectationSuite(suite_options),
+          sim.Now());
+      result.check_ran = true;
+    }
+  }
   return result;
 }
 
@@ -217,14 +244,33 @@ int main(int argc, char** argv) {
   int routers = 0;  // 0 = default three-topology sweep
   std::string engine_name = "wheel";
   std::string routing_name = "lazy";
+  bool run_check = false;
+  std::string check_json;
+  std::string mutate_name;
   opts.Flag("plan", &dump_plan, "dump the generated chaos schedule");
   opts.Int("events", &event_count, "fault events per topology");
   opts.Int("routers", &routers,
            "scaling mode: one ~N-router grid instead of the sweep");
   opts.Str("engine", &engine_name, "event engine under test: wheel|legacy");
   opts.Str("routing", &routing_name, "unicast recompute: lazy|eager");
+  opts.Flag("check", &run_check,
+            "validate every failure-recovery path with the causal-path "
+            "expectation suite (exit 1 on violations)");
+  opts.Str("check-json", &check_json,
+           "write the merged expectation report to FILE (implies --check)");
+  opts.Str("mutate", &mutate_name,
+           "seed a protocol defect for checker validation: suppress-flush");
   opts.Parse(argc, argv);
   if (opts.smoke) event_count = std::min(event_count, 10);
+  if (!check_json.empty()) run_check = true;
+  core::ProtocolMutation mutation = core::ProtocolMutation::kNone;
+  if (mutate_name == "suppress-flush") {
+    mutation = core::ProtocolMutation::kSuppressFlush;
+  } else if (!mutate_name.empty()) {
+    std::cerr << "bench_chaos_soak: unknown --mutate '" << mutate_name
+              << "' (known: suppress-flush)\n";
+    return 2;
+  }
 
   // Before any Simulator exists, so every sim in the sweep records.
   bench::TraceSession trace(opts.trace_path);
@@ -276,6 +322,12 @@ int main(int argc, char** argv) {
   exec::Pool pool(opts.jobs);
   bench::ExecReport exec_report(opts.bench_name());
   exec::SweepOptions sweep = bench::MakeSweepOptions(opts, trace);
+  if (run_check && !sweep.trace) {
+    // The checker needs a ring even when no --trace export was asked
+    // for; span-level events are all the suite matches on.
+    sweep.trace = true;
+    sweep.trace_level = obs::TraceLevel::kSpans;
+  }
   sweep.seeds.reserve(specs.size());
   for (const ReplicaSpec& spec : specs) sweep.seeds.push_back(spec.seed);
 
@@ -301,7 +353,7 @@ int main(int argc, char** argv) {
             return RunSoak(
                 "grid-" + std::to_string(side) + "x" + std::to_string(side),
                 sim, topo, members, ctx.seed, event_count, dump_plan,
-                routing_mode, ctx.out);
+                routing_mode, mutation, run_check, ctx.out);
           }
           case Topo::kGrid4x4: {
             netsim::Simulator sim(1, engine);
@@ -309,7 +361,8 @@ int main(int argc, char** argv) {
             MemberPlan members{{3, 5, 10, 12},
                                {topo.routers[0], topo.routers[15]}};
             return RunSoak("grid-4x4", sim, topo, members, ctx.seed,
-                           event_count, dump_plan, routing_mode, ctx.out);
+                           event_count, dump_plan, routing_mode,
+                           mutation, run_check, ctx.out);
           }
           case Topo::kWaxman20: {
             netsim::Simulator sim(1, engine);
@@ -320,7 +373,8 @@ int main(int argc, char** argv) {
             MemberPlan members{{4, 9, 14, 19},
                                {topo.routers[0], topo.routers[13]}};
             return RunSoak("waxman-20", sim, topo, members, ctx.seed,
-                           event_count, dump_plan, routing_mode, ctx.out);
+                           event_count, dump_plan, routing_mode,
+                           mutation, run_check, ctx.out);
           }
           case Topo::kTransitStub:
           default: {
@@ -333,7 +387,8 @@ int main(int argc, char** argv) {
             MemberPlan members{{6, 11, 16, 21},
                                {topo.routers[0], topo.routers[1]}};
             return RunSoak("transit-stub", sim, topo, members, ctx.seed,
-                           event_count, dump_plan, routing_mode, ctx.out);
+                           event_count, dump_plan, routing_mode,
+                           mutation, run_check, ctx.out);
           }
         }
       },
@@ -375,6 +430,24 @@ int main(int argc, char** argv) {
   if (!csv) std::cout << "\n";
   bench::Emit(totals, csv, "totals");
 
+  check::CheckReport check_report;
+  if (run_check) {
+    for (const SoakResult& r : results) {
+      if (r.check_ran) check_report.Merge(r.check_report);
+    }
+    std::cout << "\n";
+    check_report.Print(std::cout);
+    if (!check_json.empty()) {
+      std::ofstream os(check_json);
+      if (os) {
+        check_report.WriteJson(os);
+        std::cerr << "wrote " << check_json << "\n";
+      } else {
+        std::cerr << "bench_chaos_soak: cannot write " << check_json << "\n";
+      }
+    }
+  }
+
   if (!opts.json_path.empty()) {
     bench::JsonReporter report(opts.bench_name());
     report.Param("seed", seed);
@@ -383,6 +456,14 @@ int main(int argc, char** argv) {
     report.Param("routers", routers);
     report.Param("engine", engine_name);
     report.Param("routing", routing_name);
+    report.Param("check", run_check);
+    if (!mutate_name.empty()) report.Param("mutate", mutate_name);
+    if (run_check) {
+      report.Param("check_checked", check_report.checked());
+      report.Param("check_violations", check_report.violations());
+      report.Param("check_truncations", check_report.truncations());
+      report.Param("check_waived", check_report.waived());
+    }
     report.AddTable("recovery", recovery, "s");
     report.AddTable("totals", totals);
     report.WriteFile(opts.json_path);
@@ -390,6 +471,7 @@ int main(int argc, char** argv) {
 
   bool all_clean = true;
   for (const SoakResult& r : results) all_clean &= r.final_clean;
+  if (run_check && !check_report.clean()) all_clean = false;
   if (!csv) {
     std::cout << "\nExpected shape: crash recovery ~= echo timeout + rejoin "
                  "RTT (+ child-assert expiry for the stale child entry); "

@@ -17,6 +17,9 @@
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "cbt/domain.h"
+#include "check/cbt_expectations.h"
+#include "check/expectation.h"
+#include "check/trace_view.h"
 #include "netsim/topologies.h"
 
 namespace {
@@ -29,9 +32,30 @@ struct Recovery {
   double detect_s = -1;   // failure -> on_parent_lost
   double recover_s = -1;  // failure -> on_reconnected
   std::uint64_t messages = 0;
+  check::CheckReport check_report;
+  bool check_ran = false;
 };
 
-Recovery RunDiamond(SimDuration echo_interval, SimDuration echo_timeout) {
+/// --check support: replay the replica's ring through the CBT suite.
+/// Called at the end of a replica body, where the simulator (address
+/// resolver), exact config, and end-of-run time are all in scope.
+void MaybeCheck(bool run_check, const netsim::Simulator& sim,
+                const core::CbtConfig& config, check::CheckReport* report,
+                bool* ran) {
+  if (!run_check) return;
+  obs::TraceBuffer* ring = obs::ProcessTraceBuffer();
+  if (ring == nullptr) return;
+  check::CbtSuiteOptions suite_options;
+  suite_options.config = config;
+  suite_options.node_of = check::MakeAddressResolver(sim);
+  *report = check::RunExpectations(check::TraceView(*ring),
+                                   check::CbtExpectationSuite(suite_options),
+                                   sim.Now());
+  *ran = true;
+}
+
+Recovery RunDiamond(SimDuration echo_interval, SimDuration echo_timeout,
+                    bool run_check) {
   netsim::Simulator sim(1);
   netsim::Topology topo;
   const NodeId r0 = sim.AddNode("r0", true);
@@ -74,18 +98,35 @@ Recovery RunDiamond(SimDuration echo_interval, SimDuration echo_timeout) {
   if (lost) out.detect_s = (double)(*lost - failure) / kSecond;
   if (reconnected) out.recover_s = (double)(*reconnected - failure) / kSecond;
   out.messages = domain.TotalControlMessages() - msgs_before;
+  MaybeCheck(run_check, sim, config, &out.check_report, &out.check_ran);
   return out;
 }
+
+struct GridResult {
+  std::vector<std::vector<std::string>> rows;
+  check::CheckReport check_report;
+  bool check_ran = false;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Options opts("failure_recovery",
                       "E7: parent-failure detection and branch re-attach");
+  bool run_check = false;
+  opts.Flag("check", &run_check,
+            "validate every failure-recovery path with the causal-path "
+            "expectation suite (exit 1 on violations)");
   opts.Parse(argc, argv);
   bench::TraceSession trace(opts.trace_path);
   exec::Pool pool(opts.jobs);
   bench::ExecReport exec_report(opts.bench_name());
+  exec::SweepOptions sweep_options = bench::MakeSweepOptions(opts, trace);
+  if (run_check && !sweep_options.trace) {
+    sweep_options.trace = true;
+    sweep_options.trace_level = obs::TraceLevel::kSpans;
+  }
+  check::CheckReport check_report;
 
   std::cout << "E7: failure recovery — parent router dies; child branch "
                "re-attaches via the alternate path\n\n(a) diamond "
@@ -105,10 +146,10 @@ int main(int argc, char** argv) {
   exec_report.Add(
       "echo_sweep",
       exec::RunSweep(
-          pool, std::size(timer_cases), bench::MakeSweepOptions(opts, trace),
+          pool, std::size(timer_cases), sweep_options,
           [&](exec::RunContext& ctx) {
             const auto& t = timer_cases[ctx.index];
-            return RunDiamond(t.interval, t.timeout);
+            return RunDiamond(t.interval, t.timeout, run_check);
           },
           [&](exec::RunContext& ctx, Recovery r) {
             const auto& t = timer_cases[ctx.index];
@@ -117,6 +158,7 @@ int main(int argc, char** argv) {
                           analysis::Table::Fixed(r.detect_s, 1),
                           analysis::Table::Fixed(r.recover_s, 1),
                           analysis::Table::Num(r.messages)});
+            if (r.check_ran) check_report.Merge(r.check_report);
             trace.Adopt(std::move(ctx.trace));
           }));
   sweep.Print(std::cout);
@@ -131,9 +173,10 @@ int main(int argc, char** argv) {
   exec_report.Add(
       "grid_core_failover",
       exec::RunSweep(
-          pool, 1, bench::MakeSweepOptions(opts, trace),
+          pool, 1, sweep_options,
           [&](exec::RunContext&) {
-            std::vector<std::vector<std::string>> rows;
+            GridResult result;
+            auto& rows = result.rows;
             netsim::Simulator sim(1);
             netsim::Topology topo = netsim::MakeGrid(sim, 4, 4);
             core::CbtDomain domain(sim, topo);
@@ -177,11 +220,13 @@ int main(int argc, char** argv) {
             }
             rows.push_back({"members receiving after recovery",
                             analysis::Table::Num(delivered) + "/3"});
-            return rows;
+            MaybeCheck(run_check, sim, core::CbtConfig{}, &result.check_report,
+                       &result.check_ran);
+            return result;
           },
-          [&](exec::RunContext& ctx,
-              std::vector<std::vector<std::string>> rows) {
-            for (auto& row : rows) grid_table.AddRow(std::move(row));
+          [&](exec::RunContext& ctx, GridResult result) {
+            for (auto& row : result.rows) grid_table.AddRow(std::move(row));
+            if (result.check_ran) check_report.Merge(result.check_report);
             trace.Adopt(std::move(ctx.trace));
           }));
   grid_table.Print(std::cout);
@@ -190,12 +235,23 @@ int main(int argc, char** argv) {
                "timers recover faster but cost proportionally more "
                "keepalive messages. After the primary-core failure the "
                "secondary core anchors delivery.\n";
+  if (run_check) {
+    std::cout << "\n";
+    check_report.Print(std::cout);
+  }
   if (!opts.json_path.empty()) {
     bench::JsonReporter report(opts.bench_name());
+    report.Param("check", run_check);
+    if (run_check) {
+      report.Param("check_checked", check_report.checked());
+      report.Param("check_violations", check_report.violations());
+      report.Param("check_truncations", check_report.truncations());
+      report.Param("check_waived", check_report.waived());
+    }
     report.AddTable("echo_sweep", sweep, "s");
     report.AddTable("grid_core_failover", grid_table);
     report.WriteFile(opts.json_path);
   }
   exec_report.WriteIfRequested(opts);
-  return 0;
+  return run_check && !check_report.clean() ? 1 : 0;
 }

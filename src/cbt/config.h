@@ -6,6 +6,17 @@
 
 namespace cbt::core {
 
+/// Deliberate protocol defects for validating the causal-path checker
+/// (src/check/): a mutated run must trip the expectation suite. Never
+/// enabled by default; benches expose it behind --mutate.
+enum class ProtocolMutation : std::uint8_t {
+  kNone = 0,
+  /// Suppress every FLUSH-TREE transmission (teardown and the section 2.7
+  /// re-configuration flush): downstream routers are silently orphaned
+  /// and only recover via their own echo timeout.
+  kSuppressFlush = 1,
+};
+
 struct CbtConfig {
   // --- Section 9 default timers (all configurable per implementation). ---
   /// Time between successive CBT-ECHO-REQUESTs to parent.
@@ -49,6 +60,9 @@ struct CbtConfig {
   /// onto member LANs once the D-DR's join is acknowledged, so hosts
   /// know the delivery tree is in place before sending.
   bool notify_hosts_on_join = true;
+
+  /// Seeded protocol defect for checker validation (see ProtocolMutation).
+  ProtocolMutation mutation = ProtocolMutation::kNone;
 };
 
 }  // namespace cbt::core

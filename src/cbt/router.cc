@@ -227,6 +227,10 @@ void CbtRouter::HandleJoinRequest(VifIndex vif, const packet::Ipv4Header& ip,
     core_entry.is_core = true;
     core_entry.is_primary_core =
         !pkt.cores.empty() && OwnsAddress(pkt.cores.front());
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "core-anchored",
+              .node = self_.value(), .group = group,
+              .arg_a = core_entry.is_primary_core ? 1u : 0u);
     TerminateJoin(vif, ip, pkt, core_entry);
     if (!core_entry.is_primary_core) {
       // Non-primary core: ack first, then join the primary (section 2.5).
@@ -272,9 +276,14 @@ void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
     // newly-established parent (or abort the still-pending join; the
     // NACTIVE can outrun our own JOIN-ACK) and retry.
     ++stats_.loops_detected;
+    FibEntry* entry = fib_.Find(group);
+    // arg_a=1: a FIB entry remains, so the scheduled backoff below will
+    // fire a fresh reconnect — the section 6.3 fallback the checker's
+    // loop-detect expectation keys off.
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .name = "loop-detected",
-              .node = self_.value(), .group = group);
+              .node = self_.value(), .group = group,
+              .arg_a = entry != nullptr ? 1u : 0u);
     const auto quit_toward = [&](VifIndex out_vif, Ipv4Address parent) {
       ControlPacket quit;
       quit.type = ControlType::kQuitRequest;
@@ -284,7 +293,6 @@ void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
       ++stats_.quits_sent;
       SendControl(out_vif, parent, parent, quit);
     };
-    FibEntry* entry = fib_.Find(group);
     if (entry != nullptr && entry->HasParent()) {
       quit_toward(entry->parent_vif, entry->parent_address);
       entry->parent_address = Ipv4Address{};
@@ -293,6 +301,13 @@ void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
       // Ack not yet back: cancel the transient join so the late ack is
       // ignored, and tell the upstream hop to drop the branch it built.
       quit_toward(it->second->upstream_vif, it->second->upstream_next_hop);
+      if (it->second->locally_originated) {
+        OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                  .kind = obs::TraceKind::kFsm,
+                  .phase = obs::TracePhase::kEnd, .name = "join",
+                  .node = self_.value(), .group = group,
+                  .txn = it->second->txn, .detail = "loop-abort");
+      }
       pending_.erase(it);
     }
     // "It then attempts to re-join again" (-02 section 5.3); retry after a
@@ -385,6 +400,10 @@ void CbtRouter::SendAckTo(const DownstreamRequester& req, FibEntry& entry) {
     ack.code = static_cast<std::uint8_t>(AckSubcode::kNormal);
     ++stats_.acks_sent;
     entry.AddChild(req.from, req.vif, sim_->Now());
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "child-added",
+              .node = self_.value(), .group = entry.group,
+              .arg_a = req.from.bits(), .arg_b = VifAddress(req.vif).bits());
   }
   SendControl(req.vif, req.from, req.from, ack);
 }
@@ -445,12 +464,13 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
     // Section 2.6: cancel all transient state; the sender is now G-DR.
     proxied_groups_[group] = sim_->Now();
     const bool fire = p.locally_originated;
+    const std::uint64_t txn = p.txn;
     pending_.erase(it);
     if (fire) {
       OBS_TRACE(sim_->trace(), .time = sim_->Now(),
                 .kind = obs::TraceKind::kFsm,
                 .phase = obs::TracePhase::kEnd, .name = "join",
-                .node = self_.value(), .group = group,
+                .node = self_.value(), .group = group, .txn = txn,
                 .detail = "proxy-acked");
       NotifyHostsJoined(group);
       if (callbacks_.on_group_established) {
@@ -472,6 +492,13 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
   }
   entry.is_primary_core =
       !entry.cores.empty() && OwnsAddress(entry.cores.front());
+  // The attach event proper: every router (transit or originator) that
+  // gains a parent via an ack emits one, before any child-added events it
+  // produces by acking cached requesters — the checker's ack-before-attach
+  // expectation relies on that order.
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "branch-up", .node = self_.value(), .group = group,
+            .arg_a = ip.src.bits(), .txn = p.txn);
 
   const bool was_reconnect = p.reconnect;
   const bool locally = p.locally_originated;
@@ -479,6 +506,7 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
   // Re-emit loop probes that were waiting for us to gain a parent.
   const std::vector<ControlPacket> deferred =
       std::move(p.deferred_nactives);
+  const std::uint64_t txn = p.txn;
   pending_.erase(it);
   for (const ControlPacket& probe : deferred) {
     HandleRejoinNactive(entry.parent_vif, ip, probe);
@@ -498,6 +526,7 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
               .name = "join", .node = self_.value(), .group = group,
+              .txn = txn,
               .detail = was_reconnect ? "reconnected" : "established");
     if (was_reconnect) {
       ++stats_.reconnects_succeeded;
@@ -583,6 +612,7 @@ void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
   p->target_core = target;
   p->locally_originated = true;
   p->reconnect = reconnect;
+  p->txn = NextTxn();
   p->started = sim_->Now();
   p->core_attempt_started = sim_->Now();
   p->rtx_timer.BindTo(*sim_);
@@ -606,7 +636,8 @@ void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
   OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
             .phase = obs::TracePhase::kBegin, .name = "join",
             .node = self_.value(), .group = group,
-            .arg_a = ref.target_core.bits(), .arg_b = reconnect ? 1u : 0u);
+            .arg_a = ref.target_core.bits(), .arg_b = reconnect ? 1u : 0u,
+            .txn = ref.txn);
   // Section 6.1: if a core is unreachable, "an alternate core is
   // arbitrarily elected from the core list" — cycle until one routes.
   for (std::size_t attempt = 0; attempt < ref.cores.size(); ++attempt) {
@@ -663,13 +694,24 @@ bool CbtRouter::ForwardJoin(PendingJoin& p) {
   // so flushing a child branch to route through it will re-converge.)
   if (FibEntry* entry = fib_.Find(p.group);
       entry != nullptr && entry->FindChild(route->next_hop) != nullptr) {
-    ControlPacket flush;
-    flush.type = ControlType::kFlushTree;
-    flush.group = p.group;
-    flush.origin = primary_address_;
-    ++stats_.flushes_sent;
-    SendControl(route->vif, route->next_hop, route->next_hop, flush);
+    if (config_.mutation != ProtocolMutation::kSuppressFlush) {
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm, .name = "flush-sent",
+                .node = self_.value(), .group = p.group,
+                .arg_a = route->next_hop.bits(),
+                .arg_b = VifAddress(route->vif).bits());
+      ControlPacket flush;
+      flush.type = ControlType::kFlushTree;
+      flush.group = p.group;
+      flush.origin = primary_address_;
+      ++stats_.flushes_sent;
+      SendControl(route->vif, route->next_hop, route->next_hop, flush);
+    }
     entry->RemoveChild(route->next_hop);
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "child-removed",
+              .node = self_.value(), .group = p.group,
+              .arg_a = route->next_hop.bits(), .detail = "reconfigure");
   }
 
   p.upstream_vif = route->vif;
@@ -738,7 +780,7 @@ void CbtRouter::PendingJoinFailed(Ipv4Address group) {
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
               .name = "join", .node = self_.value(), .group = group,
-              .detail = "failed");
+              .txn = p.txn, .detail = "failed");
   }
 
   // Propagate failure downstream so cached requesters stop waiting.
@@ -776,6 +818,10 @@ void CbtRouter::PendingJoinFailed(Ipv4Address group) {
     // RECONNECT-TIMEOUT elapsed: give up, flush the subordinate branch so
     // downstream routers re-attach on their own (section 6.1 fallout).
     if (FibEntry* entry = fib_.Find(group)) {
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm, .name = "teardown",
+                .node = self_.value(), .group = group,
+                .arg_b = entry->children.size(), .detail = "reconnect-failed");
       SendFlushToChildren(*entry);
     }
     RemoveGroupState(group);
@@ -796,13 +842,16 @@ void CbtRouter::SimulateRestart() {
 
 void CbtRouter::Crash() {
   alive_ = false;
-  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
-            .name = "crash", .node = self_.value());
   SimulateRestart();  // wipes FIB + transient state (their timers die too)
   echo_timer_.Cancel();
   child_scan_timer_.Cancel();
   iff_scan_timer_.Cancel();
   igmp_.ShutDown();
+  // Emitted after the wipe so this is the node's final event until
+  // Restart() — the checker's crash-silence expectation spans strictly
+  // between the crash and restart markers.
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "crash", .node = self_.value());
 }
 
 void CbtRouter::Restart() {
@@ -894,6 +943,7 @@ void CbtRouter::LaunchCoreRejoin(FibEntry& entry) {
   p->origin = primary_address_;
   p->locally_originated = true;
   p->core_rejoin = true;
+  p->txn = NextTxn();
   p->started = sim_->Now();
   p->core_attempt_started = sim_->Now();
   p->rtx_timer.BindTo(*sim_);
@@ -904,7 +954,8 @@ void CbtRouter::LaunchCoreRejoin(FibEntry& entry) {
   OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
             .phase = obs::TracePhase::kBegin, .name = "join",
             .node = self_.value(), .group = entry.group,
-            .arg_a = ref.target_core.bits(), .arg_b = 2 /*core rejoin*/);
+            .arg_a = ref.target_core.bits(), .arg_b = 2 /*core rejoin*/,
+            .txn = ref.txn);
   if (!ForwardJoin(ref)) {
     PendingJoinFailed(entry.group);
   }
@@ -920,7 +971,12 @@ void CbtRouter::HandleQuitRequest(VifIndex vif, const packet::Ipv4Header& ip,
   CBT_TRACE("[%s %s] rx QUIT from %s", FormatSimTime(sim_->Now()).c_str(),
             sim_->node(self_).name.c_str(), ip.src.ToString().c_str());
   FibEntry* entry = fib_.Find(pkt.group);
-  if (entry != nullptr) entry->RemoveChild(ip.src);
+  if (entry != nullptr && entry->RemoveChild(ip.src)) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "child-removed",
+              .node = self_.value(), .group = pkt.group,
+              .arg_a = ip.src.bits(), .detail = "quit");
+  }
 
   ControlPacket ack;
   ack.type = ControlType::kQuitAck;
@@ -937,9 +993,12 @@ void CbtRouter::HandleQuitAck(const ControlPacket& pkt) {
   ++stats_.quit_acks_received;
   const auto it = quitting_.find(pkt.group);
   if (it == quitting_.end()) return;
+  const std::uint64_t txn = it->second->txn;
   quitting_.erase(it);
   OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
-            .name = "left-tree", .node = self_.value(), .group = pkt.group);
+            .phase = obs::TracePhase::kEnd, .name = "quit",
+            .node = self_.value(), .group = pkt.group, .txn = txn,
+            .detail = "acked");
   RemoveGroupState(pkt.group);
 }
 
@@ -969,9 +1028,14 @@ void CbtRouter::SendQuit(Ipv4Address group) {
   auto q = std::make_unique<QuitState>();
   q->parent = entry->parent_address;
   q->vif = entry->parent_vif;
+  q->txn = NextTxn();
   q->timer.BindTo(*sim_);
   QuitState& ref = *q;
   quitting_[group] = std::move(q);
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .phase = obs::TracePhase::kBegin, .name = "quit",
+            .node = self_.value(), .group = group,
+            .arg_a = ref.parent.bits(), .txn = ref.txn);
 
   // Retry loop: "the child nevertheless removes the parent information
   // after some small number (typically 3) of re-tries."
@@ -980,7 +1044,12 @@ void CbtRouter::SendQuit(Ipv4Address group) {
     if (it == quitting_.end()) return;
     QuitState& q = *it->second;
     if (q.attempts >= config_.quit_retries) {
+      const std::uint64_t txn = q.txn;
       quitting_.erase(it);
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
+                .name = "quit", .node = self_.value(), .group = group,
+                .txn = txn, .detail = "gave-up");
       RemoveGroupState(group);
       return;
     }
@@ -1000,7 +1069,13 @@ void CbtRouter::SendQuit(Ipv4Address group) {
 }
 
 void CbtRouter::SendFlushToChildren(FibEntry& entry) {
+  if (config_.mutation == ProtocolMutation::kSuppressFlush) return;
   for (const ChildEntry& child : entry.children) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "flush-sent",
+              .node = self_.value(), .group = entry.group,
+              .arg_a = child.address.bits(),
+              .arg_b = VifAddress(child.vif).bits());
     ControlPacket flush;
     flush.type = ControlType::kFlushTree;
     flush.group = entry.group;
@@ -1022,16 +1097,19 @@ void CbtRouter::HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
       ip.src != entry->parent_address) {
     return;
   }
-  SendFlushToChildren(*entry);
-  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
-            .name = "flushed", .node = self_.value(), .group = pkt.group,
-            .arg_a = ip.src.bits());
-
   const bool had_members = igmp_.AnyMembers(pkt.group);
   std::vector<Ipv4Address> cores = entry->cores;
+  const bool will_rejoin = had_members && !cores.empty();
+  // Emitted before the downstream flushes so the flush-sent events read
+  // as consequences of this one (same timestamp, later sequence).
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "flushed", .node = self_.value(), .group = pkt.group,
+            .arg_a = ip.src.bits(), .arg_b = entry->children.size(),
+            .detail = will_rejoin ? "rejoin-scheduled" : "no-rejoin");
+  SendFlushToChildren(*entry);
   RemoveGroupState(pkt.group);
 
-  if (had_members && !cores.empty()) {
+  if (will_rejoin) {
     // "Routers that have received a flush message will re-establish
     // themselves on the delivery tree if they have directly connected
     // subnets with group presence."
@@ -1046,6 +1124,23 @@ void CbtRouter::HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
 }
 
 void CbtRouter::RemoveGroupState(Ipv4Address group) {
+  // Close any span the wipe would otherwise orphan: a locally-originated
+  // join or an in-flight quit erased here ends without its own outcome
+  // event (flush-driven teardown, restart, ...), and the checker must see
+  // a terminal rather than report a lost transaction.
+  if (const auto it = pending_.find(group);
+      it != pending_.end() && it->second->locally_originated) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
+              .name = "join", .node = self_.value(), .group = group,
+              .txn = it->second->txn, .detail = "superseded");
+  }
+  if (const auto it = quitting_.find(group); it != quitting_.end()) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .phase = obs::TracePhase::kEnd,
+              .name = "quit", .node = self_.value(), .group = group,
+              .txn = it->second->txn, .detail = "superseded");
+  }
   fib_.Remove(group);
   pending_.erase(group);
   quitting_.erase(group);
@@ -1111,18 +1206,19 @@ void CbtRouter::OnEchoTick() {
 
   // Parent-liveness: CBT-ECHO-TIMEOUT after the last reply means the
   // parent (or the path to it) failed (section 6.1).
-  std::vector<Ipv4Address> lost;
+  std::vector<std::pair<Ipv4Address, Ipv4Address>> lost;  // (group, parent)
   for (const auto& [group, entry] : fib_) {
     if (entry.HasParent() &&
         sim_->Now() - entry.last_parent_reply > config_.echo_timeout) {
-      lost.push_back(group);
+      lost.push_back({group, entry.parent_address});
     }
   }
-  for (const Ipv4Address& group : lost) {
+  for (const auto& [group, parent] : lost) {
     ++stats_.parent_losses;
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .name = "parent-lost",
-              .node = self_.value(), .group = group);
+              .node = self_.value(), .group = group,
+              .arg_a = parent.bits());
     CBT_DEBUG("cbt[%s]: parent unreachable for %s, reconnecting",
               sim_->node(self_).name.c_str(), group.ToString().c_str());
     if (callbacks_.on_parent_lost) callbacks_.on_parent_lost(group);
@@ -1192,6 +1288,13 @@ void CbtRouter::OnChildScan() {
         std::count_if(entry.children.begin(), entry.children.end(), stale);
     if (removed > 0) {
       stats_.children_expired += static_cast<std::uint64_t>(removed);
+      for (const ChildEntry& c : entry.children) {
+        if (!stale(c)) continue;
+        OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                  .kind = obs::TraceKind::kFsm, .name = "child-removed",
+                  .node = self_.value(), .group = group,
+                  .arg_a = c.address.bits(), .detail = "expired");
+      }
       entry.children.erase(
           std::remove_if(entry.children.begin(), entry.children.end(), stale),
           entry.children.end());
@@ -1222,6 +1325,10 @@ void CbtRouter::StartReconnect(Ipv4Address group) {
   std::vector<Ipv4Address> cores = entry->cores;
   if (cores.empty()) cores = directory_->CoresFor(group);
   if (cores.empty()) {
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "teardown",
+              .node = self_.value(), .group = group,
+              .arg_b = entry->children.size(), .detail = "no-route");
     SendFlushToChildren(*entry);
     RemoveGroupState(group);
     return;

@@ -166,6 +166,9 @@ class CbtRouter : public netsim::NetworkAgent {
     /// A non-primary core's rejoin toward the primary (section 2.5).
     /// Never tears down children and retries with a long backoff.
     bool core_rejoin = false;
+    /// Trace correlation id (NextTxn()) threading this join attempt's
+    /// begin/end/outcome events; 0 for transit joins (no local span).
+    std::uint64_t txn = 0;
     SimTime started = 0;
     SimTime core_attempt_started = 0;
     std::vector<DownstreamRequester> requesters;
@@ -181,6 +184,8 @@ class CbtRouter : public netsim::NetworkAgent {
     Ipv4Address parent;
     VifIndex vif = kInvalidVif;
     int attempts = 0;
+    /// Trace correlation id for this quit exchange's begin/end events.
+    std::uint64_t txn = 0;
     netsim::Timer timer;
   };
 
@@ -289,6 +294,16 @@ class CbtRouter : public netsim::NetworkAgent {
   /// Effective forwarding mode of an interface (per-vif override or the
   /// router-wide default from CbtConfig::native_mode).
   VifMode EffectiveMode(VifIndex vif) const;
+  /// Next transaction correlation id for trace events, packed as
+  /// (node << 32 | per-router counter). Advances whether or not tracing
+  /// is active so ids are identical across trace levels (determinism
+  /// contract: tracing is record-only).
+  std::uint64_t NextTxn() {
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(self_.value()))
+            << 32) |
+           ++txn_counter_;
+  }
   void SendControl(VifIndex vif, Ipv4Address link_dst, Ipv4Address ip_dst,
                    const packet::ControlPacket& pkt);
   void SendIgmp(VifIndex vif, Ipv4Address dst, const packet::IgmpMessage& msg);
@@ -326,6 +341,7 @@ class CbtRouter : public netsim::NetworkAgent {
   netsim::Timer echo_timer_;
   netsim::Timer child_scan_timer_;
   netsim::Timer iff_scan_timer_;
+  std::uint32_t txn_counter_ = 0;
   /// False while crashed: already-queued closures (flush-rejoin, loop
   /// retries) that survive the state wipe must not act for a dead router.
   bool alive_ = true;

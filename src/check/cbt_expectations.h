@@ -1,0 +1,47 @@
+// The CBT failure-recovery expectation suite: every recovery path the
+// protocol promises (join->ack, quit->flush teardown, failure->detection->
+// teardown->rejoin, rejoin->loop-detect->fallback), stated as causal-path
+// expectations over the trace vocabulary src/cbt/router.cc emits.
+//
+// Deadlines derive from the run's CbtConfig timers, with bounded slack
+// for retransmission cycling (a nacked join restarts its expiry clock, so
+// multi-hop nack chains get a small integer multiple of the base timer).
+// docs/PROTOCOL.md section "Causal-path model & expectations" documents
+// each expectation against its spec section.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cbt/config.h"
+#include "check/expectation.h"
+#include "common/types.h"
+
+namespace cbt::netsim {
+class Simulator;
+}
+
+namespace cbt::check {
+
+struct CbtSuiteOptions {
+  /// The config the checked run used — deadlines derive from its timers.
+  core::CbtConfig config;
+  /// Maps an interface address to the owning node id (-1 = unknown).
+  /// Optional; enables the cross-node flush-propagation expectation.
+  /// Build one with MakeAddressResolver.
+  std::function<std::int32_t(Ipv4Address)> node_of;
+};
+
+/// Address -> node resolver over every interface the simulator knows.
+std::function<std::int32_t(Ipv4Address)> MakeAddressResolver(
+    const netsim::Simulator& sim);
+
+/// Protocol-agnostic fault-span hygiene: chaos Begin/End pairing and
+/// crash silence. Baselines can run this without the CBT vocabulary.
+std::vector<Expectation> GenericFaultSuite();
+
+/// The full CBT suite (includes GenericFaultSuite()).
+std::vector<Expectation> CbtExpectationSuite(const CbtSuiteOptions& options);
+
+}  // namespace cbt::check

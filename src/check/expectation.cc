@@ -1,0 +1,532 @@
+#include "check/expectation.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace cbt::check {
+
+namespace {
+
+bool StrEq(const char* a, const char* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return std::strcmp(a, b) == 0;
+}
+
+bool AnyMatch(const std::vector<Match>& patterns, const obs::TraceEvent& e,
+              const obs::TraceEvent& trigger) {
+  for (const Match& m : patterns) {
+    if (m.Matches(e, trigger)) return true;
+  }
+  return false;
+}
+
+std::string DescribeAny(const std::vector<Match>& patterns) {
+  std::string out;
+  for (const Match& m : patterns) {
+    if (!out.empty()) out += " | ";
+    out += m.Describe();
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+void WriteEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Match& Match::Kind(obs::TraceKind kind) {
+  kind_ = kind;
+  return *this;
+}
+Match& Match::Name(const char* name) {
+  name_ = name;
+  return *this;
+}
+Match& Match::Phase(obs::TracePhase phase) {
+  phase_ = phase;
+  return *this;
+}
+Match& Match::Detail(const char* detail) {
+  detail_ = detail;
+  return *this;
+}
+Match& Match::Node(std::int32_t node) {
+  node_ = node;
+  return *this;
+}
+Match& Match::Group(Ipv4Address group) {
+  group_ = group;
+  return *this;
+}
+Match& Match::ArgA(std::uint64_t value) {
+  arg_a_ = value;
+  return *this;
+}
+Match& Match::ArgB(std::uint64_t value) {
+  arg_b_ = value;
+  return *this;
+}
+Match& Match::ArgBNonZero() {
+  arg_b_nonzero_ = true;
+  return *this;
+}
+Match& Match::SameNode() {
+  same_node_ = true;
+  return *this;
+}
+Match& Match::SameGroup() {
+  same_group_ = true;
+  return *this;
+}
+Match& Match::SameTxn() {
+  same_txn_ = true;
+  return *this;
+}
+Match& Match::Where(std::function<bool(const obs::TraceEvent&,
+                                       const obs::TraceEvent&)> predicate) {
+  predicates_.push_back(std::move(predicate));
+  return *this;
+}
+
+bool Match::Matches(const obs::TraceEvent& candidate,
+                    const obs::TraceEvent& trigger) const {
+  if (kind_ && candidate.kind != *kind_) return false;
+  if (name_ != nullptr && !StrEq(candidate.name, name_)) return false;
+  if (phase_ && candidate.phase != *phase_) return false;
+  if (detail_ != nullptr && !StrEq(candidate.detail, detail_)) return false;
+  if (node_ && candidate.node != *node_) return false;
+  if (group_ && !(candidate.group == *group_)) return false;
+  if (arg_a_ && candidate.arg_a != *arg_a_) return false;
+  if (arg_b_ && candidate.arg_b != *arg_b_) return false;
+  if (arg_b_nonzero_ && candidate.arg_b == 0) return false;
+  if (same_node_ && candidate.node != trigger.node) return false;
+  if (same_group_ && !(candidate.group == trigger.group)) return false;
+  if (same_txn_ && (candidate.txn == 0 || candidate.txn != trigger.txn)) {
+    return false;
+  }
+  for (const auto& p : predicates_) {
+    if (!p(candidate, trigger)) return false;
+  }
+  return true;
+}
+
+std::string Match::Describe() const {
+  std::string out;
+  if (kind_) {
+    out += obs::TraceKindName(*kind_);
+    out += '/';
+  }
+  out += name_ != nullptr ? name_ : "*";
+  if (phase_) {
+    out += *phase_ == obs::TracePhase::kBegin  ? "[B]"
+           : *phase_ == obs::TracePhase::kEnd ? "[E]"
+                                              : "[I]";
+  }
+  if (detail_ != nullptr) {
+    out += '(';
+    out += detail_;
+    out += ')';
+  }
+  return out;
+}
+
+Expectation Expectation::Eventually(std::string name, Match trigger,
+                                    SimDuration deadline) {
+  Expectation x;
+  x.name_ = std::move(name);
+  x.mode_ = Mode::kEventually;
+  x.trigger_ = std::move(trigger);
+  x.deadline_ = deadline;
+  return x;
+}
+
+Expectation Expectation::PrecededBy(std::string name, Match trigger) {
+  Expectation x;
+  x.name_ = std::move(name);
+  x.mode_ = Mode::kPrecededBy;
+  x.trigger_ = std::move(trigger);
+  return x;
+}
+
+Expectation Expectation::Never(std::string name, Match trigger,
+                               Match terminator, Match forbidden) {
+  Expectation x;
+  x.name_ = std::move(name);
+  x.mode_ = Mode::kNever;
+  x.trigger_ = std::move(trigger);
+  x.terminator_ = std::move(terminator);
+  x.forbidden_ = std::move(forbidden);
+  return x;
+}
+
+Expectation& Expectation::Outcome(Match match) {
+  outcomes_.push_back(std::move(match));
+  return *this;
+}
+Expectation& Expectation::Waiver(Match match) {
+  waivers_.push_back(std::move(match));
+  return *this;
+}
+Expectation& Expectation::Invalidator(Match match) {
+  invalidators_.push_back(std::move(match));
+  return *this;
+}
+Expectation& Expectation::Lookback(SimDuration duration) {
+  lookback_ = duration;
+  return *this;
+}
+Expectation& Expectation::DeadlineFromArgB(SimDuration slack) {
+  deadline_from_arg_b_ = true;
+  arg_b_slack_ = slack;
+  return *this;
+}
+Expectation& Expectation::Describe(std::string description) {
+  description_ = std::move(description);
+  return *this;
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSatisfied:
+      return "satisfied";
+    case Verdict::kViolated:
+      return "VIOLATED";
+    case Verdict::kTruncated:
+      return "truncated";
+    case Verdict::kWaived:
+      return "waived";
+  }
+  return "?";
+}
+
+std::string Issue::Render() const {
+  std::ostringstream os;
+  os << "[" << expectation << "] " << VerdictName(verdict) << " @"
+     << FormatSimTime(time) << " seq=" << seq;
+  if (node >= 0) os << " node=" << node;
+  if (!group.IsUnspecified()) os << " group=" << group.ToString();
+  if (txn != 0) os << " txn=" << txn;
+  os << ": " << message;
+  return os.str();
+}
+
+/// Evaluates one suite over one view; the free function below is the API.
+class Checker {
+ public:
+  Checker(const TraceView& view, SimTime end_time)
+      : view_(view), end_time_(end_time) {}
+
+  CheckReport Run(const std::vector<Expectation>& suite) {
+    CheckReport report;
+    report.ring_dropped = view_.dropped();
+    report.events_scanned = view_.events().size();
+    for (const Expectation& x : suite) {
+      ExpectationStats stats;
+      stats.name = x.name_;
+      const auto& events = view_.events();
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const obs::TraceEvent& trigger = events[i].event;
+        if (!x.trigger_.Matches(trigger, trigger)) continue;
+        ++stats.checked;
+        switch (x.mode_) {
+          case Expectation::Mode::kEventually:
+            CheckEventually(x, i, stats, report.issues);
+            break;
+          case Expectation::Mode::kPrecededBy:
+            CheckPrecededBy(x, i, stats, report.issues);
+            break;
+          case Expectation::Mode::kNever:
+            CheckNever(x, i, stats, report.issues);
+            break;
+        }
+      }
+      report.per_expectation.push_back(std::move(stats));
+    }
+    return report;
+  }
+
+ private:
+  void Record(std::vector<Issue>& issues, const Expectation& x,
+              std::size_t trigger_index, Verdict verdict,
+              std::string message) {
+    const ViewEvent& ve = view_.events()[trigger_index];
+    Issue issue;
+    issue.expectation = x.name_;
+    issue.verdict = verdict;
+    issue.seq = ve.seq;
+    issue.time = ve.event.time;
+    issue.node = ve.event.node;
+    issue.group = ve.event.group;
+    issue.txn = ve.event.txn;
+    issue.message = std::move(message);
+    issues.push_back(std::move(issue));
+  }
+
+  void CheckEventually(const Expectation& x, std::size_t i,
+                       ExpectationStats& stats, std::vector<Issue>& issues) {
+    const auto& events = view_.events();
+    const obs::TraceEvent& trigger = events[i].event;
+    const SimDuration deadline =
+        x.deadline_from_arg_b_
+            ? static_cast<SimDuration>(trigger.arg_b) + x.arg_b_slack_
+            : x.deadline_;
+    const SimTime window_end = trigger.time + deadline;
+    bool found_outcome = false;
+    bool found_waiver = false;
+
+    if (x.lookback_ > 0) {
+      const SimTime window_begin = trigger.time - x.lookback_;
+      for (std::size_t j = i; j-- > 0;) {
+        const obs::TraceEvent& c = events[j].event;
+        if (c.time < window_begin) break;
+        if (AnyMatch(x.outcomes_, c, trigger)) {
+          found_outcome = true;
+          break;
+        }
+        if (AnyMatch(x.waivers_, c, trigger)) {
+          found_waiver = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t j = i + 1;
+         !found_outcome && !found_waiver && j < events.size(); ++j) {
+      const obs::TraceEvent& c = events[j].event;
+      if (c.time > window_end) break;
+      if (AnyMatch(x.outcomes_, c, trigger)) found_outcome = true;
+      if (!found_outcome && AnyMatch(x.waivers_, c, trigger)) {
+        found_waiver = true;
+      }
+    }
+
+    if (found_outcome) {
+      ++stats.satisfied;
+      return;
+    }
+    if (found_waiver) {
+      ++stats.waived;
+      return;
+    }
+    // No evidence. Decide whether the evidence could even be observed:
+    // the deadline past the end of the run, or a lookback portion that
+    // reaches behind the ring's retained window, means "unknowable".
+    if (window_end > end_time_) {
+      ++stats.truncated;
+      Record(issues, x, i, Verdict::kTruncated,
+             "deadline " + std::string(FormatSimTime(window_end)) +
+                 " is past end of run " + FormatSimTime(end_time_));
+      return;
+    }
+    if (x.lookback_ > 0 && view_.truncated_front() &&
+        trigger.time - x.lookback_ < view_.window_start()) {
+      ++stats.truncated;
+      Record(issues, x, i, Verdict::kTruncated,
+             "lookback window precedes the retained ring "
+             "(dropped=" +
+                 std::to_string(view_.dropped()) + ")");
+      return;
+    }
+    ++stats.violated;
+    Record(issues, x, i, Verdict::kViolated,
+           "no " + DescribeAny(x.outcomes_) + " within " +
+               FormatSimTime(deadline));
+  }
+
+  void CheckPrecededBy(const Expectation& x, std::size_t i,
+                       ExpectationStats& stats, std::vector<Issue>& issues) {
+    const auto& events = view_.events();
+    const obs::TraceEvent& trigger = events[i].event;
+    const SimTime window_begin =
+        x.lookback_ > 0 ? trigger.time - x.lookback_ : 0;
+    for (std::size_t j = i; j-- > 0;) {
+      const obs::TraceEvent& c = events[j].event;
+      if (x.lookback_ > 0 && c.time < window_begin) break;
+      // Nearest-to-trigger hit decides the causal state.
+      if (AnyMatch(x.outcomes_, c, trigger)) {
+        ++stats.satisfied;
+        return;
+      }
+      if (AnyMatch(x.waivers_, c, trigger)) {
+        ++stats.waived;
+        return;
+      }
+      if (AnyMatch(x.invalidators_, c, trigger)) {
+        ++stats.violated;
+        Record(issues, x, i, Verdict::kViolated,
+               "nearest preceding event is invalidator " +
+                   std::string(c.name != nullptr ? c.name : "?") + " @" +
+                   FormatSimTime(c.time) + ", not " +
+                   DescribeAny(x.outcomes_));
+        return;
+      }
+    }
+    // Ran off the front of the window without a decision.
+    if (view_.truncated_front()) {
+      ++stats.truncated;
+      Record(issues, x, i, Verdict::kTruncated,
+             "backward scan hit the ring's evicted region (dropped=" +
+                 std::to_string(view_.dropped()) + ")");
+      return;
+    }
+    ++stats.violated;
+    Record(issues, x, i, Verdict::kViolated,
+           "no preceding " + DescribeAny(x.outcomes_) + " in the full trace");
+  }
+
+  void CheckNever(const Expectation& x, std::size_t i, ExpectationStats& stats,
+                  std::vector<Issue>& issues) {
+    const auto& events = view_.events();
+    const obs::TraceEvent& trigger = events[i].event;
+    for (std::size_t j = i + 1; j < events.size(); ++j) {
+      const obs::TraceEvent& c = events[j].event;
+      if (x.terminator_.Matches(c, trigger)) break;
+      if (x.forbidden_.Matches(c, trigger)) {
+        ++stats.violated;
+        Record(issues, x, i, Verdict::kViolated,
+               "forbidden event " +
+                   std::string(c.name != nullptr ? c.name : "?") + " @" +
+                   FormatSimTime(c.time) +
+                   " inside the span (seq=" + std::to_string(events[j].seq) +
+                   ")");
+        return;
+      }
+    }
+    // Reaching the end of the trace without a terminator is vacuously
+    // fine: absence of forbidden evidence over missing data never fails.
+    ++stats.satisfied;
+  }
+
+  const TraceView& view_;
+  const SimTime end_time_;
+};
+
+std::uint64_t CheckReport::checked() const {
+  std::uint64_t n = 0;
+  for (const ExpectationStats& s : per_expectation) n += s.checked;
+  return n;
+}
+std::uint64_t CheckReport::violations() const {
+  std::uint64_t n = 0;
+  for (const ExpectationStats& s : per_expectation) n += s.violated;
+  return n;
+}
+std::uint64_t CheckReport::truncations() const {
+  std::uint64_t n = 0;
+  for (const ExpectationStats& s : per_expectation) n += s.truncated;
+  return n;
+}
+std::uint64_t CheckReport::waived() const {
+  std::uint64_t n = 0;
+  for (const ExpectationStats& s : per_expectation) n += s.waived;
+  return n;
+}
+
+void CheckReport::Merge(const CheckReport& other) {
+  for (const ExpectationStats& theirs : other.per_expectation) {
+    ExpectationStats* mine = nullptr;
+    for (ExpectationStats& s : per_expectation) {
+      if (s.name == theirs.name) {
+        mine = &s;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      per_expectation.push_back(theirs);
+      continue;
+    }
+    mine->checked += theirs.checked;
+    mine->satisfied += theirs.satisfied;
+    mine->violated += theirs.violated;
+    mine->truncated += theirs.truncated;
+    mine->waived += theirs.waived;
+  }
+  issues.insert(issues.end(), other.issues.begin(), other.issues.end());
+  ring_dropped += other.ring_dropped;
+  events_scanned += other.events_scanned;
+}
+
+void CheckReport::Print(std::ostream& os, std::size_t max_issues) const {
+  os << "check: " << per_expectation.size() << " expectations, " << checked()
+     << " triggers over " << events_scanned << " events (ring dropped "
+     << ring_dropped << ") -- " << violations() << " violated, "
+     << truncations() << " truncated, " << waived() << " waived\n";
+  for (const ExpectationStats& s : per_expectation) {
+    os << "  " << s.name << ": checked=" << s.checked << " ok=" << s.satisfied
+       << " violated=" << s.violated << " truncated=" << s.truncated
+       << " waived=" << s.waived << "\n";
+  }
+  std::size_t shown = 0;
+  for (const Issue& issue : issues) {
+    if (issue.verdict != Verdict::kViolated) continue;
+    if (shown == max_issues) {
+      os << "  ... further violations elided\n";
+      break;
+    }
+    os << "  " << issue.Render() << "\n";
+    ++shown;
+  }
+}
+
+void CheckReport::WriteJson(std::ostream& os) const {
+  os << "{\"violations\":" << violations()
+     << ",\"truncations\":" << truncations() << ",\"waived\":" << waived()
+     << ",\"checked\":" << checked() << ",\"ring_dropped\":" << ring_dropped
+     << ",\"events_scanned\":" << events_scanned << ",\"expectations\":[";
+  for (std::size_t i = 0; i < per_expectation.size(); ++i) {
+    const ExpectationStats& s = per_expectation[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":";
+    WriteEscaped(os, s.name);
+    os << ",\"checked\":" << s.checked << ",\"satisfied\":" << s.satisfied
+       << ",\"violated\":" << s.violated << ",\"truncated\":" << s.truncated
+       << ",\"waived\":" << s.waived << "}";
+  }
+  os << "],\"issues\":[";
+  bool first = true;
+  for (const Issue& issue : issues) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"expectation\":";
+    WriteEscaped(os, issue.expectation);
+    os << ",\"verdict\":\"" << VerdictName(issue.verdict)
+       << "\",\"seq\":" << issue.seq << ",\"t_us\":" << issue.time
+       << ",\"node\":" << issue.node << ",\"group\":";
+    WriteEscaped(os, issue.group.ToString());
+    os << ",\"txn\":" << issue.txn << ",\"message\":";
+    WriteEscaped(os, issue.message);
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+CheckReport RunExpectations(const TraceView& view,
+                            const std::vector<Expectation>& suite,
+                            SimTime end_time) {
+  return Checker(view, end_time).Run(suite);
+}
+
+}  // namespace cbt::check

@@ -1,0 +1,203 @@
+// Causal-path expectation engine: a small C++ builder API stating which
+// event sequences are legal and within what sim-time bounds, plus the
+// checker that evaluates a suite over a TraceView.
+//
+// An Expectation is anchored on a *trigger* event pattern and runs in one
+// of three modes:
+//
+//  * Eventually — every trigger must be followed (within `deadline`, and
+//    optionally preceded within `lookback`) by one of the `outcome`
+//    patterns. `waiver` patterns in the same window void the obligation
+//    (e.g. the node crashed). This models "a JOIN-REQUEST reaches ack,
+//    proxy-ack, or a terminal failure within its RTX bound".
+//  * PrecededBy — every trigger must have one of the `outcome` patterns
+//    *before* it, with no `invalidator` in between (scanning backward,
+//    the first hit decides). Models "a router never adopts a child
+//    before it is itself attached".
+//  * Never — between a trigger and its `terminator` (or the end of the
+//    trace), no `forbidden` pattern may occur. Models crash silence.
+//
+// Verdicts per trigger instance:
+//  * kSatisfied — the required evidence was found;
+//  * kViolated  — the window closed inside the run with no evidence;
+//  * kTruncated — the window ran off the retained trace (ring eviction
+//    behind, or the run ended before the deadline): explicitly *not* a
+//    failure, the evidence may simply be unobservable;
+//  * kWaived    — a waiver event voided the obligation.
+//
+// Matching against static-string event names uses strcmp, so patterns
+// built in any translation unit match events emitted in any other.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/trace_view.h"
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace cbt::check {
+
+/// One event pattern. All constraints AND together; `Same*` and `Where`
+/// constraints relate a candidate event to the expectation's trigger
+/// instance (when the pattern *is* the trigger, the trigger is itself).
+class Match {
+ public:
+  Match& Kind(obs::TraceKind kind);
+  Match& Name(const char* name);
+  Match& Phase(obs::TracePhase phase);
+  Match& Detail(const char* detail);
+  Match& Node(std::int32_t node);
+  Match& Group(Ipv4Address group);
+  Match& ArgA(std::uint64_t value);
+  Match& ArgB(std::uint64_t value);
+  Match& ArgBNonZero();
+  Match& SameNode();
+  Match& SameGroup();
+  Match& SameTxn();
+  /// Arbitrary relation between candidate and trigger.
+  Match& Where(
+      std::function<bool(const obs::TraceEvent& candidate,
+                         const obs::TraceEvent& trigger)> predicate);
+
+  bool Matches(const obs::TraceEvent& candidate,
+               const obs::TraceEvent& trigger) const;
+
+  /// Short human label ("fsm/join[E]") for reports.
+  std::string Describe() const;
+
+ private:
+  std::optional<obs::TraceKind> kind_;
+  const char* name_ = nullptr;
+  std::optional<obs::TracePhase> phase_;
+  const char* detail_ = nullptr;
+  std::optional<std::int32_t> node_;
+  std::optional<Ipv4Address> group_;
+  std::optional<std::uint64_t> arg_a_;
+  std::optional<std::uint64_t> arg_b_;
+  bool arg_b_nonzero_ = false;
+  bool same_node_ = false;
+  bool same_group_ = false;
+  bool same_txn_ = false;
+  std::vector<std::function<bool(const obs::TraceEvent&,
+                                 const obs::TraceEvent&)>>
+      predicates_;
+};
+
+class Expectation {
+ public:
+  enum class Mode : std::uint8_t { kEventually, kPrecededBy, kNever };
+
+  static Expectation Eventually(std::string name, Match trigger,
+                                SimDuration deadline);
+  static Expectation PrecededBy(std::string name, Match trigger);
+  static Expectation Never(std::string name, Match trigger, Match terminator,
+                           Match forbidden);
+
+  /// Any-of success evidence (Eventually: in the window; PrecededBy:
+  /// scanning backward from the trigger).
+  Expectation& Outcome(Match match);
+  /// Any-of events that void the obligation for this trigger instance.
+  Expectation& Waiver(Match match);
+  /// PrecededBy: an event between outcome and trigger that breaks the
+  /// causal chain (nearest-to-trigger hit wins).
+  Expectation& Invalidator(Match match);
+  /// Eventually: also accept outcomes/waivers up to `duration` *before*
+  /// the trigger (two-sided window). PrecededBy: bound the backward scan.
+  Expectation& Lookback(SimDuration duration);
+  /// Eventually: per-trigger deadline = trigger.arg_b + slack instead of
+  /// the fixed deadline (chaos spans carry their duration in arg_b).
+  Expectation& DeadlineFromArgB(SimDuration slack);
+  Expectation& Describe(std::string description);
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+
+ private:
+  friend class Checker;
+  Expectation() = default;
+
+  std::string name_;
+  std::string description_;
+  Mode mode_ = Mode::kEventually;
+  Match trigger_;
+  std::vector<Match> outcomes_;
+  std::vector<Match> waivers_;
+  std::vector<Match> invalidators_;
+  Match terminator_;
+  Match forbidden_;
+  SimDuration deadline_ = 0;
+  SimDuration lookback_ = 0;
+  bool deadline_from_arg_b_ = false;
+  SimDuration arg_b_slack_ = 0;
+};
+
+enum class Verdict : std::uint8_t {
+  kSatisfied,
+  kViolated,
+  kTruncated,
+  kWaived,
+};
+
+const char* VerdictName(Verdict verdict);
+
+/// One non-satisfied trigger instance worth reporting (violations always;
+/// truncated windows so humans can audit coverage).
+struct Issue {
+  std::string expectation;
+  Verdict verdict = Verdict::kViolated;
+  std::uint64_t seq = 0;  // trigger's ring sequence number
+  SimTime time = 0;       // trigger time
+  std::int32_t node = -1;
+  Ipv4Address group;
+  std::uint64_t txn = 0;
+  std::string message;
+
+  std::string Render() const;
+};
+
+struct ExpectationStats {
+  std::string name;
+  std::uint64_t checked = 0;
+  std::uint64_t satisfied = 0;
+  std::uint64_t violated = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t waived = 0;
+};
+
+struct CheckReport {
+  std::vector<ExpectationStats> per_expectation;
+  std::vector<Issue> issues;
+  std::uint64_t ring_dropped = 0;
+  std::uint64_t events_scanned = 0;
+
+  std::uint64_t checked() const;
+  std::uint64_t violations() const;
+  std::uint64_t truncations() const;
+  std::uint64_t waived() const;
+  bool clean() const { return violations() == 0; }
+
+  /// Merge another report (per-expectation stats by name, issues
+  /// appended) — benches aggregate per-replica reports with this.
+  void Merge(const CheckReport& other);
+
+  /// One-line-per-expectation summary plus the first `max_issues`
+  /// violation details.
+  void Print(std::ostream& os, std::size_t max_issues = 20) const;
+
+  /// Machine-readable report (the CI violation artifact).
+  void WriteJson(std::ostream& os) const;
+};
+
+/// Evaluates `suite` over `view`. `end_time` is the sim time the run
+/// stopped at: a window extending past it yields kTruncated, not
+/// kViolated — the run ended before the protocol's deadline did.
+CheckReport RunExpectations(const TraceView& view,
+                            const std::vector<Expectation>& suite,
+                            SimTime end_time);
+
+}  // namespace cbt::check

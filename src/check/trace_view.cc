@@ -1,0 +1,13 @@
+#include "check/trace_view.h"
+
+namespace cbt::check {
+
+TraceView::TraceView(const obs::TraceBuffer& buffer)
+    : dropped_(buffer.dropped()), emitted_(buffer.emitted()) {
+  events_.reserve(buffer.size());
+  buffer.ForEach([&](std::uint64_t seq, const obs::TraceEvent& e) {
+    events_.push_back(ViewEvent{seq, e});
+  });
+}
+
+}  // namespace cbt::check

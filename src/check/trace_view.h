@@ -1,0 +1,53 @@
+// TraceView: an indexed, random-access snapshot of an obs::TraceBuffer
+// ring, the substrate the causal-path expectation engine scans.
+//
+// Truncation model
+// ----------------
+// The ring drops oldest-first, so the retained window is always a
+// *contiguous suffix* of everything emitted: if an event is retained,
+// every later event is too. Three consequences the engine relies on:
+//  * forward searches from a retained trigger never cross a hole;
+//  * backward searches that reach the front of the window with
+//    dropped() > 0 must return "truncated", never "violated";
+//  * a trigger whose own deadline extends past the end of the run is
+//    likewise "truncated" — the evidence was never produced, not lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cbt::check {
+
+struct ViewEvent {
+  std::uint64_t seq = 0;
+  obs::TraceEvent event;
+};
+
+class TraceView {
+ public:
+  explicit TraceView(const obs::TraceBuffer& buffer);
+
+  /// Retained events, oldest -> newest, with their ring sequence numbers.
+  const std::vector<ViewEvent>& events() const { return events_; }
+
+  /// Events evicted before the window (0 = the window is complete).
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t emitted() const { return emitted_; }
+  bool truncated_front() const { return dropped_ > 0; }
+
+  /// Sim time of the first retained event (0 when empty). With
+  /// truncated_front(), nothing before this instant can be trusted to be
+  /// visible.
+  SimTime window_start() const {
+    return events_.empty() ? 0 : events_.front().event.time;
+  }
+
+ private:
+  std::vector<ViewEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace cbt::check

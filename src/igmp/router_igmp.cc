@@ -146,6 +146,10 @@ void RouterIgmp::HandleLeave(VifState& vs, Ipv4Address /*src*/,
   const auto it = vs.groups.find(group);
   if (it == vs.groups.end()) return;
   if (!vs.querier) return;  // only the querier chases leaves (section 2.7)
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+            .kind = obs::TraceKind::kIgmp, .name = "leave-heard",
+            .node = self_.value(), .group = group,
+            .arg_a = static_cast<std::uint64_t>(vs.vif));
 
   // Send group-specific queries; if no member answers within the response
   // window the group expires.

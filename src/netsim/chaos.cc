@@ -139,13 +139,16 @@ void ChaosInjector::Arm(ChaosPlan plan) {
 
 void ChaosInjector::Inject(std::size_t index) {
   const ChaosEvent& e = plan_.events[index];
+  // txn = plan index + 1 pairs this Begin with its Repair() End even when
+  // several same-type faults overlap (name+node alone is ambiguous).
   OBS_TRACE(sim_->trace(), .time = sim_->Now(),
             .kind = obs::TraceKind::kChaos,
             .phase = obs::TracePhase::kBegin,
             .name = ChaosEventTypeName(e.type), .node = e.node.value(),
             .arg_a = static_cast<std::uint64_t>(
                 static_cast<std::int64_t>(e.subnet.value())),
-            .arg_b = static_cast<std::uint64_t>(e.duration));
+            .arg_b = static_cast<std::uint64_t>(e.duration),
+            .txn = static_cast<std::uint64_t>(index) + 1);
   switch (e.type) {
     case ChaosEventType::kLinkFlap:
       sim_->SetSubnetUp(e.subnet, false);
@@ -183,7 +186,8 @@ void ChaosInjector::Repair(std::size_t index) {
             .kind = obs::TraceKind::kChaos, .phase = obs::TracePhase::kEnd,
             .name = ChaosEventTypeName(e.type), .node = e.node.value(),
             .arg_a = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(e.subnet.value())));
+                static_cast<std::int64_t>(e.subnet.value())),
+            .txn = static_cast<std::uint64_t>(index) + 1);
   switch (e.type) {
     case ChaosEventType::kLinkFlap:
       sim_->SetSubnetUp(e.subnet, true);

@@ -64,11 +64,24 @@ void WriteArgs(std::ostream& os, const TraceEvent& e, std::uint64_t seq) {
     os << ",\"group\":\"" << e.group.ToString() << "\"";
   }
   os << ",\"a\":" << e.arg_a << ",\"b\":" << e.arg_b;
+  if (e.txn != 0) {
+    os << ",\"txn\":" << e.txn;
+  }
   if (e.detail != nullptr) {
     os << ",\"detail\":";
     WriteJsonString(os, e.detail);
   }
   os << "}";
+}
+
+/// Ring overflow accounting shared by the JSONL meta line and the Chrome
+/// "otherData" block, minus the surrounding braces.
+void WriteRingMeta(std::ostream& os, const TraceBuffer& buffer) {
+  os << "\"emitted\":" << buffer.emitted()
+     << ",\"retained\":" << buffer.size()
+     << ",\"dropped\":" << buffer.dropped()
+     << ",\"first_seq\":" << (buffer.emitted() - buffer.size())
+     << ",\"capacity\":" << buffer.capacity();
 }
 
 }  // namespace
@@ -96,6 +109,9 @@ void TraceBuffer::Clear() {
 }
 
 void TraceBuffer::ExportJsonl(std::ostream& os) const {
+  os << "{\"meta\":{";
+  WriteRingMeta(os, *this);
+  os << "}}\n";
   ForEach([&](std::uint64_t seq, const TraceEvent& e) {
     os << "{\"seq\":" << seq << ",\"t_us\":" << e.time << ",\"cat\":\""
        << TraceKindName(e.kind) << "\",\"ph\":\"" << PhaseCode(e.phase)
@@ -106,6 +122,9 @@ void TraceBuffer::ExportJsonl(std::ostream& os) const {
       os << ",\"group\":\"" << e.group.ToString() << "\"";
     }
     os << ",\"a\":" << e.arg_a << ",\"b\":" << e.arg_b;
+    if (e.txn != 0) {
+      os << ",\"txn\":" << e.txn;
+    }
     if (e.detail != nullptr) {
       os << ",\"detail\":";
       WriteJsonString(os, e.detail);
@@ -142,7 +161,9 @@ void TraceBuffer::ExportChromeTrace(std::ostream& os, int pid) const {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   WriteChromeEvents(os, *this, pid, first);
-  os << "\n]}\n";
+  os << "\n],\"otherData\":{\"rings\":[{\"pid\":" << pid << ",";
+  WriteRingMeta(os, *this);
+  os << "}]}}\n";
 }
 
 void ExportCombinedChromeTrace(
@@ -153,7 +174,17 @@ void ExportCombinedChromeTrace(
     if (buffers[i] == nullptr) continue;
     WriteChromeEvents(os, *buffers[i], static_cast<int>(i) + 1, first);
   }
-  os << "\n]}\n";
+  os << "\n],\"otherData\":{\"rings\":[";
+  bool first_meta = true;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    if (buffers[i] == nullptr) continue;
+    if (!first_meta) os << ",";
+    first_meta = false;
+    os << "{\"pid\":" << static_cast<int>(i) + 1 << ",";
+    WriteRingMeta(os, *buffers[i]);
+    os << "}";
+  }
+  os << "]}}\n";
 }
 
 namespace {

@@ -66,6 +66,11 @@ struct TraceEvent {
   /// Event-specific scalars (subnet id, epoch, counts...; see call sites).
   std::uint64_t arg_a = 0;
   std::uint64_t arg_b = 0;
+  /// Correlation id threading one protocol transaction (a join attempt,
+  /// a quit exchange, a chaos fault span) through its begin/end/outcome
+  /// events. Routers pack (node << 32 | per-node counter); the chaos
+  /// injector uses its plan index. 0 = uncorrelated.
+  std::uint64_t txn = 0;
   /// Optional static detail string.
   const char* detail = nullptr;
 };
@@ -112,6 +117,9 @@ class TraceBuffer {
   }
 
   /// One JSON object per line: {"seq":..,"t_us":..,"cat":..,"name":..,...}.
+  /// The first line is a metadata object {"meta":{...}} carrying the
+  /// ring's overflow accounting (emitted/retained/dropped/first_seq), so
+  /// a consumer can distinguish "no event" from "event evicted".
   void ExportJsonl(std::ostream& os) const;
 
   /// Chrome trace_event JSON object ({"traceEvents":[...]}); `pid` labels

@@ -1,0 +1,166 @@
+// Live-simulation validation of the CBT expectation suite.
+//
+// A chain topology (core - r1 - r2 - r3[member LAN]) whose mid-router
+// dies is the smallest deterministic teardown-with-children scenario:
+// r2's echo to r1 times out, its reconnect join finds no route, and it
+// tears down a branch that still holds r3 as a child — which must emit a
+// FLUSH-TREE downstream. The honest protocol passes the suite clean; the
+// seeded suppress-flush mutation must trip it (this is the checker's own
+// falsifiability test, mirrored as a deterministic exit-code assertion
+// of what bench_chaos_soak --mutate does end to end).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cbt/config.h"
+#include "cbt/domain.h"
+#include "check/cbt_expectations.h"
+#include "check/expectation.h"
+#include "check/trace_view.h"
+#include "netsim/simulator.h"
+#include "obs/trace.h"
+
+namespace cbt::check {
+namespace {
+
+constexpr Ipv4Address kGroup(239, 7, 7, 7);
+
+const ExpectationStats& StatsFor(const CheckReport& report, const char* name) {
+  for (const ExpectationStats& s : report.per_expectation) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no stats recorded for expectation " << name;
+  static const ExpectationStats empty;
+  return empty;
+}
+
+std::string RenderViolations(const CheckReport& report) {
+  std::ostringstream os;
+  report.Print(os);
+  return os.str();
+}
+
+/// Soak-style tightened timers so detection/teardown happen within a
+/// short run; the suite derives its deadlines from this same config.
+core::CbtConfig TightConfig() {
+  core::CbtConfig config;
+  config.echo_interval = 5 * kSecond;
+  config.echo_timeout = 15 * kSecond;
+  config.pend_join_interval = 2 * kSecond;
+  config.pend_join_timeout = 8 * kSecond;
+  config.expire_pending_join = 30 * kSecond;
+  config.child_assert_interval = 10 * kSecond;
+  config.child_assert_expire = 25 * kSecond;
+  config.iff_scan_interval = 60 * kSecond;
+  config.reconnect_timeout = 30 * kSecond;
+  config.proxy_refresh_interval = 20 * kSecond;
+  return config;
+}
+
+CheckReport RunChain(core::ProtocolMutation mutation) {
+  // The ring must exist before the Simulator: agents capture the
+  // process/thread trace buffer at construction.
+  obs::TraceBuffer ring(1 << 16, obs::TraceLevel::kSpans);
+  obs::ScopedThreadTraceBuffer scope(&ring);
+
+  netsim::Simulator sim(1);
+  netsim::Topology topo;
+  const NodeId core_node = sim.AddNode("core", true);
+  const NodeId r1 = sim.AddNode("r1", true);
+  const NodeId r2 = sim.AddNode("r2", true);
+  const NodeId r3 = sim.AddNode("r3", true);
+  topo.routers = {core_node, r1, r2, r3};
+  topo.nodes = {{"core", core_node}, {"r1", r1}, {"r2", r2}, {"r3", r3}};
+  sim.Connect(core_node, r1);
+  sim.Connect(r1, r2);
+  sim.Connect(r2, r3);
+  const SubnetId lan = sim.AddSubnet(
+      "lan3", SubnetAddress::FromPrefix(Ipv4Address(10, 40, 0, 0), 16));
+  sim.Attach(r3, lan);
+  topo.subnets["lan3"] = lan;
+
+  core::CbtConfig config = TightConfig();
+  config.mutation = mutation;
+  core::CbtDomain domain(sim, topo, config);
+  domain.RegisterGroup(kGroup, {core_node});
+  domain.Start();
+  sim.RunUntil(kSecond);
+  domain.AddHost(lan, "m").JoinGroup(kGroup);
+  sim.RunUntil(10 * kSecond);
+  EXPECT_TRUE(domain.router(r2).IsOnTree(kGroup));
+  EXPECT_TRUE(domain.router(r3).IsOnTree(kGroup));
+
+  // Cutting r1 strands r2+r3 with no alternate path: r2 must tear down
+  // and (honestly) flush r3. Run well past every config deadline so no
+  // expectation window is truncated by the end of the run.
+  sim.SetNodeUp(r1, false);
+  sim.RunUntil(sim.Now() + 200 * kSecond);
+
+  CbtSuiteOptions options;
+  options.config = config;
+  options.node_of = MakeAddressResolver(sim);
+  return RunExpectations(TraceView(ring), CbtExpectationSuite(options),
+                         sim.Now());
+}
+
+TEST(CbtExpectationSuiteTest, ChainTeardownPassesCleanWithoutMutation) {
+  const CheckReport report = RunChain(core::ProtocolMutation::kNone);
+  EXPECT_EQ(report.violations(), 0u) << RenderViolations(report);
+  EXPECT_TRUE(report.clean());
+
+  // The scenario actually exercised the paths the mutation will break:
+  // a teardown that stranded a child, the flush arriving at that child,
+  // and the child's member-driven rejoin attempt.
+  const ExpectationStats& teardown =
+      StatsFor(report, "teardown-notifies-children");
+  EXPECT_GE(teardown.checked, 1u);
+  EXPECT_GE(teardown.satisfied, 1u);
+  const ExpectationStats& propagation = StatsFor(report, "flush-propagation");
+  EXPECT_GE(propagation.checked, 1u);
+  EXPECT_GE(propagation.satisfied, 1u);
+  EXPECT_GE(StatsFor(report, "flush-rejoin").checked, 1u);
+  EXPECT_GE(StatsFor(report, "reconnect-after-parent-loss").checked, 1u);
+}
+
+TEST(CbtExpectationSuiteTest, SuppressFlushMutationTripsTheSuite) {
+  const CheckReport report = RunChain(core::ProtocolMutation::kSuppressFlush);
+
+  // The defect is invisible to the run's own success criteria (nothing
+  // crashes, no invariant fires) but the causal-path checker must catch
+  // it: the teardown's flush evidence never appears.
+  EXPECT_FALSE(report.clean());
+  const ExpectationStats& teardown =
+      StatsFor(report, "teardown-notifies-children");
+  EXPECT_GE(teardown.violated, 1u);
+
+  bool found_issue = false;
+  for (const Issue& issue : report.issues) {
+    if (issue.verdict == Verdict::kViolated &&
+        issue.expectation == "teardown-notifies-children") {
+      found_issue = true;
+      EXPECT_EQ(issue.group, kGroup);
+    }
+  }
+  EXPECT_TRUE(found_issue);
+
+  // Signature cross-check: with every FLUSH-TREE suppressed there is no
+  // flush-sent trigger left for the propagation expectation to check.
+  EXPECT_EQ(StatsFor(report, "flush-propagation").checked, 0u);
+}
+
+TEST(MakeAddressResolverTest, MapsEveryInterfaceAddressToItsNode) {
+  netsim::Simulator sim(1);
+  const NodeId a = sim.AddNode("a", true);
+  const NodeId b = sim.AddNode("b", true);
+  sim.Connect(a, b);
+  const auto resolver = MakeAddressResolver(sim);
+  for (const NodeId n : {a, b}) {
+    for (const netsim::Interface& iface : sim.node(n).interfaces) {
+      EXPECT_EQ(resolver(iface.address), n.value());
+    }
+  }
+  EXPECT_EQ(resolver(Ipv4Address(1, 2, 3, 4)), -1);
+}
+
+}  // namespace
+}  // namespace cbt::check

@@ -1,0 +1,435 @@
+// Engine-level tests for the causal-path expectation checker, driven by
+// hand-built synthetic traces so every verdict path — satisfied,
+// violated, waived, and both truncation rules (run ended before the
+// deadline; window reaches behind the ring's evicted front) — is pinned
+// down deterministically, independent of any protocol behaviour.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/expectation.h"
+#include "check/trace_view.h"
+#include "obs/trace.h"
+
+namespace cbt::check {
+namespace {
+
+using obs::TraceBuffer;
+using obs::TraceEvent;
+using obs::TraceKind;
+using obs::TracePhase;
+
+constexpr Ipv4Address kGroup(239, 0, 0, 1);
+
+TraceEvent Ev(SimTime t, const char* name,
+              TracePhase phase = TracePhase::kInstant, std::int32_t node = 1,
+              std::uint64_t txn = 0) {
+  TraceEvent e;
+  e.time = t;
+  e.kind = TraceKind::kFsm;
+  e.phase = phase;
+  e.name = name;
+  e.node = node;
+  e.group = kGroup;
+  e.txn = txn;
+  return e;
+}
+
+const ExpectationStats& StatsFor(const CheckReport& report, const char* name) {
+  for (const ExpectationStats& s : report.per_expectation) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no stats recorded for expectation " << name;
+  static const ExpectationStats empty;
+  return empty;
+}
+
+/// "Every req[B] is acked (same txn) within `deadline`, unless the node
+/// crashed" — the canonical Eventually shape the CBT suite uses.
+Expectation ReqAck(SimDuration deadline) {
+  return Expectation::Eventually(
+             "req-ack",
+             Match().Kind(TraceKind::kFsm).Name("req").Phase(
+                 TracePhase::kBegin),
+             deadline)
+      .Outcome(Match().Name("ack").SameTxn())
+      .Waiver(Match().Name("crash").SameNode());
+}
+
+// --- Eventually ------------------------------------------------------------
+
+TEST(EventuallyTest, OutcomeWithinDeadlineSatisfies) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  buf.Emit(Ev(15 * kSecond, "ack", TracePhase::kInstant, 1, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(10 * kSecond)}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "req-ack");
+  EXPECT_EQ(s.checked, 1u);
+  EXPECT_EQ(s.satisfied, 1u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(report.issues.empty());
+}
+
+TEST(EventuallyTest, ClosedEmptyWindowViolatesAndRecordsIssue) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 3, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(10 * kSecond)}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "req-ack");
+  EXPECT_EQ(s.checked, 1u);
+  EXPECT_EQ(s.violated, 1u);
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.issues.size(), 1u);
+  const Issue& issue = report.issues.front();
+  EXPECT_EQ(issue.verdict, Verdict::kViolated);
+  EXPECT_EQ(issue.expectation, "req-ack");
+  EXPECT_EQ(issue.seq, 0u);
+  EXPECT_EQ(issue.node, 3);
+  EXPECT_EQ(issue.txn, 7u);
+  EXPECT_NE(issue.Render().find("[req-ack] VIOLATED"), std::string::npos);
+}
+
+TEST(EventuallyTest, WaiverInWindowVoidsTheObligation) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  buf.Emit(Ev(12 * kSecond, "crash"));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(10 * kSecond)}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "req-ack");
+  EXPECT_EQ(s.waived, 1u);
+  EXPECT_EQ(s.violated, 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(EventuallyTest, EarlierDecisiveEventWinsWaiverBeforeOutcome) {
+  // The scan is chronological: a crash at t=12 decides before the ack at
+  // t=15 is ever reached — the obligation was voided first.
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  buf.Emit(Ev(12 * kSecond, "crash"));
+  buf.Emit(Ev(15 * kSecond, "ack", TracePhase::kInstant, 1, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(10 * kSecond)}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "req-ack");
+  EXPECT_EQ(s.waived, 1u);
+  EXPECT_EQ(s.satisfied, 0u);
+}
+
+TEST(EventuallyTest, DeadlinePastEndOfRunTruncatesNotViolates) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(95 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(10 * kSecond)}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "req-ack");
+  EXPECT_EQ(s.truncated, 1u);
+  EXPECT_EQ(s.violated, 0u);
+  EXPECT_TRUE(report.clean());
+  // Truncations are still auditable: an issue is recorded, but it is not
+  // a violation.
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues.front().verdict, Verdict::kTruncated);
+}
+
+TEST(EventuallyTest, DeadlineFromArgBUsesPerTriggerWindow) {
+  // Chaos-span shape: the Begin carries its planned duration in arg_b.
+  const Match begin =
+      Match().Kind(TraceKind::kChaos).Phase(TracePhase::kBegin);
+  const Match end = Match().Kind(TraceKind::kChaos).Phase(TracePhase::kEnd)
+                        .SameTxn();
+  const auto chaos = [](SimTime t, TracePhase phase, std::uint64_t txn,
+                        std::uint64_t duration) {
+    TraceEvent e;
+    e.time = t;
+    e.kind = TraceKind::kChaos;
+    e.phase = phase;
+    e.name = "node-crash";
+    e.node = 1;
+    e.txn = txn;
+    e.arg_b = duration;
+    return e;
+  };
+
+  TraceBuffer buf(64);
+  // Span 1: repaired exactly on schedule (5s duration, end at +5s).
+  buf.Emit(chaos(10 * kSecond, TracePhase::kBegin, 1, 5 * kSecond));
+  buf.Emit(chaos(15 * kSecond, TracePhase::kEnd, 1, 0));
+  // Span 2: planned 2s but repaired only after 10s — past arg_b + slack.
+  buf.Emit(chaos(20 * kSecond, TracePhase::kBegin, 2, 2 * kSecond));
+  buf.Emit(chaos(30 * kSecond, TracePhase::kEnd, 2, 0));
+  const CheckReport report = RunExpectations(
+      TraceView(buf),
+      {Expectation::Eventually("span-pairing", begin, 0)
+           .DeadlineFromArgB(kSecond)
+           .Outcome(end)},
+      100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "span-pairing");
+  EXPECT_EQ(s.checked, 2u);
+  EXPECT_EQ(s.satisfied, 1u);
+  EXPECT_EQ(s.violated, 1u);
+}
+
+TEST(EventuallyTest, LookbackAcceptsEvidenceBeforeTheTrigger) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(6 * kSecond, "ack", TracePhase::kInstant, 1, 7));
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf),
+      {ReqAck(2 * kSecond).Lookback(10 * kSecond)}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "req-ack").satisfied, 1u);
+}
+
+TEST(EventuallyTest, LookbackReachingEvictedFrontTruncates) {
+  // Capacity-4 ring: the pads evict, so a lookback window that extends
+  // before the retained front cannot prove absence — truncated.
+  TraceBuffer buf(4);
+  for (int i = 1; i <= 6; ++i) {
+    buf.Emit(Ev(i * kSecond, "pad"));
+  }
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  const TraceView view(buf);
+  ASSERT_GT(view.dropped(), 0u);
+  const CheckReport report = RunExpectations(
+      view, {ReqAck(kSecond).Lookback(20 * kSecond)}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "req-ack");
+  EXPECT_EQ(s.truncated, 1u);
+  EXPECT_EQ(s.violated, 0u);
+  EXPECT_EQ(report.ring_dropped, view.dropped());
+}
+
+TEST(EventuallyTest, LookbackOverCompleteWindowStillViolates) {
+  // Same shape, big ring: nothing was dropped, so the absence is real.
+  TraceBuffer buf(64);
+  for (int i = 1; i <= 6; ++i) {
+    buf.Emit(Ev(i * kSecond, "pad"));
+  }
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(kSecond).Lookback(20 * kSecond)},
+      100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "req-ack").violated, 1u);
+}
+
+// --- PrecededBy ------------------------------------------------------------
+
+Expectation AttachBeforeAdopt() {
+  return Expectation::PrecededBy("attach-before-adopt",
+                                 Match().Name("child-added"))
+      .Outcome(Match().Name("attach").SameNode())
+      .Invalidator(Match().Name("flushed").SameNode());
+}
+
+TEST(PrecededByTest, PriorOutcomeSatisfies) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(5 * kSecond, "attach"));
+  buf.Emit(Ev(10 * kSecond, "child-added"));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {AttachBeforeAdopt()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "attach-before-adopt").satisfied, 1u);
+}
+
+TEST(PrecededByTest, NearestHitDecidesInvalidatorAfterOutcomeViolates) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(5 * kSecond, "attach"));
+  buf.Emit(Ev(7 * kSecond, "flushed"));
+  buf.Emit(Ev(10 * kSecond, "child-added"));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {AttachBeforeAdopt()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "attach-before-adopt").violated, 1u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues.front().message.find("invalidator"),
+            std::string::npos);
+}
+
+TEST(PrecededByTest, NearestHitDecidesOutcomeAfterInvalidatorSatisfies) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(3 * kSecond, "flushed"));
+  buf.Emit(Ev(5 * kSecond, "attach"));
+  buf.Emit(Ev(10 * kSecond, "child-added"));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {AttachBeforeAdopt()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "attach-before-adopt").satisfied, 1u);
+}
+
+TEST(PrecededByTest, NoEvidenceInCompleteTraceViolates) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "child-added"));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {AttachBeforeAdopt()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "attach-before-adopt").violated, 1u);
+}
+
+TEST(PrecededByTest, BackwardScanIntoEvictedRegionTruncates) {
+  TraceBuffer buf(4);
+  for (int i = 1; i <= 6; ++i) {
+    buf.Emit(Ev(i * kSecond, "pad"));
+  }
+  buf.Emit(Ev(10 * kSecond, "child-added"));
+  const TraceView view(buf);
+  ASSERT_TRUE(view.truncated_front());
+  const CheckReport report =
+      RunExpectations(view, {AttachBeforeAdopt()}, 100 * kSecond);
+  const ExpectationStats& s = StatsFor(report, "attach-before-adopt");
+  EXPECT_EQ(s.truncated, 1u);
+  EXPECT_EQ(s.violated, 0u);
+}
+
+// --- Never -----------------------------------------------------------------
+
+Expectation CrashSilence() {
+  return Expectation::Never("crash-silence", Match().Name("crash"),
+                            Match().Name("restart").SameNode(),
+                            Match().Name("act").SameNode());
+}
+
+TEST(NeverTest, ForbiddenEventInsideSpanViolates) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "crash"));
+  buf.Emit(Ev(15 * kSecond, "act"));
+  buf.Emit(Ev(20 * kSecond, "restart"));
+  const CheckReport report =
+      RunExpectations(TraceView(buf), {CrashSilence()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "crash-silence").violated, 1u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues.front().message.find("forbidden"),
+            std::string::npos);
+}
+
+TEST(NeverTest, TerminatorClosesTheSpan) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "crash"));
+  buf.Emit(Ev(12 * kSecond, "restart"));
+  buf.Emit(Ev(15 * kSecond, "act"));  // after the span: legal
+  const CheckReport report =
+      RunExpectations(TraceView(buf), {CrashSilence()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "crash-silence").satisfied, 1u);
+}
+
+TEST(NeverTest, OtherNodesEventsDoNotViolateTheSpan) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "crash", TracePhase::kInstant, 1));
+  buf.Emit(Ev(15 * kSecond, "act", TracePhase::kInstant, 2));
+  buf.Emit(Ev(20 * kSecond, "restart", TracePhase::kInstant, 1));
+  const CheckReport report =
+      RunExpectations(TraceView(buf), {CrashSilence()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "crash-silence").satisfied, 1u);
+}
+
+TEST(NeverTest, UnterminatedSpanIsVacuouslySatisfied) {
+  // The run ended mid-span with no forbidden evidence: absence over
+  // missing data never fails.
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "crash"));
+  const CheckReport report =
+      RunExpectations(TraceView(buf), {CrashSilence()}, 100 * kSecond);
+  EXPECT_EQ(StatsFor(report, "crash-silence").satisfied, 1u);
+}
+
+// --- Match semantics -------------------------------------------------------
+
+TEST(MatchTest, SameTxnRejectsUncorrelatedEvents) {
+  TraceEvent trigger = Ev(kSecond, "a", TracePhase::kInstant, 1, 0);
+  TraceEvent cand = Ev(2 * kSecond, "a", TracePhase::kInstant, 1, 0);
+  // txn 0 means "uncorrelated": two zero-txn events are NOT the same
+  // transaction.
+  EXPECT_FALSE(Match().SameTxn().Matches(cand, trigger));
+  trigger.txn = cand.txn = 9;
+  EXPECT_TRUE(Match().SameTxn().Matches(cand, trigger));
+  cand.txn = 8;
+  EXPECT_FALSE(Match().SameTxn().Matches(cand, trigger));
+}
+
+TEST(MatchTest, ArgConstraints) {
+  TraceEvent e = Ev(kSecond, "e");
+  e.arg_b = 0;
+  EXPECT_TRUE(Match().ArgB(0).Matches(e, e));
+  EXPECT_FALSE(Match().ArgBNonZero().Matches(e, e));
+  e.arg_b = 3;
+  EXPECT_FALSE(Match().ArgB(0).Matches(e, e));
+  EXPECT_TRUE(Match().ArgB(3).Matches(e, e));
+  EXPECT_TRUE(Match().ArgBNonZero().Matches(e, e));
+  e.arg_a = 5;
+  EXPECT_TRUE(Match().ArgA(5).Matches(e, e));
+  EXPECT_FALSE(Match().ArgA(6).Matches(e, e));
+}
+
+TEST(MatchTest, NameAndDetailCompareByContentNotPointer) {
+  // Patterns built in one translation unit must match events emitted in
+  // another: strcmp, not pointer identity.
+  static const char kNameCopy[] = "join";
+  static const char kDetailCopy[] = "failed";
+  TraceEvent e = Ev(kSecond, "join");
+  e.detail = "failed";
+  EXPECT_TRUE(Match().Name(kNameCopy).Matches(e, e));
+  EXPECT_TRUE(Match().Detail(kDetailCopy).Matches(e, e));
+  e.detail = nullptr;
+  EXPECT_FALSE(Match().Detail(kDetailCopy).Matches(e, e));
+}
+
+TEST(MatchTest, WhereRelatesCandidateToTrigger) {
+  const TraceEvent trigger = Ev(10 * kSecond, "t");
+  const TraceEvent later = Ev(15 * kSecond, "c");
+  const TraceEvent earlier = Ev(5 * kSecond, "c");
+  const Match after = Match().Where(
+      [](const TraceEvent& cand, const TraceEvent& trig) {
+        return cand.time > trig.time;
+      });
+  EXPECT_TRUE(after.Matches(later, trigger));
+  EXPECT_FALSE(after.Matches(earlier, trigger));
+}
+
+// --- CheckReport -----------------------------------------------------------
+
+TEST(CheckReportTest, MergeSumsStatsByNameAndAppendsUnknown) {
+  CheckReport a;
+  a.per_expectation.push_back({"x", 2, 1, 1, 0, 0});
+  a.ring_dropped = 5;
+  a.events_scanned = 100;
+  a.issues.push_back(Issue{"x", Verdict::kViolated, 1, kSecond, 0, {}, 0,
+                           "first"});
+
+  CheckReport b;
+  b.per_expectation.push_back({"x", 3, 3, 0, 0, 0});
+  b.per_expectation.push_back({"y", 1, 0, 0, 1, 0});
+  b.ring_dropped = 7;
+  b.events_scanned = 50;
+
+  a.Merge(b);
+  ASSERT_EQ(a.per_expectation.size(), 2u);
+  EXPECT_EQ(StatsFor(a, "x").checked, 5u);
+  EXPECT_EQ(StatsFor(a, "x").satisfied, 4u);
+  EXPECT_EQ(StatsFor(a, "x").violated, 1u);
+  EXPECT_EQ(StatsFor(a, "y").truncated, 1u);
+  EXPECT_EQ(a.ring_dropped, 12u);
+  EXPECT_EQ(a.events_scanned, 150u);
+  EXPECT_EQ(a.checked(), 6u);
+  EXPECT_EQ(a.violations(), 1u);
+  EXPECT_EQ(a.truncations(), 1u);
+  EXPECT_FALSE(a.clean());
+}
+
+TEST(CheckReportTest, PrintAndJsonCarryTheCounts) {
+  TraceBuffer buf(64);
+  buf.Emit(Ev(10 * kSecond, "req", TracePhase::kBegin, 1, 7));
+  const CheckReport report = RunExpectations(
+      TraceView(buf), {ReqAck(10 * kSecond)}, 100 * kSecond);
+
+  std::ostringstream text;
+  report.Print(text);
+  EXPECT_NE(text.str().find("check: 1 expectations, 1 triggers"),
+            std::string::npos);
+  EXPECT_NE(text.str().find("req-ack: checked=1 ok=0 violated=1"),
+            std::string::npos);
+  EXPECT_NE(text.str().find("[req-ack] VIOLATED"), std::string::npos);
+
+  std::ostringstream json;
+  report.WriteJson(json);
+  EXPECT_NE(json.str().find("\"violations\":1"), std::string::npos);
+  EXPECT_NE(json.str().find("\"expectations\":[{\"name\":\"req-ack\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"issues\":[{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbt::check

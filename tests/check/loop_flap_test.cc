@@ -1,0 +1,190 @@
+// Section 6.3 rejoin loop detection under repeated link flaps, validated
+// behaviourally: every REJOIN loop the flapping provokes must fall back
+// to a fresh join attempt within the checker's timing bound
+// (pend_join_interval + pend_join_timeout + slack), and the whole trace
+// must satisfy the full CBT suite.
+//
+// Loop construction follows loop_test.cc: on the Figure-5 topology,
+// static next-hop overrides stand in for transient unicast asymmetry
+// ("R3 believes its best next-hop to R1 is R6; R6 believes R5 is its
+// best next-hop"). The flap itself is real: the R2-R3 subnet goes down,
+// R3's echo times out, and its reconnect rejoin travels the loop
+// R3 -> R6 -> R5 -> R4 -> R3 until the link (and routing) heal.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cbt/config.h"
+#include "cbt/domain.h"
+#include "check/cbt_expectations.h"
+#include "check/expectation.h"
+#include "check/trace_view.h"
+#include "netsim/topologies.h"
+#include "obs/trace.h"
+
+namespace cbt::check {
+namespace {
+
+constexpr Ipv4Address kGroup(239, 6, 3, 1);
+
+const ExpectationStats& StatsFor(const CheckReport& report, const char* name) {
+  for (const ExpectationStats& s : report.per_expectation) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "no stats recorded for expectation " << name;
+  static const ExpectationStats empty;
+  return empty;
+}
+
+core::CbtConfig TightConfig() {
+  core::CbtConfig config;
+  config.echo_interval = 5 * kSecond;
+  config.echo_timeout = 15 * kSecond;
+  config.pend_join_interval = 2 * kSecond;
+  config.pend_join_timeout = 8 * kSecond;
+  config.expire_pending_join = 30 * kSecond;
+  config.child_assert_interval = 10 * kSecond;
+  config.child_assert_expire = 25 * kSecond;
+  config.iff_scan_interval = 60 * kSecond;
+  config.reconnect_timeout = 30 * kSecond;
+  config.proxy_refresh_interval = 20 * kSecond;
+  return config;
+}
+
+class LoopFlapFixture : public ::testing::Test {
+ protected:
+  LoopFlapFixture()
+      : topo(netsim::MakeFigure5Loop(sim)),
+        domain(sim, topo, TightConfig()) {
+    domain.RegisterGroup(kGroup, {topo.node("R1")});
+    domain.Start();
+    sim.RunUntil(kSecond);
+    // Members behind R4 and R5 build the tree
+    // R4 -> R3 -> R2 -> R1(core), R5 -> R4.
+    domain.AddHost(lan("R4"), "m4").JoinGroup(kGroup);
+    sim.RunUntil(10 * kSecond);
+    domain.AddHost(lan("R5"), "m5").JoinGroup(kGroup);
+    sim.RunUntil(20 * kSecond);
+  }
+
+  SubnetId lan(const std::string& router) {
+    return topo.subnet("lan-" + router);
+  }
+
+  /// The subnet holding R1's primary address (joins toward R1 resolve it).
+  SubnetId CoreSubnet() {
+    return sim.node(topo.node("R1")).interfaces.front().subnet;
+  }
+
+  VifIndex VifToward(const std::string& from, const std::string& to) {
+    const NodeId f = topo.node(from);
+    const NodeId t = topo.node(to);
+    for (const auto& iface : sim.node(f).interfaces) {
+      for (const auto& [peer, pv] : sim.subnet(iface.subnet).attachments) {
+        if (peer == t) return iface.vif;
+      }
+    }
+    return kInvalidVif;
+  }
+
+  Ipv4Address AddressOn(const std::string& router, SubnetId subnet) {
+    for (const auto& iface : sim.node(topo.node(router)).interfaces) {
+      if (iface.subnet == subnet) return iface.address;
+    }
+    return Ipv4Address{};
+  }
+
+  /// Section 6.3's inconsistent-routing premise, as in loop_test.cc.
+  void InstallLoopOverrides() {
+    auto& routes = domain.routes();
+    const SubnetId core_subnet = CoreSubnet();
+    routes.SetStaticNextHop(
+        topo.node("R3"), core_subnet, VifToward("R3", "R6"),
+        AddressOn("R6", sim.interface(topo.node("R3"), VifToward("R3", "R6"))
+                            .subnet));
+    routes.SetStaticNextHop(
+        topo.node("R6"), core_subnet, VifToward("R6", "R5"),
+        AddressOn("R5", sim.interface(topo.node("R6"), VifToward("R6", "R5"))
+                            .subnet));
+  }
+
+  // Ring before Simulator: agents capture the trace buffer at
+  // construction.
+  obs::TraceBuffer ring{1 << 17, obs::TraceLevel::kSpans};
+  obs::ScopedThreadTraceBuffer scope{&ring};
+  netsim::Simulator sim{1};
+  netsim::Topology topo;
+  core::CbtDomain domain;
+};
+
+TEST_F(LoopFlapFixture, RepeatedFlapsStayWithinTheLoopFallbackBound) {
+  const SubnetId r2r3 = topo.subnet("R2-R3");
+  int loops_observed = 0;
+  core::CbtRouter::Callbacks cb;
+  cb.on_loop_detected = [&](Ipv4Address g) {
+    EXPECT_EQ(g, kGroup);
+    ++loops_observed;
+  };
+  domain.router("R3").set_callbacks(std::move(cb));
+
+  constexpr int kFlaps = 3;
+  for (int flap = 0; flap < kFlaps; ++flap) {
+    // Down phase: R3 loses its parent link while routing is inconsistent.
+    // Its echo times out (<= 15s), the REJOIN-ACTIVE loops back to it,
+    // and the scheduled backoff retries — looping again until repair.
+    InstallLoopOverrides();
+    sim.SetSubnetUp(r2r3, false);
+    sim.RunUntil(sim.Now() + 30 * kSecond);
+
+    // Up phase: link and routing heal; the next retry re-attaches via R2.
+    sim.SetSubnetUp(r2r3, true);
+    domain.routes().ClearStaticNextHops();
+    sim.RunUntil(sim.Now() + 40 * kSecond);
+
+    const core::FibEntry* r3 = domain.router("R3").fib().Find(kGroup);
+    ASSERT_NE(r3, nullptr) << "flap " << flap;
+    ASSERT_TRUE(r3->HasParent()) << "flap " << flap;
+    EXPECT_EQ(sim.FindNodeByAddress(r3->parent_address), topo.node("R2"))
+        << "flap " << flap;
+  }
+  // Every flap provoked at least one detected loop (retries during the
+  // down window usually produce several).
+  EXPECT_GE(loops_observed, kFlaps);
+  EXPECT_GE(domain.router("R3").stats().loops_detected,
+            static_cast<std::uint64_t>(kFlaps));
+
+  // Delivery still works after the last repair.
+  auto& src = domain.AddHost(lan("R1"), "src");
+  src.SendToGroup(kGroup, std::vector<std::uint8_t>{1, 2, 3});
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+  EXPECT_EQ(domain.host("m4").ReceivedCount(kGroup), 1u);
+  EXPECT_EQ(domain.host("m5").ReceivedCount(kGroup), 1u);
+
+  // Settle past every open deadline so the last windows close inside the
+  // run, then validate the whole trace against the suite.
+  sim.RunUntil(sim.Now() + 60 * kSecond);
+  CbtSuiteOptions options;
+  options.config = TightConfig();
+  options.node_of = MakeAddressResolver(sim);
+  const CheckReport report = RunExpectations(
+      TraceView(ring), CbtExpectationSuite(options), sim.Now());
+
+  std::ostringstream rendered;
+  report.Print(rendered);
+  EXPECT_EQ(report.violations(), 0u) << rendered.str();
+
+  // The section 6.3 bound was affirmatively verified, not skipped: every
+  // loop-detected with surviving tree state resolved into a fresh join
+  // (or was legitimately waived) within pend_join_interval +
+  // pend_join_timeout + slack — no window was truncated.
+  const ExpectationStats& fallback = StatsFor(report, "loop-detect-fallback");
+  EXPECT_GE(fallback.checked, static_cast<std::uint64_t>(kFlaps));
+  EXPECT_EQ(fallback.violated, 0u) << rendered.str();
+  EXPECT_EQ(fallback.truncated, 0u) << rendered.str();
+  EXPECT_EQ(fallback.satisfied + fallback.waived, fallback.checked);
+  EXPECT_EQ(report.ring_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace cbt::check

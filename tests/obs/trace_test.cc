@@ -97,19 +97,55 @@ TEST(TraceExport, JsonlGolden) {
                          .group = Ipv4Address(239, 1, 2, 3),
                          .arg_a = 7,
                          .arg_b = 0,
+                         .txn = 42,
                          .detail = "test"});
   std::ostringstream os;
   buffer.ExportJsonl(os);
-  const std::string line = os.str();
-  // One line per event, parseable fields in a stable order.
+  const std::string text = os.str();
+  // A leading metadata line with the ring accounting, then one line per
+  // event with parseable fields in a stable order.
+  const std::size_t split = text.find('\n');
+  ASSERT_NE(split, std::string::npos);
+  const std::string meta = text.substr(0, split);
+  const std::string line = text.substr(split + 1);
+  EXPECT_NE(meta.find("\"meta\":{"), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"emitted\":1"), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"dropped\":0"), std::string::npos) << meta;
   EXPECT_NE(line.find("\"seq\":0"), std::string::npos) << line;
   EXPECT_NE(line.find("\"cat\":\"fsm\""), std::string::npos) << line;
   EXPECT_NE(line.find("\"name\":\"join\""), std::string::npos) << line;
   EXPECT_NE(line.find("\"node\":3"), std::string::npos) << line;
   EXPECT_NE(line.find("239.1.2.3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"txn\":42"), std::string::npos) << line;
   EXPECT_NE(line.find("\"detail\":\"test\""), std::string::npos) << line;
   EXPECT_EQ(line.back(), '\n');
   EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(TraceExport, OverflowAccountingInExports) {
+  // 10 events into a 4-slot ring: the exports must say so, so a consumer
+  // can distinguish "no event" from "event evicted".
+  TraceBuffer buffer(4, TraceLevel::kVerbose);
+  for (int i = 0; i < 10; ++i) {
+    buffer.Emit(Marker(i, "e"));
+  }
+  std::ostringstream jsonl;
+  buffer.ExportJsonl(jsonl);
+  const std::string meta = jsonl.str().substr(0, jsonl.str().find('\n'));
+  EXPECT_NE(meta.find("\"emitted\":10"), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"retained\":4"), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"dropped\":6"), std::string::npos) << meta;
+  EXPECT_NE(meta.find("\"first_seq\":6"), std::string::npos) << meta;
+
+  std::ostringstream chrome;
+  buffer.ExportChromeTrace(chrome, /*pid=*/2);
+  const std::string json = chrome.str();
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":6"), std::string::npos) << json;
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
 }
 
 TEST(TraceExport, ChromeTraceGolden) {
