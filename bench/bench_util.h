@@ -97,9 +97,20 @@ class Options {
   std::uint64_t seed = 1;
   int repeat = 1;
   int jobs = 0;
+  int shards = 0;
   std::string json_path;
   std::string trace_path;
   std::string exec_json_path = "BENCH_exec.json";
+
+  /// Opt-in registration of --shards (space-parallel PDES). Benches that
+  /// have not been wired for the shard runtime keep rejecting the flag
+  /// through the normal unknown-flag exit-2 path.
+  void EnableShards() {
+    Int("shards", &shards,
+        "PDES regions sharding each simulation across cores "
+        "(0 = classic serial engine; N >= 1 = shard runtime, "
+        "byte-identical output for every N)");
+  }
 
   /// Registers a bench-specific boolean flag (present => true).
   void Flag(std::string name, bool* target, std::string help) {
@@ -160,6 +171,14 @@ class Options {
     }
     if (repeat < 1) Fail("--repeat expects a positive count");
     if (jobs < 0) Fail("--jobs expects a nonnegative thread count");
+    if (shards < 0) Fail("--shards expects a nonnegative region count");
+    if (shards > 1 && jobs > 1) {
+      Fail("--shards and --jobs cannot both be > 1: a sharded simulation "
+           "already fans out across the cores");
+    }
+    // A sharded run owns the machine's parallelism; pin the replica pool
+    // to the serial path instead of letting --jobs 0 grab every core too.
+    if (shards > 1 && jobs == 0) jobs = 1;
   }
 
   const std::string& bench_name() const { return bench_name_; }

@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "cbt/domain.h"
+#include "exec/pdes/runtime.h"
 #include "check/cbt_expectations.h"
 #include "check/expectation.h"
 #include "check/trace_view.h"
@@ -111,14 +113,25 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
                    std::uint64_t seed, int event_count, bool dump_plan,
                    routing::RouteManager::Mode routing_mode,
                    core::ProtocolMutation mutation, bool run_check,
-                   std::ostream& out) {
+                   int shards, std::ostream& out) {
   SoakResult result;
   result.topology = name;
+
+  // Declared before the domain so it is destroyed after it: router/host
+  // timer destructors cancel PDES-encoded event ids, which must still
+  // route through the installed backend.
+  std::unique_ptr<exec::pdes::Runtime> pdes;
 
   core::CbtConfig cbt_config = SoakCbtConfig();
   cbt_config.mutation = mutation;
   core::CbtDomain domain(sim, topo, cbt_config, SoakIgmpConfig());
   domain.routes().set_mode(routing_mode);
+  if (shards > 0) {
+    pdes = std::make_unique<exec::pdes::Runtime>(sim, shards);
+    pdes->Install();
+    domain.ShardRoutes(pdes->region_count(),
+                       [&pdes](NodeId id) { return pdes->RegionOf(id); });
+  }
   domain.RegisterGroup(kGroup, members.cores);
   domain.Start();
   sim.RunUntil(kSecond);
@@ -260,6 +273,7 @@ int main(int argc, char** argv) {
            "write the merged expectation report to FILE (implies --check)");
   opts.Str("mutate", &mutate_name,
            "seed a protocol defect for checker validation: suppress-flush");
+  opts.EnableShards();
   opts.Parse(argc, argv);
   if (opts.smoke) event_count = std::min(event_count, 10);
   if (!check_json.empty()) run_check = true;
@@ -353,7 +367,7 @@ int main(int argc, char** argv) {
             return RunSoak(
                 "grid-" + std::to_string(side) + "x" + std::to_string(side),
                 sim, topo, members, ctx.seed, event_count, dump_plan,
-                routing_mode, mutation, run_check, ctx.out);
+                routing_mode, mutation, run_check, opts.shards, ctx.out);
           }
           case Topo::kGrid4x4: {
             netsim::Simulator sim(1, engine);
@@ -361,8 +375,8 @@ int main(int argc, char** argv) {
             MemberPlan members{{3, 5, 10, 12},
                                {topo.routers[0], topo.routers[15]}};
             return RunSoak("grid-4x4", sim, topo, members, ctx.seed,
-                           event_count, dump_plan, routing_mode,
-                           mutation, run_check, ctx.out);
+                           event_count, dump_plan, routing_mode, mutation,
+                           run_check, opts.shards, ctx.out);
           }
           case Topo::kWaxman20: {
             netsim::Simulator sim(1, engine);
@@ -373,8 +387,8 @@ int main(int argc, char** argv) {
             MemberPlan members{{4, 9, 14, 19},
                                {topo.routers[0], topo.routers[13]}};
             return RunSoak("waxman-20", sim, topo, members, ctx.seed,
-                           event_count, dump_plan, routing_mode,
-                           mutation, run_check, ctx.out);
+                           event_count, dump_plan, routing_mode, mutation,
+                           run_check, opts.shards, ctx.out);
           }
           case Topo::kTransitStub:
           default: {
@@ -387,8 +401,8 @@ int main(int argc, char** argv) {
             MemberPlan members{{6, 11, 16, 21},
                                {topo.routers[0], topo.routers[1]}};
             return RunSoak("transit-stub", sim, topo, members, ctx.seed,
-                           event_count, dump_plan, routing_mode,
-                           mutation, run_check, ctx.out);
+                           event_count, dump_plan, routing_mode, mutation,
+                           run_check, opts.shards, ctx.out);
           }
         }
       },

@@ -12,6 +12,7 @@
 // Also ablates the proxy-ack optimization (section 2.6): latency is the
 // same, but the LAN's D-DR keeps state without it.
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "analysis/table.h"
 #include "bench_util.h"
 #include "cbt/domain.h"
+#include "exec/pdes/runtime.h"
 #include "netsim/topologies.h"
 
 namespace {
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
   bench::Options opts("join_latency", "E5: join latency vs distance to core");
   std::string routing_name = "lazy";
   opts.Str("routing", &routing_name, "unicast recompute: lazy|eager");
+  opts.EnableShards();
   opts.Parse(argc, argv);
   const auto routing_mode = routing_name == "eager"
                                 ? cbt::routing::RouteManager::Mode::kEager
@@ -90,8 +93,18 @@ int main(int argc, char** argv) {
             std::vector<std::vector<std::string>> rows;
             netsim::Simulator sim(1);
             netsim::Topology topo = netsim::MakeFigure1(sim);
+            // Outlives the domain: timer dtors cancel through the backend.
+            std::unique_ptr<cbt::exec::pdes::Runtime> pdes;
             core::CbtDomain domain(sim, topo);
             domain.routes().set_mode(routing_mode);
+            if (opts.shards > 0) {
+              pdes = std::make_unique<cbt::exec::pdes::Runtime>(sim,
+                                                                opts.shards);
+              pdes->Install();
+              domain.ShardRoutes(pdes->region_count(), [&pdes](NodeId id) {
+                return pdes->RegionOf(id);
+              });
+            }
             domain.RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
             domain.Start();
             sim.RunUntil(kSecond);
@@ -141,8 +154,18 @@ int main(int argc, char** argv) {
               netsim::Topology topo = netsim::MakeLine(sim, hops + 1);
               core::CbtConfig config;
               config.enable_proxy_ack = proxy;
+              // Outlives the domain: timer dtors cancel through the backend.
+              std::unique_ptr<cbt::exec::pdes::Runtime> pdes;
               core::CbtDomain domain(sim, topo, config);
               domain.routes().set_mode(routing_mode);
+              if (opts.shards > 0) {
+                pdes = std::make_unique<cbt::exec::pdes::Runtime>(
+                    sim, opts.shards);
+                pdes->Install();
+                domain.ShardRoutes(pdes->region_count(), [&pdes](NodeId id) {
+                  return pdes->RegionOf(id);
+                });
+              }
               domain.RegisterGroup(kGroup, {topo.routers[(std::size_t)hops]});
               domain.Start();
               sim.RunUntil(kSecond);

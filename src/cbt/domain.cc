@@ -65,6 +65,24 @@ std::vector<Ipv4Address> CbtDomain::RegisterGroup(
   return addresses;
 }
 
+void CbtDomain::ShardRoutes(int regions,
+                            const std::function<int(NodeId)>& region_of) {
+  assert(regions >= 1);
+  shard_routes_.clear();
+  shard_routes_.reserve(static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    auto manager =
+        std::make_unique<routing::RouteManager>(*sim_, routes_.mode());
+    manager->set_lpm_mode(routes_.lpm_mode());
+    shard_routes_.push_back(std::move(manager));
+  }
+  for (const auto& [id, router] : routers_) {
+    const int r = region_of(id);
+    assert(r >= 0 && r < regions);
+    router->set_routes(shard_routes_[static_cast<std::size_t>(r)].get());
+  }
+}
+
 void CbtDomain::CrashRouter(NodeId id) {
   sim_->SetNodeUp(id, false);
   router(id).Crash();

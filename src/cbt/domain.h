@@ -6,6 +6,7 @@
 // agents too.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,6 +41,19 @@ class CbtDomain {
 
   GroupDirectory& directory() { return directory_; }
   routing::RouteManager& routes() { return routes_; }
+
+  /// Space-parallel PDES support: gives every region its own
+  /// RouteManager clone (same mode / LPM mode as the base manager) and
+  /// repoints each router at its region's clone, so routing state is
+  /// never shared across concurrently-executing regions. All router
+  /// lookups are self-sourced, so each clone computes exactly the
+  /// per-source tables its region's routers would have computed on the
+  /// shared manager — byte-identical routes at any region count. The
+  /// base manager keeps serving domain/bench/test queries. Static
+  /// next-hop overrides are not copied (bench topologies do not use
+  /// them); call before Start().
+  void ShardRoutes(int regions,
+                   const std::function<int(NodeId)>& region_of);
   netsim::Simulator& sim() { return *sim_; }
   netsim::Topology& topology() { return *topo_; }
 
@@ -87,6 +101,8 @@ class CbtDomain {
   netsim::Simulator* sim_;
   netsim::Topology* topo_;
   routing::RouteManager routes_;
+  /// Per-region managers created by ShardRoutes; empty when unsharded.
+  std::vector<std::unique_ptr<routing::RouteManager>> shard_routes_;
   GroupDirectory directory_;
   CbtConfig config_;
   igmp::IgmpConfig igmp_config_;

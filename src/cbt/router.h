@@ -82,6 +82,11 @@ class CbtRouter : public netsim::NetworkAgent {
   const Fib& fib() const { return fib_; }
   const RouterStats& stats() const { return stats_; }
   RouterStats& mutable_stats() { return stats_; }
+
+  /// Repoints this router at another route manager. Used by
+  /// CbtDomain::ShardRoutes so each PDES region's routers share a
+  /// region-local manager (RouteManager is single-threaded state).
+  void set_routes(routing::RouteManager* routes) { routes_ = routes; }
   const igmp::RouterIgmp& igmp() const { return igmp_; }
   const CbtConfig& config() const { return config_; }
 

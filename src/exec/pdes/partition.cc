@@ -1,0 +1,183 @@
+#include "exec/pdes/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace cbt::exec::pdes {
+namespace {
+
+/// Path-halving union-find over node indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    // Always attach the larger root to the smaller: the root is then the
+    // lowest member id, which the BFS uses as the group's sort key.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Partition MakePartition(const netsim::Simulator& sim, int requested_regions) {
+  const int node_count = static_cast<int>(sim.node_count());
+  const int subnet_count = static_cast<int>(sim.subnet_count());
+
+  Partition part;
+  part.region_of_node.assign(static_cast<std::size_t>(node_count), 0);
+  part.owner_of_subnet.assign(static_cast<std::size_t>(subnet_count), 0);
+  part.subnet_cut.assign(static_cast<std::size_t>(subnet_count), false);
+  if (node_count == 0) {
+    part.regions = 1;
+    return part;
+  }
+
+  // 1. Contract zero-delay subnets so every potential cut has delay > 0.
+  UnionFind uf(static_cast<std::size_t>(node_count));
+  for (int s = 0; s < subnet_count; ++s) {
+    const netsim::SubnetRecord& rec = sim.subnet(SubnetId(s));
+    if (rec.delay > 0 || rec.attachments.size() < 2) continue;
+    const int first = rec.attachments.front().first.value();
+    for (const auto& [node, vif] : rec.attachments) uf.Union(first, node.value());
+  }
+
+  // 2. Enumerate supernodes (groups) in order of their lowest member id.
+  std::vector<int> group_of_node(static_cast<std::size_t>(node_count));
+  std::vector<std::vector<int>> group_members;  // node ids, ascending
+  {
+    std::vector<int> group_of_root(static_cast<std::size_t>(node_count), -1);
+    for (int n = 0; n < node_count; ++n) {
+      const int root = uf.Find(n);
+      if (group_of_root[root] < 0) {
+        group_of_root[root] = static_cast<int>(group_members.size());
+        group_members.emplace_back();
+      }
+      group_of_node[n] = group_of_root[root];
+      group_members[group_of_root[root]].push_back(n);
+    }
+  }
+  const int group_count = static_cast<int>(group_members.size());
+
+  // 3. Group adjacency from shared subnets (sorted + deduped per group).
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(group_count));
+  for (int s = 0; s < subnet_count; ++s) {
+    const netsim::SubnetRecord& rec = sim.subnet(SubnetId(s));
+    for (const auto& [a, vif_a] : rec.attachments) {
+      for (const auto& [b, vif_b] : rec.attachments) {
+        const int ga = group_of_node[a.value()];
+        const int gb = group_of_node[b.value()];
+        if (ga != gb) adjacency[ga].push_back(gb);
+      }
+    }
+  }
+  for (auto& neighbors : adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+
+  // 4. Grow regions by BFS over groups, ceil(nodes / regions) nodes each;
+  // the final region absorbs everything left (including any disconnected
+  // components the frontier never reached).
+  const int region_target = std::max(1, std::min(requested_regions, group_count));
+  const int size_target = (node_count + region_target - 1) / region_target;
+  std::vector<int> region_of_group(static_cast<std::size_t>(group_count), -1);
+  int next_seed = 0;  // lowest-first-member unassigned group
+  int used_regions = 0;
+  for (int r = 0; r < region_target; ++r) {
+    while (next_seed < group_count && region_of_group[next_seed] >= 0) {
+      ++next_seed;
+    }
+    if (next_seed >= group_count) break;
+    used_regions = r + 1;
+    const bool last = r == region_target - 1;
+    int size = 0;
+    std::deque<int> frontier;
+    int reseed = next_seed;
+    while (last || size < size_target) {
+      int g = -1;
+      while (!frontier.empty()) {
+        if (region_of_group[frontier.front()] < 0) {
+          g = frontier.front();
+          frontier.pop_front();
+          break;
+        }
+        frontier.pop_front();
+      }
+      if (g < 0) {
+        // Frontier exhausted: restart from the lowest unassigned group
+        // (a disconnected component, or the very first seed).
+        while (reseed < group_count && region_of_group[reseed] >= 0) ++reseed;
+        if (reseed >= group_count) break;
+        g = reseed;
+      }
+      region_of_group[g] = r;
+      size += static_cast<int>(group_members[g].size());
+      for (const int neighbor : adjacency[g]) {
+        if (region_of_group[neighbor] < 0) frontier.push_back(neighbor);
+      }
+    }
+  }
+  part.regions = std::max(1, used_regions);
+
+  for (int n = 0; n < node_count; ++n) {
+    part.region_of_node[n] = region_of_group[group_of_node[n]];
+  }
+
+  // 5. Subnet ownership, cut set, lookahead.
+  for (int s = 0; s < subnet_count; ++s) {
+    const netsim::SubnetRecord& rec = sim.subnet(SubnetId(s));
+    if (rec.attachments.empty()) continue;
+    const int owner = part.region_of_node[rec.attachments.front().first.value()];
+    part.owner_of_subnet[s] = owner;
+    for (const auto& [node, vif] : rec.attachments) {
+      if (part.region_of_node[node.value()] != owner) {
+        part.subnet_cut[s] = true;
+        break;
+      }
+    }
+    if (part.subnet_cut[s]) {
+      // Zero-delay subnets were contracted, so every cut has delay > 0.
+      assert(rec.delay > 0);
+      part.lookahead = std::min(part.lookahead, rec.delay);
+    }
+  }
+  return part;
+}
+
+void ExtendPartition(Partition& part, const netsim::Simulator& sim) {
+  const std::size_t node_count = sim.node_count();
+  for (std::size_t n = part.region_of_node.size(); n < node_count; ++n) {
+    const netsim::NodeRecord& rec = sim.node(NodeId(static_cast<int>(n)));
+    int region = 0;
+    if (!rec.interfaces.empty()) {
+      const int subnet = rec.interfaces.front().subnet.value();
+      if (subnet >= 0 &&
+          subnet < static_cast<int>(part.owner_of_subnet.size())) {
+        region = part.owner_of_subnet[subnet];
+      }
+    }
+    part.region_of_node.push_back(region);
+  }
+}
+
+}  // namespace cbt::exec::pdes

@@ -1,0 +1,69 @@
+// Topology partitioner for space-parallel PDES (see docs/PROTOCOL.md,
+// "Space-parallel PDES & lookahead contract").
+//
+// A partition splits the simulator's nodes into `regions` disjoint
+// regions, each of which runs as one conservatively-synchronised logical
+// process. Correctness of the conservative synchronisation rests on one
+// number: the *lookahead* L = the minimum link delay over every *cut*
+// subnet (a subnet whose attachments span more than one region). Any
+// frame a region emits at time t reaches another region no earlier than
+// t + L, so all regions may execute a window of width L in parallel
+// without ever receiving a message "from the past".
+//
+// To guarantee L > 0 the partitioner first contracts every zero-delay
+// subnet: nodes joined by a 0-delay segment are fused into one supernode
+// (union-find) and always land in the same region. Regions are then
+// grown greedily by BFS from the lowest-id unassigned supernode to a
+// target of ceil(nodes / regions) nodes each, which keeps regions
+// connected (modulo disconnected input graphs, whose leftover components
+// are folded into the open region deterministically).
+//
+// Everything here is a pure function of the topology and the requested
+// region count — no RNG, no iteration-order dependence — so a partition
+// is reproducible across runs and across region counts.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "netsim/simulator.h"
+
+namespace cbt::exec::pdes {
+
+struct Partition {
+  /// Sentinel lookahead when no subnet is cut (single region): regions
+  /// never exchange messages, so any window width is safe. Kept well
+  /// away from SimTime overflow when added to a clock.
+  static constexpr SimDuration kInfiniteLookahead =
+      std::numeric_limits<SimTime>::max() / 4;
+
+  /// Effective region count: min(requested, supernode count), then
+  /// compacted so every region is non-empty. Always >= 1.
+  int regions = 1;
+  /// Node id -> region. Covers every node present at partition time;
+  /// later nodes are assigned by ExtendPartition.
+  std::vector<int> region_of_node;
+  /// Subnet id -> region of its first attachment (0 for an unattached
+  /// subnet). New nodes attached to the subnet inherit this region.
+  std::vector<int> owner_of_subnet;
+  /// Subnet id -> true when its attachments span more than one region.
+  /// Cut-subnet counters are accumulated in per-region delta buffers.
+  std::vector<bool> subnet_cut;
+  /// min delay over cut subnets; kInfiniteLookahead when nothing is cut.
+  SimDuration lookahead = kInfiniteLookahead;
+};
+
+/// Partitions the simulator's current topology into up to
+/// `requested_regions` regions. `requested_regions` < 1 is clamped to 1.
+Partition MakePartition(const netsim::Simulator& sim, int requested_regions);
+
+/// Assigns any node not yet covered by `part` (e.g. a host attached
+/// after partitioning) to the owner region of its first interface's
+/// subnet — the LAN it joined stays whole, so the cut set (and with it
+/// the lookahead) never grows. A node with no interfaces yet lands in
+/// region 0. Extends region_of_node up to sim.node_count().
+void ExtendPartition(Partition& part, const netsim::Simulator& sim);
+
+}  // namespace cbt::exec::pdes

@@ -1,0 +1,200 @@
+// Per-region event queue for space-parallel PDES.
+//
+// Events are ordered by a *partition-invariant* key (when, src, seq):
+// `src` is the scheduling context that created the event (a node id, or
+// -1 for the coordinator — code running outside any event, e.g. the
+// bench driver) and `seq` is that context's monotone schedule counter.
+// Each context schedules the same events in the same order no matter how
+// the topology is partitioned, so sorting by this key yields one global
+// order shared by every region count — the heart of the "--shards N is
+// byte-identical to --shards 1" guarantee. The coordinator's src = -1
+// sorts ahead of every node, so a coordinator event at time t runs
+// before region events at t, at any shard count.
+//
+// The queue itself is a slab of EventFn slots (generation-counted, so
+// cancellation invalidates lazily but destroys the closure eagerly) plus
+// a binary min-heap of keys. Like EventQueue it is single-owner: a debug
+// ThreadOwnershipGuard aborts on cross-thread touches, and the runtime
+// releases/reacquires ownership at window barriers when a queue moves
+// between the coordinator and a pool worker.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/thread_guard.h"
+#include "common/types.h"
+#include "netsim/event_fn.h"
+
+namespace cbt::exec::pdes {
+
+struct EventKey {
+  SimTime when = 0;
+  std::int32_t src = -1;  // scheduling context: node id, -1 = coordinator
+  std::uint64_t seq = 0;  // per-context monotone schedule counter
+
+  friend bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  }
+  friend bool operator==(const EventKey& a, const EventKey& b) {
+    return a.when == b.when && a.src == b.src && a.seq == b.seq;
+  }
+};
+
+class RegionQueue {
+ public:
+  /// Cancellation handle; `gen` detects stale handles after slot reuse.
+  struct Handle {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  RegionQueue() = default;
+  RegionQueue(const RegionQueue&) = delete;
+  RegionQueue& operator=(const RegionQueue&) = delete;
+
+  /// `affinity` is the execution-context node the event runs on behalf
+  /// of (delivery receiver / timer owner), -1 for none.
+  Handle Schedule(const EventKey& key, std::int32_t affinity,
+                  netsim::EventFn fn) {
+    guard_.AssertOwned(kGuardName);
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.affinity = affinity;
+    s.live = true;
+    heap_.push_back(HeapEntry{key, slot, s.gen});
+    SiftUp(heap_.size() - 1);
+    ++live_;
+    return Handle{slot, s.gen};
+  }
+
+  /// Cancels a pending event; destroys the closure eagerly, leaves the
+  /// heap entry to be pruned lazily. Returns false for stale handles.
+  bool Cancel(Handle h) {
+    guard_.AssertOwned(kGuardName);
+    if (h.slot >= slots_.size()) return false;
+    Slot& s = slots_[h.slot];
+    if (!s.live || s.gen != h.gen) return false;
+    FreeSlot(h.slot);
+    --live_;
+    return true;
+  }
+
+  bool Empty() const {
+    guard_.AssertOwned(kGuardName);
+    return live_ == 0;
+  }
+  std::size_t size() const {
+    guard_.AssertOwned(kGuardName);
+    return live_;
+  }
+
+  /// Key of the earliest pending event; only valid when !Empty().
+  const EventKey& FrontKey() {
+    guard_.AssertOwned(kGuardName);
+    Prune();
+    assert(!heap_.empty());
+    return heap_.front().key;
+  }
+
+  /// Pops the earliest event; only valid when !Empty().
+  netsim::EventFn PopFront(EventKey* key, std::int32_t* affinity) {
+    guard_.AssertOwned(kGuardName);
+    Prune();
+    assert(!heap_.empty());
+    const HeapEntry top = heap_.front();
+    PopHeap();
+    Slot& s = slots_[top.slot];
+    *key = top.key;
+    *affinity = s.affinity;
+    netsim::EventFn fn = std::move(s.fn);
+    FreeSlot(top.slot);
+    --live_;
+    return fn;
+  }
+
+  /// See ThreadOwnershipGuard::ReleaseOwnership — barrier handoff.
+  void ReleaseOwnership() { guard_.ReleaseOwnership(); }
+
+ private:
+  static constexpr const char* kGuardName = "exec::pdes::RegionQueue";
+
+  struct Slot {
+    netsim::EventFn fn;
+    std::uint32_t gen = 0;
+    std::int32_t affinity = -1;
+    bool live = false;
+  };
+  struct HeapEntry {
+    EventKey key;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  void FreeSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn.Reset();
+    s.live = false;
+    ++s.gen;  // invalidates the heap entry and any outstanding handle
+    free_.push_back(slot);
+  }
+
+  /// Drops cancelled entries off the heap front.
+  void Prune() {
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.front();
+      const Slot& s = slots_[top.slot];
+      if (s.live && s.gen == top.gen) return;
+      PopHeap();
+    }
+  }
+
+  void PopHeap() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    SiftDown(0);
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[i].key < heap_[parent].key)) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && heap_[l].key < heap_[best].key) best = l;
+      if (r < n && heap_[r].key < heap_[best].key) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  ThreadOwnershipGuard guard_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cbt::exec::pdes

@@ -1,0 +1,542 @@
+#include "exec/pdes/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+#include <utility>
+
+namespace cbt::exec::pdes {
+
+namespace {
+
+/// Per-node RNG streams: splitmix-style stride on the simulation seed.
+constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+/// Region trace rings only buffer the emissions of a single event before
+/// they are drained into the side log, so a small ring suffices.
+constexpr std::size_t kRegionRingCapacity = 4096;
+
+/// Runs `fn` at scope exit; used for the phase teardown flags that must
+/// fire even when a simulation event throws.
+template <typename Fn>
+struct ScopeExit {
+  Fn fn;
+  ~ScopeExit() { fn(); }
+};
+template <typename Fn>
+ScopeExit(Fn) -> ScopeExit<Fn>;
+
+}  // namespace
+
+thread_local Runtime::ThreadContext Runtime::tls_;
+
+Runtime::Runtime(netsim::Simulator& sim, int shards, int threads)
+    : sim_(sim),
+      requested_(std::clamp(shards, 1, 64)),
+      threads_(threads) {}
+
+Runtime::~Runtime() {
+  if (installed_ && sim_.shard_backend() == this) {
+    sim_.InstallShardBackend(nullptr);
+  }
+  if (tls_.runtime == this) tls_ = ThreadContext{};
+}
+
+void Runtime::Install() {
+  assert(!installed_);
+  part_ = MakePartition(sim_, requested_);
+  seed_base_ = sim_.seed();
+  base_trace_ = sim_.base_trace();
+
+  const std::size_t subnet_count = sim_.subnet_count();
+  regions_.clear();
+  regions_.reserve(static_cast<std::size_t>(part_.regions));
+  for (int r = 0; r < part_.regions; ++r) {
+    auto region = std::make_unique<Region>();
+    if (base_trace_ != nullptr) {
+      region->ring = std::make_unique<obs::TraceBuffer>(kRegionRingCapacity,
+                                                        base_trace_->level());
+    }
+    region->cut_delta.assign(subnet_count, netsim::SubnetCounters{});
+    region->cut_dirty.assign(subnet_count, false);
+    regions_.push_back(std::move(region));
+  }
+  EnsureNodeTables();
+
+  if (threads_ <= 0) {
+    worker_count_ = std::min(part_.regions, Pool::HardwareConcurrency());
+  } else {
+    worker_count_ = std::min(threads_, part_.regions);
+  }
+  worker_count_ = std::max(worker_count_, 1);
+  if (worker_count_ > 1) {
+    pool_ = std::make_unique<Pool>(worker_count_);
+  }
+
+  sim_.InstallShardBackend(this);
+  installed_ = true;
+}
+
+int Runtime::EffectiveRegion() const {
+  const std::int32_t a = CurrentAffinity();
+  if (a >= 0) {
+    assert(static_cast<std::size_t>(a) < part_.region_of_node.size());
+    return part_.region_of_node[static_cast<std::size_t>(a)];
+  }
+  return CurrentRegion();
+}
+
+int Runtime::RegionOfNode(std::int32_t node) {
+  assert(node >= 0);
+  if (static_cast<std::size_t>(node) >= part_.region_of_node.size()) {
+    EnsureNodeTables();
+  }
+  assert(static_cast<std::size_t>(node) < part_.region_of_node.size());
+  return part_.region_of_node[static_cast<std::size_t>(node)];
+}
+
+void Runtime::EnsureNodeTables() {
+  // Nodes only appear while the regions are quiesced (topology
+  // construction, coordinator events), so resizing here never races a
+  // region thread reading the tables; the next window barrier publishes.
+  assert(CurrentRegion() < 0);
+  const std::size_t n = sim_.node_count();
+  if (part_.region_of_node.size() < n) ExtendPartition(part_, sim_);
+  if (node_seq_.size() < n) node_seq_.resize(n, 0);
+  if (node_rng_.size() < n) node_rng_.resize(n);
+}
+
+std::uint64_t Runtime::NextSeq(std::int32_t src) {
+  if (src < 0) return coord_seq_++;
+  if (static_cast<std::size_t>(src) >= node_seq_.size()) EnsureNodeTables();
+  assert(static_cast<std::size_t>(src) < node_seq_.size());
+  return node_seq_[static_cast<std::size_t>(src)]++;
+}
+
+// --- ShardBackend: execution context ------------------------------------
+
+SimTime Runtime::Now() const {
+  const int r = CurrentRegion();
+  if (r >= 0) return regions_[static_cast<std::size_t>(r)]->clock;
+  return now_;
+}
+
+Rng& Runtime::ContextRng() {
+  const std::int32_t a = CurrentAffinity();
+  if (a < 0) return sim_.base_rng();
+  assert(static_cast<std::size_t>(a) < node_rng_.size());
+  std::unique_ptr<Rng>& slot = node_rng_[static_cast<std::size_t>(a)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Rng>(seed_base_ +
+                                 kSeedStride *
+                                     static_cast<std::uint64_t>(a + 1));
+  }
+  return *slot;
+}
+
+obs::TraceBuffer* Runtime::ContextTrace() {
+  const int r = CurrentRegion();
+  if (r >= 0) return regions_[static_cast<std::size_t>(r)]->ring.get();
+  return base_trace_;
+}
+
+netsim::PacketArena& Runtime::ContextArena() {
+  const int r = EffectiveRegion();
+  if (r < 0) return sim_.mutable_packet_arena();
+  return regions_[static_cast<std::size_t>(r)]->arena;
+}
+
+netsim::SubnetCounters& Runtime::CountersFor(netsim::SubnetRecord& subnet) {
+  const int r = EffectiveRegion();
+  const std::size_t sid = static_cast<std::size_t>(subnet.id.value());
+  // Coordinator context, post-partition subnets, and non-cut subnets
+  // (whose attachments all live in one region) write the real row; only
+  // cut subnets need per-region deltas to keep concurrent windows apart.
+  if (r < 0 || sid >= part_.subnet_cut.size() || !part_.subnet_cut[sid]) {
+    return subnet.counters;
+  }
+  Region& region = *regions_[static_cast<std::size_t>(r)];
+  if (!region.cut_dirty[sid]) {
+    region.cut_dirty[sid] = true;
+    region.dirty_subnets.push_back(static_cast<std::int32_t>(sid));
+  }
+  return region.cut_delta[sid];
+}
+
+std::int32_t Runtime::ExchangeAffinity(std::int32_t node) {
+  if (tls_.runtime != this) {
+    // Claim the thread slot; stale context from a previous runtime on
+    // this thread is dead by definition (one backend per simulator).
+    tls_ = ThreadContext{this, -1, -1};
+  }
+  if (node >= 0 &&
+      static_cast<std::size_t>(node) >= part_.region_of_node.size()) {
+    EnsureNodeTables();
+  }
+  const std::int32_t prev = tls_.affinity;
+  tls_.affinity = node;
+  return prev;
+}
+
+// --- ShardBackend: scheduling -------------------------------------------
+
+netsim::EventId Runtime::EncodeId(int region, RegionQueue::Handle h) const {
+  assert(h.slot < (1u << 24));
+  return (1ULL << 63) |
+         (static_cast<std::uint64_t>(static_cast<unsigned>(region) & 0x7Fu)
+          << 56) |
+         (static_cast<std::uint64_t>(h.gen) << 24) |
+         static_cast<std::uint64_t>(h.slot);
+}
+
+netsim::EventId Runtime::Schedule(SimTime when, netsim::EventFn fn) {
+  const std::int32_t a = CurrentAffinity();
+  const EventKey key{when, a, NextSeq(a)};
+  if (a < 0) {
+    return EncodeId(kCoordRegionCode,
+                    coord_queue_.Schedule(key, -1, std::move(fn)));
+  }
+  const int r = RegionOfNode(a);
+  return EncodeId(
+      r, regions_[static_cast<std::size_t>(r)]->queue.Schedule(
+             key, a, std::move(fn)));
+}
+
+bool Runtime::Cancel(netsim::EventId id) {
+  if ((id & (1ULL << 63)) == 0) return false;  // not one of ours
+  const int region = static_cast<int>((id >> 56) & 0x7Fu);
+  RegionQueue::Handle h;
+  h.gen = static_cast<std::uint32_t>((id >> 24) & 0xFFFFFFFFULL);
+  h.slot = static_cast<std::uint32_t>(id & 0xFFFFFFu);
+  if (region == kCoordRegionCode) return coord_queue_.Cancel(h);
+  if (region >= part_.regions) return false;
+  return regions_[static_cast<std::size_t>(region)]->queue.Cancel(h);
+}
+
+void Runtime::ScheduleDelivery(SimTime when, NodeId receiver, VifIndex vif,
+                               Ipv4Address link_src, Ipv4Address link_dst,
+                               const netsim::PacketRef& payload) {
+  const std::int32_t a = CurrentAffinity();
+  const EventKey key{when, a, NextSeq(a)};
+  const int dest = RegionOfNode(receiver.value());
+  const int sender_region = a >= 0 ? RegionOfNode(a) : -1;
+  if (sender_region == dest) {
+    // Intra-region: the packet ref stays on the region arena.
+    regions_[static_cast<std::size_t>(dest)]->queue.Schedule(
+        key, receiver.value(),
+        [this, receiver, vif, link_src, link_dst, payload] {
+          sim_.InjectDelivery(receiver, vif, link_src, link_dst,
+                              payload.bytes());
+        });
+    return;
+  }
+  // Boundary (or coordinator-originated) delivery: copy the bytes out of
+  // the sender's arena and enqueue on the destination inbox. The key
+  // travels along, so the destination heap orders the delivery exactly
+  // where any other region count would.
+  const std::span<const std::uint8_t> bytes = payload.bytes();
+  BoundaryMessage msg;
+  msg.key = key;
+  msg.receiver = receiver;
+  msg.vif = vif;
+  msg.link_src = link_src;
+  msg.link_dst = link_dst;
+  msg.bytes.assign(bytes.begin(), bytes.end());
+  Region& dr = *regions_[static_cast<std::size_t>(dest)];
+  std::lock_guard<std::mutex> lock(dr.inbox_mu);
+  dr.inbox.push_back(std::move(msg));
+}
+
+// --- Window engine ------------------------------------------------------
+
+void Runtime::RunUntil(SimTime until) {
+  assert(CurrentRegion() < 0);
+  EnsureNodeTables();
+
+  const bool coord_work =
+      !coord_queue_.Empty() && coord_queue_.FrontKey().when <= until;
+  const bool region_work = MinRegionTime() <= until;
+  if (!coord_work && !region_work && InboxesEmpty()) {
+    now_ = std::max(now_, until);  // idle span: just commit the clock
+    return;
+  }
+
+  if (worker_count_ > 1) {
+    phase_base_gen_ = window_gen_.load(std::memory_order_relaxed);
+    phase_over_.store(false, std::memory_order_relaxed);
+    threaded_phase_ = true;
+    ScopeExit phase_reset{[this] { threaded_phase_ = false; }};
+    // coord_mu_ inside RunWith publishes phase_base_gen_/phase_over_ to
+    // the workers before any of them starts spinning.
+    pool_->RunWith(
+        static_cast<std::size_t>(worker_count_),
+        [this](std::size_t w) { WorkerPhase(w); },
+        [this, until] {
+          // phase_over_ must flip before control leaves this callable —
+          // including via exception — or the workers spin forever and
+          // RunWith never drains.
+          ScopeExit over{[this] {
+            phase_over_.store(true, std::memory_order_release);
+          }};
+          CoordinatorBody(until);
+        });
+  } else {
+    CoordinatorBody(until);
+  }
+  now_ = std::max(now_, until);
+}
+
+void Runtime::CoordinatorBody(SimTime until) {
+  for (;;) {
+    DrainInboxes();
+    SimTime t_c = kNoEvent;
+    if (!coord_queue_.Empty()) t_c = coord_queue_.FrontKey().when;
+    if (t_c <= until) {
+      // Coordinator events at t_c run after every region event strictly
+      // before t_c and before region events at t_c (src -1 sorts first).
+      AdvanceRegions(t_c - 1);
+      FlushCutDeltas();
+      now_ = std::max(now_, t_c);
+      RunCoordinatorEventsAt(t_c);
+    } else {
+      AdvanceRegions(until);
+      FlushCutDeltas();
+      return;
+    }
+  }
+}
+
+void Runtime::AdvanceRegions(SimTime bound) {
+  for (;;) {
+    DrainInboxes();
+    const SimTime b = MinRegionTime();
+    if (b > bound) return;  // covers kNoEvent
+    SimTime end = bound;
+    if (part_.lookahead < kNoEvent - b) {
+      end = std::min(end, b + part_.lookahead - 1);
+    }
+    end = std::min(end, b + (kMaxWindowWidth - 1));
+    RunWindow(end);
+  }
+}
+
+void Runtime::RunWindow(SimTime end) {
+  if (threaded_phase_) {
+    // The coordinator touched queues/arenas since the last window
+    // (front peeks, inbox drains); hand the guards over before waking
+    // the workers, and back again once they are done.
+    ReleaseRegionGuards();
+    window_end_ = end;
+    window_done_.store(0, std::memory_order_relaxed);
+    window_gen_.fetch_add(1, std::memory_order_release);
+    while (window_done_.load(std::memory_order_acquire) < worker_count_) {
+      std::this_thread::yield();
+    }
+    ReleaseRegionGuards();
+  } else {
+    for (int r = 0; r < part_.regions; ++r) ExecuteRegionWindow(r, end);
+  }
+  MergeRegionTraces();
+}
+
+void Runtime::WorkerPhase(std::size_t worker) {
+  const ThreadContext saved = tls_;
+  std::uint64_t seen = phase_base_gen_;
+  for (;;) {
+    std::uint64_t g = window_gen_.load(std::memory_order_acquire);
+    while (g == seen && !phase_over_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+      g = window_gen_.load(std::memory_order_acquire);
+    }
+    // A pending window is processed even if phase-over was raised while
+    // we were slow to notice it (phase-over is only set after the last
+    // barrier completes, so this branch is belt-and-braces).
+    if (g == seen) break;
+    seen = g;
+    for (int r = static_cast<int>(worker); r < part_.regions;
+         r += worker_count_) {
+      ExecuteRegionWindow(r, window_end_);
+    }
+    window_done_.fetch_add(1, std::memory_order_release);
+  }
+  tls_ = saved;
+}
+
+void Runtime::ExecuteRegionWindow(int region_index, SimTime end) {
+  Region& region = *regions_[static_cast<std::size_t>(region_index)];
+  const ThreadContext saved = tls_;
+  tls_ = ThreadContext{this, region_index, -1};
+  while (!region.queue.Empty() && region.queue.FrontKey().when <= end) {
+    EventKey key;
+    std::int32_t affinity = -1;
+    netsim::EventFn fn = region.queue.PopFront(&key, &affinity);
+    region.clock = key.when;
+    tls_.affinity = affinity;
+    fn();
+    fn.Reset();
+    ++region.executed;
+    if (region.ring != nullptr && region.ring->size() > 0) {
+      // Attribute every emission to the event that produced it; the
+      // barrier merge re-establishes the global key order.
+      region.ring->ForEach([&](std::uint64_t, const obs::TraceEvent& e) {
+        region.trace_log.push_back(TraceEntry{key, e});
+      });
+      region.ring->Clear();
+    }
+  }
+  region.clock = end;
+  tls_ = saved;
+}
+
+void Runtime::RunCoordinatorEventsAt(SimTime when) {
+  const ThreadContext saved = tls_;
+  tls_ = ThreadContext{this, -1, -1};
+  while (!coord_queue_.Empty() && coord_queue_.FrontKey().when == when) {
+    EventKey key;
+    std::int32_t affinity = -1;
+    netsim::EventFn fn = coord_queue_.PopFront(&key, &affinity);
+    tls_.affinity = affinity;  // always -1: see Schedule
+    fn();
+    fn.Reset();
+    ++coord_executed_;
+  }
+  tls_ = saved;
+}
+
+void Runtime::DrainInboxes() {
+  for (auto& rp : regions_) {
+    Region& region = *rp;
+    std::vector<BoundaryMessage> batch;
+    {
+      std::lock_guard<std::mutex> lock(region.inbox_mu);
+      batch.swap(region.inbox);
+    }
+    // Arrival order on the inbox is racy across senders; the region heap
+    // re-sorts by the carried partition-invariant key, so it is moot.
+    for (BoundaryMessage& m : batch) {
+      const EventKey key = m.key;
+      const std::int32_t affinity = m.receiver.value();
+      region.queue.Schedule(key, affinity, [this, msg = std::move(m)] {
+        sim_.InjectDelivery(msg.receiver, msg.vif, msg.link_src,
+                            msg.link_dst, msg.bytes);
+      });
+    }
+  }
+}
+
+void Runtime::MergeRegionTraces() {
+  if (base_trace_ == nullptr) return;
+  // K-way merge of the region side logs by event key. Keys are unique
+  // across regions (a scheduling context lives in exactly one region)
+  // and one event's multiple emissions share its key *consecutively*
+  // within one region, so consuming each run of equal keys wholesale
+  // preserves emission order.
+  for (;;) {
+    Region* best = nullptr;
+    for (auto& rp : regions_) {
+      if (rp->trace_cursor >= rp->trace_log.size()) continue;
+      if (best == nullptr ||
+          rp->trace_log[rp->trace_cursor].key <
+              best->trace_log[best->trace_cursor].key) {
+        best = rp.get();
+      }
+    }
+    if (best == nullptr) break;
+    const EventKey key = best->trace_log[best->trace_cursor].key;
+    while (best->trace_cursor < best->trace_log.size() &&
+           best->trace_log[best->trace_cursor].key == key) {
+      base_trace_->Emit(best->trace_log[best->trace_cursor].event);
+      ++best->trace_cursor;
+    }
+  }
+  for (auto& rp : regions_) {
+    rp->trace_log.clear();
+    rp->trace_cursor = 0;
+  }
+}
+
+void Runtime::FlushCutDeltas() {
+  for (auto& rp : regions_) {
+    Region& region = *rp;
+    for (const std::int32_t sid : region.dirty_subnets) {
+      netsim::SubnetCounters& delta =
+          region.cut_delta[static_cast<std::size_t>(sid)];
+      netsim::SubnetCounters& total = sim_.subnet(SubnetId(sid)).counters;
+      total.frames_sent += delta.frames_sent;
+      total.bytes_sent += delta.bytes_sent;
+      total.frames_dropped += delta.frames_dropped;
+      total.frames_duplicated += delta.frames_duplicated;
+      total.frames_reordered += delta.frames_reordered;
+      total.frames_corrupted += delta.frames_corrupted;
+      delta = netsim::SubnetCounters{};
+      region.cut_dirty[static_cast<std::size_t>(sid)] = false;
+    }
+    region.dirty_subnets.clear();
+  }
+}
+
+void Runtime::ReleaseRegionGuards() {
+  for (auto& rp : regions_) {
+    rp->queue.ReleaseOwnership();
+    rp->arena.ReleaseOwnership();
+  }
+}
+
+SimTime Runtime::MinRegionTime() {
+  SimTime best = kNoEvent;
+  for (auto& rp : regions_) {
+    if (rp->queue.Empty()) continue;
+    best = std::min(best, rp->queue.FrontKey().when);
+  }
+  return best;
+}
+
+bool Runtime::InboxesEmpty() {
+  for (auto& rp : regions_) {
+    std::lock_guard<std::mutex> lock(rp->inbox_mu);
+    if (!rp->inbox.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Runtime::TotalExecuted() const {
+  std::uint64_t total = coord_executed_;
+  for (const auto& rp : regions_) total += rp->executed;
+  return total;
+}
+
+void Runtime::RunUntilIdle(std::size_t max_events) {
+  assert(CurrentRegion() < 0);
+  EnsureNodeTables();
+  // Always inline: idle-drain is a test/teardown path, not a hot one,
+  // and the stop-after-max-events contract wants a serial count.
+  const std::uint64_t start = TotalExecuted();
+  while (TotalExecuted() - start < max_events) {
+    DrainInboxes();
+    SimTime t_c = kNoEvent;
+    if (!coord_queue_.Empty()) t_c = coord_queue_.FrontKey().when;
+    const SimTime b = MinRegionTime();
+    if (t_c == kNoEvent && b == kNoEvent) {
+      if (InboxesEmpty()) break;
+      continue;  // boundary messages still pending
+    }
+    if (t_c <= b) {
+      FlushCutDeltas();
+      now_ = std::max(now_, t_c);
+      RunCoordinatorEventsAt(t_c);
+      continue;
+    }
+    SimTime end = b;
+    if (part_.lookahead < kNoEvent - b) {
+      end = b + part_.lookahead - 1;
+    }
+    end = std::min(end, b + (kMaxWindowWidth - 1));
+    if (t_c != kNoEvent) end = std::min(end, t_c - 1);
+    for (int r = 0; r < part_.regions; ++r) ExecuteRegionWindow(r, end);
+    MergeRegionTraces();
+    now_ = std::max(now_, end);
+  }
+  FlushCutDeltas();
+}
+
+}  // namespace cbt::exec::pdes

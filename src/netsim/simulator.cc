@@ -21,7 +21,19 @@ constexpr std::size_t kTopologyJournalCap = 256;
 }  // namespace
 
 Simulator::Simulator(std::uint64_t seed, EventQueue::Engine engine)
-    : events_(engine), rng_(seed), trace_(obs::ProcessTraceBuffer()) {}
+    : events_(engine),
+      rng_(seed),
+      trace_(obs::ProcessTraceBuffer()),
+      seed_(seed) {}
+
+void Simulator::InstallShardBackend(ShardBackend* backend) {
+  if (backend != nullptr) {
+    // Pending serial state cannot migrate into per-region queues, so a
+    // backend must be in place before the first event is scheduled.
+    assert(events_.Empty() && clock_ == 0);
+  }
+  backend_ = backend;
+}
 
 void Simulator::SetMetrics(obs::Registry* metrics) {
   metrics_ = metrics;
@@ -100,7 +112,11 @@ void Simulator::SetAgent(NodeId node_id, NetworkAgent* agent) {
 
 void Simulator::StartAgents() {
   for (NodeRecord& n : nodes_) {
-    if (n.agent != nullptr) n.agent->Start();
+    if (n.agent == nullptr) continue;
+    // Pin the startup work (timer scheduling, initial RNG draws) to the
+    // node, so under a shard backend it lands in the node's region.
+    AffinityScope affinity(*this, n.id);
+    n.agent->Start();
   }
 }
 
@@ -185,7 +201,7 @@ void Simulator::RecordTopologyChange(TopologyChange::Kind kind,
       TopologyChange{kind, topology_epoch_, subnet_id, node_id, up});
   static const char* const kKindNames[] = {"subnet-state", "interface-state",
                                            "node-state", "attach"};
-  OBS_TRACE(trace_, .time = clock_, .kind = obs::TraceKind::kTopology,
+  OBS_TRACE(trace(), .time = Now(), .kind = obs::TraceKind::kTopology,
             .name = kKindNames[static_cast<std::size_t>(kind)],
             .node = node_id.value(),
             .arg_a = static_cast<std::uint64_t>(
@@ -222,22 +238,29 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
   if (!sender.up) return false;
   const Interface& out = interface(node_id, vif);
   SubnetRecord& s = subnet(out.subnet);
+  // All sender-side state is resolved through the current execution
+  // context: counters (per-region deltas for cut subnets), the packet
+  // arena (region-local), and the RNG (per-node stream) — so a sharded
+  // run touches nothing another region could be touching concurrently.
+  SubnetCounters& counters = counters_for(s);
   if (!out.up || !s.up) {
-    ++s.counters.frames_dropped;
+    ++counters.frames_dropped;
     return false;
   }
 
-  ++s.counters.frames_sent;
-  s.counters.bytes_sent += datagram.size();
+  ++counters.frames_sent;
+  counters.bytes_sent += datagram.size();
   if (frame_observer_) {
     frame_observer_(
-        FrameEvent{clock_, node_id, s.id, link_dst, datagram.size()});
+        FrameEvent{Now(), node_id, s.id, link_dst, datagram.size()});
   }
 
   // The payload is copied once into the packet arena and shared among all
   // receivers of a multicast frame; delivery closures hold cheap
   // refcounted handles instead of per-hop heap allocations.
-  const PacketRef shared = arena_.Make(datagram);
+  PacketArena& arena = active_arena();
+  Rng& frng = rng();
+  const PacketRef shared = arena.Make(datagram);
   const bool multi = link_dst.IsMulticast() ||
                      link_dst == Ipv4Address(0xFFFFFFFFu);  // broadcast
 
@@ -246,8 +269,8 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
     if (peer == node_id && peer_vif == vif) continue;  // no self-delivery
     const Interface& in = interface(peer, peer_vif);
     if (!multi && in.address != link_dst) continue;
-    if (faults.loss_rate > 0.0 && rng_.NextBool(faults.loss_rate)) {
-      ++s.counters.frames_dropped;
+    if (faults.loss_rate > 0.0 && frng.NextBool(faults.loss_rate)) {
+      ++counters.frames_dropped;
       continue;
     }
     const Ipv4Address link_src = out.address;
@@ -256,39 +279,44 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
     // rolls corruption and jitter independently, so a duplicate can be
     // clean while the original is mangled and vice versa.
     int copies = 1;
-    if (faults.duplicate_rate > 0.0 && rng_.NextBool(faults.duplicate_rate)) {
+    if (faults.duplicate_rate > 0.0 && frng.NextBool(faults.duplicate_rate)) {
       ++copies;
-      ++s.counters.frames_duplicated;
+      ++counters.frames_duplicated;
     }
     for (int copy = 0; copy < copies; ++copy) {
       SimDuration delay = s.delay;
       const bool jitter_eligible =
           faults.reorder_jitter > 0 &&
           (copy > 0 ||  // duplicates always trail the original
-           (faults.reorder_rate > 0.0 && rng_.NextBool(faults.reorder_rate)));
+           (faults.reorder_rate > 0.0 && frng.NextBool(faults.reorder_rate)));
       if (jitter_eligible) {
         delay += static_cast<SimDuration>(
-            rng_.NextBelow(static_cast<std::uint64_t>(faults.reorder_jitter)) +
+            frng.NextBelow(static_cast<std::uint64_t>(faults.reorder_jitter)) +
             1);
-        if (copy == 0) ++s.counters.frames_reordered;
+        if (copy == 0) ++counters.frames_reordered;
       }
       PacketRef payload = shared;
       if (faults.corrupt_rate > 0.0 && !shared.bytes().empty() &&
-          rng_.NextBool(faults.corrupt_rate)) {
-        PacketRef mangled = arena_.Clone(shared);
-        const std::span<std::uint8_t> bytes = arena_.MutableBytes(mangled);
+          frng.NextBool(faults.corrupt_rate)) {
+        PacketRef mangled = arena.Clone(shared);
+        const std::span<std::uint8_t> bytes = arena.MutableBytes(mangled);
         const std::size_t byte =
-            static_cast<std::size_t>(rng_.NextBelow(bytes.size()));
+            static_cast<std::size_t>(frng.NextBelow(bytes.size()));
         const std::uint8_t bit = static_cast<std::uint8_t>(
-            1u << rng_.NextBelow(8));
+            1u << frng.NextBelow(8));
         bytes[byte] ^= bit;
         payload = std::move(mangled);
-        ++s.counters.frames_corrupted;
+        ++counters.frames_corrupted;
       }
-      Schedule(delay, [this, peer, peer_vif, link_src, link_dst,
-                       payload = std::move(payload)] {
-        DeliverFrame(peer, peer_vif, link_src, link_dst, std::move(payload));
-      });
+      if (backend_ != nullptr) {
+        backend_->ScheduleDelivery(Now() + delay, peer, peer_vif, link_src,
+                                   link_dst, payload);
+      } else {
+        Schedule(delay, [this, peer, peer_vif, link_src, link_dst,
+                         payload = std::move(payload)] {
+          DeliverFrame(peer, peer_vif, link_src, link_dst, payload);
+        });
+      }
     }
     if (!multi) break;  // unicast reaches exactly one interface
   }
@@ -298,16 +326,22 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
 void Simulator::DeliverFrame(NodeId receiver, VifIndex vif,
                              Ipv4Address link_src, Ipv4Address link_dst,
                              const PacketRef& datagram) {
+  InjectDelivery(receiver, vif, link_src, link_dst, datagram.bytes());
+}
+
+void Simulator::InjectDelivery(NodeId receiver, VifIndex vif,
+                               Ipv4Address link_src, Ipv4Address link_dst,
+                               std::span<const std::uint8_t> datagram) {
   NodeRecord& n = node(receiver);
   const Interface& in = interface(receiver, vif);
   SubnetRecord& s = subnet(in.subnet);
   // Frames in flight die with the link or receiver.
   if (!n.up || !in.up || !s.up) {
-    ++s.counters.frames_dropped;
+    ++counters_for(s).frames_dropped;
     return;
   }
   if (n.agent != nullptr) {
-    n.agent->OnDatagram(vif, link_src, link_dst, datagram.bytes());
+    n.agent->OnDatagram(vif, link_src, link_dst, datagram);
   }
 }
 
@@ -321,6 +355,10 @@ void Simulator::ResetCounters() {
 }
 
 void Simulator::RunUntil(SimTime until) {
+  if (backend_ != nullptr) {
+    backend_->RunUntil(until);
+    return;
+  }
   while (!events_.Empty() && events_.NextTime() <= until) {
     events_.RunNext(clock_);
   }
@@ -328,6 +366,10 @@ void Simulator::RunUntil(SimTime until) {
 }
 
 void Simulator::RunUntilIdle(std::size_t max_events) {
+  if (backend_ != nullptr) {
+    backend_->RunUntilIdle(max_events);
+    return;
+  }
   std::size_t executed = 0;
   while (!events_.Empty() && executed < max_events) {
     events_.RunNext(clock_);

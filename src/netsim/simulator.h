@@ -183,6 +183,51 @@ struct TopologyChange {
   bool up = true;  // the new state
 };
 
+/// Execution backend that shards one simulation across cores
+/// (implemented by exec::pdes::Runtime; see docs/PROTOCOL.md,
+/// "Space-parallel PDES & lookahead contract"). While installed, the
+/// Simulator routes its clock, RNG, trace sink, event scheduling, frame
+/// delivery, and subnet counters through the backend, so events execute
+/// on per-region queues with region-local state. With no backend
+/// installed (the default) the classic single-threaded engine runs
+/// byte-for-byte unchanged.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  /// Committed global time from the coordinator, or the executing
+  /// region's local clock while a region event runs.
+  virtual SimTime Now() const = 0;
+  /// RNG stream of the current execution context. Per-node streams keep
+  /// each node's draw sequence independent of the region count.
+  virtual Rng& ContextRng() = 0;
+  /// Trace sink of the current execution context: a region-local ring
+  /// merged into the simulation's base ring in deterministic event-key
+  /// order at synchronisation points. Null when tracing is off.
+  virtual obs::TraceBuffer* ContextTrace() = 0;
+  /// Packet arena of the current execution context; packet refs never
+  /// cross regions (cross-region deliveries copy bytes).
+  virtual PacketArena& ContextArena() = 0;
+  /// Counter sink for `subnet`. Cut subnets (attachments in more than
+  /// one region) get per-region delta buffers, summed at
+  /// synchronisation points so concurrent regions never share a row.
+  virtual SubnetCounters& CountersFor(SubnetRecord& subnet) = 0;
+  virtual EventId Schedule(SimTime when, EventFn fn) = 0;
+  virtual bool Cancel(EventId id) = 0;
+  /// Frame delivery to `receiver` at absolute time `when`. Deliveries
+  /// within the sender's region stay packet-arena references; deliveries
+  /// into another region become typed channel messages drained at the
+  /// next window barrier (always >= lookahead away).
+  virtual void ScheduleDelivery(SimTime when, NodeId receiver, VifIndex vif,
+                                Ipv4Address link_src, Ipv4Address link_dst,
+                                const PacketRef& payload) = 0;
+  virtual void RunUntil(SimTime until) = 0;
+  virtual void RunUntilIdle(std::size_t max_events) = 0;
+  /// Sets the calling thread's node affinity (-1 = none) and returns the
+  /// previous value; see AffinityScope below.
+  virtual std::int32_t ExchangeAffinity(std::int32_t node) = 0;
+};
+
 class Simulator {
  public:
   /// `engine` selects the scheduler implementation; kLegacyHeap exists
@@ -221,8 +266,19 @@ class Simulator {
 
   // --- Accessors ---------------------------------------------------------
 
-  SimTime Now() const { return clock_; }
-  Rng& rng() { return rng_; }
+  SimTime Now() const {
+    return backend_ != nullptr ? backend_->Now() : clock_;
+  }
+  Rng& rng() { return backend_ != nullptr ? backend_->ContextRng() : rng_; }
+
+  /// Seed this simulation was constructed with; shard backends derive
+  /// per-node RNG streams from it.
+  std::uint64_t seed() const { return seed_; }
+
+  /// The simulation's own RNG regardless of any installed backend — the
+  /// backend's coordinator context returns this stream so driver-side
+  /// draws stay coherent with pre-install setup draws.
+  Rng& base_rng() { return rng_; }
 
   // --- Observability ------------------------------------------------------
 
@@ -240,7 +296,12 @@ class Simulator {
   /// means tracing off. Recording is passive — event order, RNG draws
   /// and all outputs are byte-identical with tracing on or off.
   void SetTrace(obs::TraceBuffer* trace) { trace_ = trace; }
-  obs::TraceBuffer* trace() const { return trace_; }
+  obs::TraceBuffer* trace() const {
+    return backend_ != nullptr ? backend_->ContextTrace() : trace_;
+  }
+  /// The simulation's own ring regardless of any installed backend — the
+  /// merge target a shard backend copies region rings into.
+  obs::TraceBuffer* base_trace() const { return trace_; }
 
   /// Lane label for Chrome-trace export when one process runs several
   /// topologies (benches bump it per sweep entry).
@@ -306,15 +367,46 @@ class Simulator {
   // --- Scheduling ----------------------------------------------------------
 
   EventId Schedule(SimDuration delay, EventFn fn) {
+    if (backend_ != nullptr) {
+      return backend_->Schedule(backend_->Now() + delay, std::move(fn));
+    }
     return events_.ScheduleAt(clock_ + delay, std::move(fn));
   }
   EventId ScheduleAt(SimTime when, EventFn fn) {
+    if (backend_ != nullptr) return backend_->Schedule(when, std::move(fn));
     return events_.ScheduleAt(when, std::move(fn));
   }
-  bool Cancel(EventId id) { return events_.Cancel(id); }
+  bool Cancel(EventId id) {
+    return backend_ != nullptr ? backend_->Cancel(id) : events_.Cancel(id);
+  }
 
   const EventQueue& events() const { return events_; }
   const PacketArena& packet_arena() const { return arena_; }
+
+  // --- Shard backend (space-parallel PDES) ---------------------------------
+
+  /// Installs (or, with nullptr, removes) a shard backend. Must happen
+  /// before any event is scheduled: the serial queue has to be empty and
+  /// the clock at zero, because pending state cannot migrate engines.
+  void InstallShardBackend(ShardBackend* backend);
+  ShardBackend* shard_backend() const { return backend_; }
+
+  /// Mutable base arena for the backend's coordinator context (packets
+  /// made outside any region). The serial path uses it directly.
+  PacketArena& mutable_packet_arena() { return arena_; }
+
+  /// Delivers a datagram to `receiver` exactly like the tail of frame
+  /// delivery (down-check, drop accounting, agent OnDatagram). Public so
+  /// a shard backend can inject deliveries that crossed regions as byte
+  /// copies.
+  void InjectDelivery(NodeId receiver, VifIndex vif, Ipv4Address link_src,
+                      Ipv4Address link_dst,
+                      std::span<const std::uint8_t> datagram);
+
+  /// Forwards to the backend's ExchangeAffinity; -1 no-op without one.
+  std::int32_t ExchangeAffinity(std::int32_t node) {
+    return backend_ != nullptr ? backend_->ExchangeAffinity(node) : -1;
+  }
 
   /// Runs events until `until` (inclusive); leaves later events queued.
   void RunUntil(SimTime until);
@@ -331,6 +423,15 @@ class Simulator {
   void RecordTopologyChange(TopologyChange::Kind kind, SubnetId subnet,
                             NodeId node, bool up);
 
+  /// Counter sink for `s` in the current execution context.
+  SubnetCounters& counters_for(SubnetRecord& s) {
+    return backend_ != nullptr ? backend_->CountersFor(s) : s.counters;
+  }
+  /// Packet arena of the current execution context.
+  PacketArena& active_arena() {
+    return backend_ != nullptr ? backend_->ContextArena() : arena_;
+  }
+
   SimTime clock_ = 0;
   PacketArena arena_;  // outlives events_: queued closures hold PacketRefs
   EventQueue events_;
@@ -345,6 +446,28 @@ class Simulator {
   obs::Registry* metrics_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   int trace_pid_ = 1;
+  std::uint64_t seed_ = 1;
+  ShardBackend* backend_ = nullptr;
+};
+
+/// RAII node-affinity marker for code that acts *on behalf of* a node
+/// from outside any event — agent Start() hooks, host join/leave/send
+/// helpers driven by a test or bench. Under a shard backend the scope
+/// pins scheduling, RNG draws, counters, and packets to the node's
+/// region, so the work is attributed exactly as if the node itself had
+/// executed it; without a backend it is a no-op.
+class AffinityScope {
+ public:
+  AffinityScope(Simulator& sim, NodeId node)
+      : sim_(&sim), prev_(sim.ExchangeAffinity(node.value())) {}
+  ~AffinityScope() { sim_->ExchangeAffinity(prev_); }
+
+  AffinityScope(const AffinityScope&) = delete;
+  AffinityScope& operator=(const AffinityScope&) = delete;
+
+ private:
+  Simulator* sim_;
+  std::int32_t prev_;
 };
 
 }  // namespace cbt::netsim

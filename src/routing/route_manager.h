@@ -84,6 +84,7 @@ class RouteManager {
   Mode mode() const { return mode_; }
 
   void set_lpm_mode(LpmMode mode) { lpm_mode_ = mode; }
+  LpmMode lpm_mode() const { return lpm_mode_; }
 
   /// Next hop from router `from` toward address `dest` (host or router).
   /// nullopt when dest is unreachable or not covered by any known subnet.

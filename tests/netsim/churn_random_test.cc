@@ -5,14 +5,25 @@
 // evaluation literature (Cho & Breen): the tree must stay structurally
 // sound no matter how members come and go, and the event-engine rebuild
 // must not change that.
+//
+// The same harness also runs under the space-parallel PDES runtime
+// (exec/pdes/) at several shard and worker-thread counts: every quiesce
+// point must still audit clean, the sharded runs must agree with each
+// other exactly, and the converged tree structure must match the classic
+// serial engine (whose event interleaving — and thus message counts —
+// legitimately differs; see the determinism notes in pdes/runtime.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/invariant_auditor.h"
 #include "cbt/domain.h"
 #include "common/random.h"
+#include "exec/pdes/runtime.h"
 #include "netsim/topologies.h"
 
 namespace cbt::core {
@@ -51,19 +62,40 @@ igmp::IgmpConfig TightIgmp() {
   return config;
 }
 
-class RandomChurn : public ::testing::TestWithParam<std::uint64_t> {};
+/// Converged end-of-run structure: per-group on-tree router sets and
+/// confirmed member-host sets (both sorted) plus the total FIB state.
+/// Purely protocol state — no timing, no message counts — so it is
+/// comparable across event engines.
+struct ChurnOutcome {
+  std::map<int, std::vector<std::uint32_t>> on_tree;
+  std::map<int, std::vector<std::uint32_t>> members;    // host IsMember
+  std::map<int, std::vector<std::uint32_t>> confirmed;  // host JoinConfirmed
+  std::size_t fib_state = 0;
+  int quiesce_points = 0;
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomChurn,
-                         ::testing::Values(2, 13, 31, 47, 71));
+  bool operator==(const ChurnOutcome&) const = default;
+};
 
-TEST_P(RandomChurn, AuditorCleanAtEveryQuiesce) {
-  const std::uint64_t seed = GetParam();
+/// One full churn run. `shards` 0 = classic serial engine; otherwise the
+/// PDES runtime with `threads` forced worker threads (so the window
+/// barriers run even on single-core machines). The op schedule is drawn
+/// from a private Rng, so it is identical across engines.
+void RunChurn(std::uint64_t seed, int shards, int threads,
+              ChurnOutcome* out) {
   Simulator sim(seed);
   netsim::WaxmanParams wp;
   wp.n = 16;
   wp.seed = seed * 13 + 5;
   Topology topo = netsim::MakeWaxman(sim, wp);
+  // Outlives the domain: timer dtors cancel through the backend.
+  std::unique_ptr<exec::pdes::Runtime> pdes;
   CbtDomain domain(sim, topo, TightConfig(), TightIgmp());
+  if (shards > 0) {
+    pdes = std::make_unique<exec::pdes::Runtime>(sim, shards, threads);
+    pdes->Install();
+    domain.ShardRoutes(pdes->region_count(),
+                       [&pdes](NodeId id) { return pdes->RegionOf(id); });
+  }
   Rng rng(seed * 1009 + 3);
 
   for (int g = 0; g < kGroups; ++g) {
@@ -127,7 +159,72 @@ TEST_P(RandomChurn, AuditorCleanAtEveryQuiesce) {
       ++quiesce_points;
     }
   }
-  EXPECT_EQ(quiesce_points, kOps / kOpsPerQuiesce);
+
+  out->quiesce_points = quiesce_points;
+  out->fib_state = domain.TotalFibState();
+  for (int g = 0; g < kGroups; ++g) {
+    std::vector<std::uint32_t> routers;
+    for (const NodeId id : domain.OnTreeRouters(GroupAddr(g))) {
+      routers.push_back(id.value());
+    }
+    std::sort(routers.begin(), routers.end());
+    out->on_tree[g] = std::move(routers);
+    std::vector<std::uint32_t> members;
+    std::vector<std::uint32_t> confirmed;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i]->IsMember(GroupAddr(g))) {
+        members.push_back(static_cast<std::uint32_t>(i));
+      }
+      if (hosts[i]->JoinConfirmed(GroupAddr(g))) {
+        confirmed.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    out->members[g] = std::move(members);
+    out->confirmed[g] = std::move(confirmed);
+  }
+}
+
+class RandomChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChurn,
+                         ::testing::Values(2, 13, 31, 47, 71));
+
+TEST_P(RandomChurn, AuditorCleanAtEveryQuiesce) {
+  ChurnOutcome outcome;
+  RunChurn(GetParam(), /*shards=*/0, /*threads=*/0, &outcome);
+  EXPECT_EQ(outcome.quiesce_points, kOps / kOpsPerQuiesce);
+}
+
+TEST_P(RandomChurn, ShardedRunsAgreeAndMatchSerialStructure) {
+  const std::uint64_t seed = GetParam();
+  ChurnOutcome serial;
+  RunChurn(seed, /*shards=*/0, /*threads=*/0, &serial);
+  ASSERT_EQ(serial.quiesce_points, kOps / kOpsPerQuiesce);
+
+  ChurnOutcome one_region;
+  RunChurn(seed, /*shards=*/1, /*threads=*/1, &one_region);
+  ChurnOutcome four_regions;
+  RunChurn(seed, /*shards=*/4, /*threads=*/2, &four_regions);
+
+  // Sharded runs must agree with each other exactly — region count and
+  // worker-thread count are not allowed to change anything.
+  EXPECT_EQ(one_region, four_regions);
+  // Against the serial engine the comparison is structural, not exact:
+  // the op schedule (and hence the host-side membership history) is
+  // identical, so the member sets must match — but branch geometry (and
+  // with it the on-tree sets, FIB totals, even which in-flight join
+  // confirmations beat a leave) may legitimately differ, because event
+  // interleaving is engine-specific (different tie rule, different RNG
+  // streams; see pdes/runtime.h). Both outcomes audit clean for the
+  // same membership at every quiesce point.
+  EXPECT_EQ(one_region.members, serial.members);
+  EXPECT_EQ(one_region.quiesce_points, serial.quiesce_points);
+  // Every group with members must have a tree in both engines.
+  for (int g = 0; g < kGroups; ++g) {
+    if (!serial.members.at(g).empty()) {
+      EXPECT_FALSE(one_region.on_tree.at(g).empty()) << "group " << g;
+    }
+  }
 }
 
 }  // namespace
