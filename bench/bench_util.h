@@ -52,7 +52,13 @@
 #include "exec/pool.h"
 #include "exec/run_context.h"
 #include "exec/sweep.h"
+#include "netsim/packet_arena.h"
 #include "obs/trace.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
 
 namespace cbt::bench {
 
@@ -307,6 +313,16 @@ class JsonReporter {
     return *series_.back();
   }
 
+  /// Find-or-create: returns the existing series named `name` (units of
+  /// the first creation win) so per-row helpers can keep appending
+  /// points without producing duplicate-name series in the report.
+  Series& SeriesNamed(const std::string& name, const std::string& units) {
+    for (const auto& s : series_) {
+      if (s->name_ == name) return *s;
+    }
+    return AddSeries(name, units);
+  }
+
   /// Converts an analysis::Table: every numeric column becomes one
   /// series named "<tag>.<header>", with each row's first cell as the
   /// point label. Non-numeric cells are skipped.
@@ -419,6 +435,86 @@ class JsonReporter {
   std::vector<std::pair<std::string, std::string>> params_;
   std::vector<std::unique_ptr<Series>> series_;
 };
+
+// ---------------------------------------------------------------------
+// MemorySample
+// ---------------------------------------------------------------------
+
+/// Snapshot of process memory plus (optionally) one simulator's packet
+/// arena occupancy. Scale benches pair a sample per sweep row so a
+/// BENCH_*.json records not just wall-clock but what the row cost in
+/// resident memory — the whole point of an aggregate host model is the
+/// RSS it does NOT spend.
+struct MemorySample {
+  std::uint64_t peak_rss_bytes = 0;     // high-water mark (ru_maxrss)
+  std::uint64_t current_rss_bytes = 0;  // resident set right now
+  std::uint64_t arena_buffers_allocated = 0;
+  std::uint64_t arena_buffers_live = 0;
+  std::uint64_t arena_total_makes = 0;
+  std::uint64_t arena_reuses = 0;
+};
+
+/// Reads the process counters. Peak RSS comes from getrusage (ru_maxrss,
+/// reported in KiB on Linux); current RSS from /proc/self/statm. On
+/// platforms without either, the fields stay 0 — callers and the JSON
+/// schema treat 0 as "unavailable", never as "free".
+inline MemorySample SampleMemory() {
+  MemorySample sample;
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    sample.peak_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    sample.peak_rss_bytes =
+        static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+  }
+#endif
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t pages_total = 0;
+  std::uint64_t pages_resident = 0;
+  if (statm >> pages_total >> pages_resident) {
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page > 0) {
+      sample.current_rss_bytes =
+          pages_resident * static_cast<std::uint64_t>(page);
+    }
+  }
+#endif
+  return sample;
+}
+
+/// Same, but also captures `arena`'s accounting counters (one arena ==
+/// one simulation replica; sample before the Simulator is destroyed).
+inline MemorySample SampleMemory(const netsim::PacketArena& arena) {
+  MemorySample sample = SampleMemory();
+  sample.arena_buffers_allocated = arena.buffers_allocated();
+  sample.arena_buffers_live = arena.buffers_live();
+  sample.arena_total_makes = arena.total_makes();
+  sample.arena_reuses = arena.reuses();
+  return sample;
+}
+
+/// Emits one labelled point per memory counter into `report` under the
+/// series "memory.<counter>". Call once per sweep row (label = the row
+/// key); repeated calls append to the same six series.
+inline void ReportMemory(JsonReporter& report, const std::string& label,
+                         const MemorySample& sample) {
+  report.SeriesNamed("memory.peak_rss_bytes", "bytes")
+      .Add(label, sample.peak_rss_bytes);
+  report.SeriesNamed("memory.current_rss_bytes", "bytes")
+      .Add(label, sample.current_rss_bytes);
+  report.SeriesNamed("memory.arena_buffers_allocated", "buffers")
+      .Add(label, sample.arena_buffers_allocated);
+  report.SeriesNamed("memory.arena_buffers_live", "buffers")
+      .Add(label, sample.arena_buffers_live);
+  report.SeriesNamed("memory.arena_total_makes", "packets")
+      .Add(label, sample.arena_total_makes);
+  report.SeriesNamed("memory.arena_reuses", "packets")
+      .Add(label, sample.arena_reuses);
+}
 
 // ---------------------------------------------------------------------
 // TraceSession

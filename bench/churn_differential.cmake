@@ -1,0 +1,76 @@
+# Churn-scale determinism differential (ctest, label bench-smoke).
+#
+# Under --deterministic (wall-clock / RSS series omitted), the
+# aggregate-model bench must produce byte-identical stdout AND
+# BENCH_churn_scale.json for --jobs 1 vs --jobs 4 and for --shards 1 vs
+# --shards 4 (the PDES contract is per-N determinism for N >= 1; the
+# classic serial engine draws from one global RNG stream and is pinned
+# by the --jobs pair instead) — the aggregate's coalesced timers and
+# the churn runner's batching must not leak scheduling nondeterminism
+# into the wire traffic or the report.
+#
+# Invoked as:
+#   cmake -DCHURN_SCALE=<path> -DWORK_DIR=<dir> -P churn_differential.cmake
+
+foreach(var CHURN_SCALE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_variant name)
+  set(json "${WORK_DIR}/${name}.json")
+  execute_process(
+    COMMAND ${CHURN_SCALE} --smoke --deterministic --repeat 2 --seed 1
+      ${ARGN} --json ${json}
+      --exec-json ${WORK_DIR}/${name}.exec.json
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr  # json/calibration status goes to stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${name}: exit ${code}\n${stderr}")
+  endif()
+  file(WRITE "${WORK_DIR}/${name}.txt" "${stdout}")
+  set(${name}_out "${stdout}" PARENT_SCOPE)
+  file(READ "${json}" json_text)
+  set(${name}_json "${json_text}" PARENT_SCOPE)
+endfunction()
+
+function(compare_variants base other)
+  if(NOT ${base}_out STREQUAL ${other}_out)
+    message(FATAL_ERROR
+      "${other}: stdout differs from ${base} (dumps in ${WORK_DIR})")
+  endif()
+  if(NOT ${base}_json STREQUAL ${other}_json)
+    message(FATAL_ERROR
+      "${other}: BENCH json differs from ${base} (${WORK_DIR})")
+  endif()
+  message(STATUS "${other}: byte-identical to ${base}")
+endfunction()
+
+run_variant(jobs1 --jobs 1)
+run_variant(jobs4 --jobs 4)
+run_variant(shards1 --shards 1)
+run_variant(shards4 --shards 4)
+compare_variants(jobs1 jobs4)
+compare_variants(shards1 shards4)
+
+# The full (non-deterministic-mode) report must record the calibration
+# perf series the experiment write-up consumes.
+execute_process(
+  COMMAND ${CHURN_SCALE} --smoke --jobs 1 --seed 1
+    --json ${WORK_DIR}/full.json
+    --exec-json ${WORK_DIR}/full.exec.json
+  OUTPUT_QUIET ERROR_QUIET
+  RESULT_VARIABLE full_code)
+if(NOT full_code EQUAL 0)
+  message(FATAL_ERROR "full-mode run failed: exit ${full_code}")
+endif()
+file(READ "${WORK_DIR}/full.json" full_json)
+foreach(key perf.wall_seconds memory.peak_rss_bytes calibration_speedup)
+  if(NOT full_json MATCHES "${key}")
+    message(FATAL_ERROR "full-mode BENCH json is missing ${key}")
+  endif()
+endforeach()
+message(STATUS "full-mode report records wall-clock, RSS, and speedup")

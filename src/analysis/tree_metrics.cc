@@ -212,6 +212,24 @@ DelayRatio SharedTreeDelayRatio(routing::RouteManager& routes,
   return out;
 }
 
+TreeQuality CompareTreeQuality(routing::RouteManager& routes, NodeId core,
+                               const std::vector<NodeId>& member_routers,
+                               const std::vector<NodeId>& senders) {
+  TreeQuality q;
+  if (member_routers.empty() || senders.empty()) return q;
+  q.shared_cost = BuildSharedTree(routes, core, member_routers).Cost();
+  std::size_t total = 0;
+  for (const NodeId sender : senders) {
+    total += BuildSourceTree(routes, sender, member_routers).Cost();
+  }
+  q.mean_source_cost =
+      static_cast<double>(total) / static_cast<double>(senders.size());
+  if (q.mean_source_cost > 0) {
+    q.cost_ratio = static_cast<double>(q.shared_cost) / q.mean_source_cost;
+  }
+  return q;
+}
+
 Summary Summarize(const std::vector<double>& values) {
   Summary s;
   if (values.empty()) return s;

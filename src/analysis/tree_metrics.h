@@ -106,6 +106,22 @@ DelayRatio UnidirectionalTreeDelayRatio(
     const std::vector<NodeId>& member_routers);
 
 
+/// Tree-quality comparison in the style of the dynamic-membership
+/// multicast literature (Cho & Breen): the cost of the one shared tree
+/// serving a member set vs the mean cost of the per-source shortest-path
+/// trees the same members would get from a source-based protocol. A
+/// ratio near 1 means core-based sharing is nearly free; the churn-scale
+/// bench tracks it across membership snapshots.
+struct TreeQuality {
+  std::size_t shared_cost = 0;     ///< links in the shared tree
+  double mean_source_cost = 0.0;   ///< mean links over the senders' SPTs
+  double cost_ratio = 0.0;         ///< shared / mean source (0 if empty)
+};
+
+TreeQuality CompareTreeQuality(routing::RouteManager& routes, NodeId core,
+                               const std::vector<NodeId>& member_routers,
+                               const std::vector<NodeId>& senders);
+
 /// Summary statistics helper.
 struct Summary {
   double min = 0, max = 0, mean = 0;

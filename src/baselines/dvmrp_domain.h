@@ -10,6 +10,7 @@
 
 #include "baselines/dvmrp_router.h"
 #include "cbt/host.h"
+#include "igmp/membership_aggregate.h"
 #include "netsim/topologies.h"
 #include "routing/route_manager.h"
 
@@ -27,6 +28,14 @@ class DvmrpDomain {
   core::HostAgent& host(NodeId id);
   core::HostAgent& host(const std::string& name);
   core::HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  /// Aggregate membership station (counts, not per-host agents) — the
+  /// same model CbtDomain::AddAggregate attaches, so the churn bench
+  /// can drive every comparator with one workload.
+  igmp::MembershipAggregate& AddAggregate(
+      SubnetId lan, const std::string& name,
+      igmp::MembershipAggregate::Mode mode =
+          igmp::MembershipAggregate::Mode::kCoalesced);
 
   routing::RouteManager& routes() { return routes_; }
 
@@ -51,6 +60,7 @@ class DvmrpDomain {
   routing::RouteManager routes_;
   std::map<NodeId, std::unique_ptr<DvmrpRouter>> routers_;
   std::map<NodeId, std::unique_ptr<core::HostAgent>> hosts_;
+  std::map<NodeId, std::unique_ptr<igmp::MembershipAggregate>> aggregates_;
 };
 
 }  // namespace cbt::baselines

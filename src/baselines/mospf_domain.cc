@@ -38,6 +38,18 @@ core::HostAgent& MospfDomain::AddHost(SubnetId lan, const std::string& name) {
   return ref;
 }
 
+igmp::MembershipAggregate& MospfDomain::AddAggregate(
+    SubnetId lan, const std::string& name,
+    igmp::MembershipAggregate::Mode mode) {
+  const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
+  auto station =
+      std::make_unique<igmp::MembershipAggregate>(*sim_, id, mode, nullptr);
+  sim_->SetAgent(id, station.get());
+  igmp::MembershipAggregate& ref = *station;
+  aggregates_[id] = std::move(station);
+  return ref;
+}
+
 std::size_t MospfDomain::TotalStateUnits() const {
   std::size_t total = 0;
   for (const auto& [id, router] : routers_) total += router->StateUnits();

@@ -8,6 +8,7 @@
 
 #include "baselines/mospf_router.h"
 #include "cbt/host.h"
+#include "igmp/membership_aggregate.h"
 #include "netsim/topologies.h"
 #include "routing/route_manager.h"
 
@@ -23,6 +24,12 @@ class MospfDomain {
   MospfRouter& router(NodeId id);
   MospfRouter& router(const std::string& name);
   core::HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  /// Aggregate membership station (mirrors CbtDomain::AddAggregate).
+  igmp::MembershipAggregate& AddAggregate(
+      SubnetId lan, const std::string& name,
+      igmp::MembershipAggregate::Mode mode =
+          igmp::MembershipAggregate::Mode::kCoalesced);
 
   routing::RouteManager& routes() { return routes_; }
 
@@ -46,6 +53,7 @@ class MospfDomain {
   routing::RouteManager routes_;
   std::map<NodeId, std::unique_ptr<MospfRouter>> routers_;
   std::map<NodeId, std::unique_ptr<core::HostAgent>> hosts_;
+  std::map<NodeId, std::unique_ptr<igmp::MembershipAggregate>> aggregates_;
 };
 
 }  // namespace cbt::baselines

@@ -8,6 +8,7 @@
 
 #include "baselines/rp_tree_router.h"
 #include "cbt/host.h"
+#include "igmp/membership_aggregate.h"
 #include "netsim/topologies.h"
 #include "routing/route_manager.h"
 
@@ -25,6 +26,12 @@ class RpTreeDomain {
 
   RpTreeRouter& router(NodeId id);
   core::HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  /// Aggregate membership station (mirrors CbtDomain::AddAggregate).
+  igmp::MembershipAggregate& AddAggregate(
+      SubnetId lan, const std::string& name,
+      igmp::MembershipAggregate::Mode mode =
+          igmp::MembershipAggregate::Mode::kCoalesced);
 
   std::size_t TotalStateUnits() const;
   std::uint64_t TotalControlMessages() const;
@@ -47,6 +54,7 @@ class RpTreeDomain {
   std::map<Ipv4Address, Ipv4Address> rp_by_group_;
   std::map<NodeId, std::unique_ptr<RpTreeRouter>> routers_;
   std::map<NodeId, std::unique_ptr<core::HostAgent>> hosts_;
+  std::map<NodeId, std::unique_ptr<igmp::MembershipAggregate>> aggregates_;
 };
 
 }  // namespace cbt::baselines

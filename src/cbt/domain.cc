@@ -56,6 +56,26 @@ HostAgent& CbtDomain::AddHost(SubnetId lan, const std::string& name) {
   return ref;
 }
 
+igmp::MembershipAggregate& CbtDomain::AddAggregate(
+    SubnetId lan, const std::string& name,
+    igmp::MembershipAggregate::Mode mode) {
+  const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
+  auto station = std::make_unique<igmp::MembershipAggregate>(
+      *sim_, id, mode,
+      [this](Ipv4Address group) { return directory_.CoresFor(group); });
+  sim_->SetAgent(id, station.get());
+  igmp::MembershipAggregate& ref = *station;
+  aggregates_[id] = std::move(station);
+  aggregate_ids_.push_back(id);
+  return ref;
+}
+
+igmp::MembershipAggregate& CbtDomain::aggregate(NodeId id) {
+  const auto it = aggregates_.find(id);
+  assert(it != aggregates_.end());
+  return *it->second;
+}
+
 std::vector<Ipv4Address> CbtDomain::RegisterGroup(
     Ipv4Address group, const std::vector<NodeId>& cores) {
   std::vector<Ipv4Address> addresses;

@@ -16,6 +16,7 @@
 #include "cbt/group_directory.h"
 #include "cbt/host.h"
 #include "cbt/router.h"
+#include "igmp/membership_aggregate.h"
 #include "netsim/chaos.h"
 #include "netsim/topologies.h"
 #include "obs/metrics.h"
@@ -38,6 +39,17 @@ class CbtDomain {
 
   /// Attaches a brand-new host to `lan` and registers its agent.
   HostAgent& AddHost(SubnetId lan, const std::string& name);
+
+  /// Attaches an aggregate membership station to `lan` (one agent
+  /// standing in for any number of member hosts; see
+  /// igmp/membership_aggregate.h). The station resolves core lists
+  /// through this domain's GroupDirectory.
+  igmp::MembershipAggregate& AddAggregate(
+      SubnetId lan, const std::string& name,
+      igmp::MembershipAggregate::Mode mode =
+          igmp::MembershipAggregate::Mode::kCoalesced);
+
+  igmp::MembershipAggregate& aggregate(NodeId id);
 
   GroupDirectory& directory() { return directory_; }
   routing::RouteManager& routes() { return routes_; }
@@ -79,6 +91,7 @@ class CbtDomain {
 
   const std::vector<NodeId>& router_ids() const { return router_ids_; }
   const std::vector<NodeId>& host_ids() const { return host_ids_; }
+  const std::vector<NodeId>& aggregate_ids() const { return aggregate_ids_; }
 
   /// Sum of FIB state units across all routers (experiment E1).
   std::size_t TotalFibState() const;
@@ -108,8 +121,10 @@ class CbtDomain {
   igmp::IgmpConfig igmp_config_;
   std::map<NodeId, std::unique_ptr<CbtRouter>> routers_;
   std::map<NodeId, std::unique_ptr<HostAgent>> hosts_;
+  std::map<NodeId, std::unique_ptr<igmp::MembershipAggregate>> aggregates_;
   std::vector<NodeId> router_ids_;
   std::vector<NodeId> host_ids_;
+  std::vector<NodeId> aggregate_ids_;
 };
 
 }  // namespace cbt::core

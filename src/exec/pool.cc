@@ -1,9 +1,24 @@
 #include "exec/pool.h"
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace cbt::exec {
 
 int Pool::HardwareConcurrency() {
-  const unsigned n = std::thread::hardware_concurrency();
+  // std::thread::hardware_concurrency may report 0 (unknown) or, in a
+  // container, the cgroup/affinity clamp of the current thread — a bench
+  // forced to --jobs 1 then records hardware_concurrency=1 on a 64-core
+  // host, making its speedup trajectories unreadable. Cross-check the
+  // online-CPU count the OS reports and take the larger.
+  unsigned n = std::thread::hardware_concurrency();
+#if defined(_SC_NPROCESSORS_ONLN)
+  const long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (online > 0 && static_cast<unsigned>(online) > n) {
+    n = static_cast<unsigned>(online);
+  }
+#endif
   return n == 0 ? 1 : static_cast<int>(n);
 }
 

@@ -1,0 +1,181 @@
+#include "cbt/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netsim/simulator.h"
+
+namespace cbt::scenario {
+namespace {
+
+ChurnParams BaseParams() {
+  ChurnParams params;
+  params.groups = 4;
+  params.zipf_s = 1.0;
+  params.initial_members = 200;
+  params.arrivals_per_second = 5.0;
+  params.mean_holding = 30 * kSecond;
+  params.duration = 120 * kSecond;
+  return params;
+}
+
+TEST(ZipfSampler, SkewsTowardLowRanks) {
+  ZipfSampler zipf(8, 1.0);
+  Rng rng(7);
+  std::map<std::uint32_t, int> histogram;
+  for (int i = 0; i < 20000; ++i) ++histogram[zipf.Sample(rng)];
+  // Rank 0 must dominate rank 7 decisively under s = 1.
+  EXPECT_GT(histogram[0], 4 * histogram[7]);
+  // Every rank is reachable.
+  for (std::uint32_t g = 0; g < 8; ++g) EXPECT_GT(histogram[g], 0);
+}
+
+TEST(ZipfSampler, ZeroExponentIsRoughlyUniform) {
+  ZipfSampler zipf(4, 0.0);
+  Rng rng(11);
+  std::map<std::uint32_t, int> histogram;
+  for (int i = 0; i < 40000; ++i) ++histogram[zipf.Sample(rng)];
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    EXPECT_GT(histogram[g], 8000);
+    EXPECT_LT(histogram[g], 12000);
+  }
+}
+
+TEST(ChurnSchedule, DeterministicForSeedAndParams) {
+  const ChurnSchedule a = ChurnSchedule::Generate(BaseParams(), 8, 42);
+  const ChurnSchedule b = ChurnSchedule::Generate(BaseParams(), 8, 42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].lan, b.events()[i].lan);
+    EXPECT_EQ(a.events()[i].group, b.events()[i].group);
+    EXPECT_EQ(a.events()[i].join, b.events()[i].join);
+  }
+  const ChurnSchedule c = ChurnSchedule::Generate(BaseParams(), 8, 43);
+  EXPECT_NE(a.events().size(), 0u);
+  // A different seed rearranges the schedule (sizes may coincide, the
+  // event streams must not).
+  bool differs = a.events().size() != c.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].at != c.events()[i].at ||
+              a.events()[i].lan != c.events()[i].lan;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChurnSchedule, EventsSortedAndCountsConsistent) {
+  const ChurnSchedule schedule = ChurnSchedule::Generate(BaseParams(), 8, 1);
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  SimTime last = 0;
+  for (const MembershipEvent& e : schedule.events()) {
+    EXPECT_GE(e.at, last);
+    last = e.at;
+    EXPECT_LT(e.lan, 8u);
+    EXPECT_LT(e.group, 4u);
+    (e.join ? joins : leaves) += 1;
+  }
+  EXPECT_EQ(joins, schedule.join_count());
+  EXPECT_EQ(leaves, schedule.leave_count());
+  // Warm start + Poisson arrivals all materialize as joins.
+  EXPECT_GE(joins, BaseParams().initial_members);
+  // Holding times (mean 30 s) are far shorter than the 120 s horizon, so
+  // most members depart inside it.
+  EXPECT_GT(leaves, joins / 2);
+  EXPECT_GE(schedule.peak_members(), BaseParams().initial_members);
+}
+
+TEST(ChurnSchedule, PerLanGroupMembershipNeverGoesNegative) {
+  const ChurnSchedule schedule = ChurnSchedule::Generate(BaseParams(), 5, 9);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> count;
+  for (const MembershipEvent& e : schedule.events()) {
+    auto& c = count[{e.lan, e.group}];
+    c += e.join ? 1 : -1;
+    ASSERT_GE(c, 0) << "leave before matching join at t=" << e.at;
+  }
+}
+
+TEST(ChurnSchedule, FlashCrowdInjectsJoinsInsideWindow) {
+  ChurnParams params = BaseParams();
+  params.arrivals_per_second = 0.0;
+  params.initial_members = 10;
+  FlashCrowd flash;
+  flash.at = 60 * kSecond;
+  flash.group = 3;
+  flash.members = 500;
+  flash.window = 5 * kSecond;
+  params.flashes.push_back(flash);
+  const ChurnSchedule schedule = ChurnSchedule::Generate(params, 4, 2);
+  std::uint64_t in_window = 0;
+  for (const MembershipEvent& e : schedule.events()) {
+    if (e.join && e.group == 3 && e.at >= flash.at &&
+        e.at <= flash.at + flash.window) {
+      ++in_window;
+    }
+  }
+  EXPECT_GE(in_window, flash.members);
+}
+
+TEST(ChurnSchedule, LeaveStormDrainsTheTargetGroup) {
+  ChurnParams params = BaseParams();
+  params.arrivals_per_second = 0.0;
+  params.initial_members = 400;
+  params.mean_holding = 1000 * kSecond;  // natural departures are rare
+  LeaveStorm storm;
+  storm.at = 60 * kSecond;
+  storm.group = 0;
+  storm.fraction = 1.0;
+  storm.window = 5 * kSecond;
+  params.storms.push_back(storm);
+  const ChurnSchedule schedule = ChurnSchedule::Generate(params, 4, 3);
+
+  // Replay group 0's membership around the storm window.
+  std::int64_t live = 0;
+  std::int64_t live_at_storm = -1;
+  std::uint64_t leaves_in_window = 0;
+  for (const MembershipEvent& e : schedule.events()) {
+    if (e.group != 0) continue;
+    if (live_at_storm < 0 && e.at >= storm.at) live_at_storm = live;
+    live += e.join ? 1 : -1;
+    if (!e.join && e.at >= storm.at && e.at <= storm.at + storm.window) {
+      ++leaves_in_window;
+    }
+    if (e.at > storm.at + storm.window) break;
+  }
+  // The zipf-hottest group holds a solid share of 400 warm-start members.
+  ASSERT_GT(live_at_storm, 50);
+  // fraction = 1.0: everyone present at storm.at departs inside the
+  // window, and nothing is left once it closes.
+  EXPECT_GE(leaves_in_window, static_cast<std::uint64_t>(live_at_storm));
+  EXPECT_EQ(live, 0);
+}
+
+TEST(ChurnRunner, AppliesEveryEventAtItsTimestamp) {
+  ChurnParams params = BaseParams();
+  params.initial_members = 50;
+  params.arrivals_per_second = 2.0;
+  const ChurnSchedule schedule = ChurnSchedule::Generate(params, 3, 4);
+  ASSERT_FALSE(schedule.events().empty());
+
+  netsim::Simulator sim(1);
+  std::vector<std::pair<SimTime, bool>> applied;
+  ChurnRunner runner(sim, schedule, [&](const MembershipEvent& e) {
+    applied.emplace_back(sim.Now(), e.join);
+  });
+  runner.Start();
+  sim.RunUntil(params.duration + kSecond);
+
+  ASSERT_TRUE(runner.done());
+  ASSERT_EQ(applied.size(), schedule.events().size());
+  for (std::size_t i = 0; i < applied.size(); ++i) {
+    EXPECT_EQ(applied[i].first, schedule.events()[i].at);
+    EXPECT_EQ(applied[i].second, schedule.events()[i].join);
+  }
+}
+
+}  // namespace
+}  // namespace cbt::scenario

@@ -1,0 +1,174 @@
+#include "igmp/membership_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "cbt/domain.h"
+#include "netsim/topologies.h"
+
+namespace cbt::igmp {
+namespace {
+
+using core::CbtDomain;
+using netsim::MakeFigure1;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+
+class AggregateFixture : public ::testing::TestWithParam<MembershipAggregate::Mode> {
+ protected:
+  AggregateFixture()
+      : topo(MakeFigure1(sim)),
+        domain(sim, topo),
+        station(domain.AddAggregate(topo.subnet("S1"), "AGG", GetParam())) {
+    domain.RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
+    domain.Start();
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  CbtDomain domain;
+  MembershipAggregate& station;
+};
+
+TEST_P(AggregateFixture, CountsTrackAnonymousJoinsAndLeaves) {
+  EXPECT_EQ(station.MemberCount(kGroup), 0u);
+  EXPECT_EQ(station.GroupsPresent(), 0u);
+  station.Join(kGroup);
+  station.Join(kGroup);
+  station.Join(kGroup);
+  EXPECT_EQ(station.MemberCount(kGroup), 3u);
+  EXPECT_EQ(station.TotalMembers(), 3u);
+  EXPECT_EQ(station.GroupsPresent(), 1u);
+  station.Leave(kGroup);
+  EXPECT_EQ(station.MemberCount(kGroup), 2u);
+  station.Leave(kGroup);
+  station.Leave(kGroup);
+  EXPECT_EQ(station.MemberCount(kGroup), 0u);
+  EXPECT_EQ(station.GroupsPresent(), 0u);
+  // Leave on an empty group is an explicit no-op.
+  station.Leave(kGroup);
+  EXPECT_EQ(station.MemberCount(kGroup), 0u);
+  EXPECT_EQ(station.stats().joins, 3u);
+  EXPECT_EQ(station.stats().leaves, 3u);
+}
+
+TEST_P(AggregateFixture, JoinSendsReportPairAndIsConfirmed) {
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  // The unsolicited report (+1 s robustness repeat) establishes presence
+  // at the attached router exactly like a fresh HostAgent would.
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+  EXPECT_TRUE(station.JoinConfirmed(kGroup));
+  EXPECT_GE(station.stats().reports_sent, 2u);
+  // IGMPv3 hosts precede each membership report with an RP/Core-Report.
+  EXPECT_GE(station.stats().core_reports_sent, 2u);
+}
+
+TEST_P(AggregateFixture, LastLeaveExpiresMembershipFast) {
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  ASSERT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+
+  const SimTime leave_time = sim.Now();
+  station.Leave(kGroup);
+  EXPECT_GE(station.stats().leaves_sent, 1u);
+  // HOST-MEMBERSHIP-LEAVE triggers the last-member query (~3 s), far
+  // below the 130 s general membership timeout.
+  sim.RunUntil(leave_time + 10 * kSecond);
+  EXPECT_FALSE(domain.router("R1").igmp().AnyMembers(kGroup));
+}
+
+TEST_P(AggregateFixture, LeaveIgnoredWhileAggregatedMembersRemain) {
+  station.Join(kGroup);
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+
+  station.Leave(kGroup);
+  // The remaining aggregated member answers the group-specific query.
+  sim.RunUntil(30 * kSecond);
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+}
+
+TEST_P(AggregateFixture, PeriodicQueriesKeepMembershipAlive) {
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  // Far beyond the membership timeout: presence survives only if the
+  // station keeps answering general queries.
+  sim.RunUntil(500 * kSecond);
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+  EXPECT_GT(station.stats().queries_seen, 0u);
+}
+
+TEST_P(AggregateFixture, SuppressionCollapsesResponsesOfManyMembers) {
+  for (int i = 0; i < 50; ++i) station.Join(kGroup);
+  sim.RunUntil(500 * kSecond);
+  ASSERT_GT(station.stats().queries_seen, 3u);
+  if (GetParam() == MembershipAggregate::Mode::kExactHostEquivalence) {
+    // 50 members each draw a response per query; suppression must cancel
+    // almost all of them, as on a real shared LAN.
+    EXPECT_GT(station.stats().responses_suppressed, 0u);
+  }
+  // Query-elicited traffic stays near one report per query, nowhere near
+  // one per member per query (the 2 * joins term is the unsolicited
+  // join-time pairs).
+  EXPECT_LT(station.stats().reports_sent,
+            2 * station.stats().joins + 3 * station.stats().queries_seen);
+}
+
+TEST_P(AggregateFixture, Version1SendsNeitherLeavesNorCoreReports) {
+  station.set_igmp_version(1);
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  EXPECT_TRUE(domain.router("R1").igmp().AnyMembers(kGroup));
+  EXPECT_EQ(station.stats().core_reports_sent, 0u);
+  station.Leave(kGroup);
+  EXPECT_EQ(station.stats().leaves_sent, 0u);
+}
+
+TEST_P(AggregateFixture, Version2SendsLeavesButNoCoreReports) {
+  station.set_igmp_version(2);
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  EXPECT_EQ(station.stats().core_reports_sent, 0u);
+  station.Leave(kGroup);
+  EXPECT_GE(station.stats().leaves_sent, 1u);
+}
+
+TEST_P(AggregateFixture, DataDeliveriesCreditEveryAggregatedMember) {
+  for (int i = 0; i < 7; ++i) station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  // Host A shares S1 with the station: its frame reaches the station
+  // once and must be credited once per aggregated member.
+  const std::array<std::uint8_t, 4> payload{0xde, 0xad, 0xbe, 0xef};
+  domain.host("A").SendToGroup(kGroup, payload);
+  sim.RunUntil(sim.Now() + kSecond);
+  EXPECT_EQ(station.ReceivedCount(kGroup), 7u);
+}
+
+TEST_P(AggregateFixture, ResetProtocolCountersClearsStats) {
+  station.Join(kGroup);
+  sim.RunUntil(5 * kSecond);
+  ASSERT_GT(station.stats().reports_sent, 0u);
+  station.ResetProtocolCounters();
+  EXPECT_EQ(station.stats().joins, 0u);
+  EXPECT_EQ(station.stats().reports_sent, 0u);
+  // Membership state is unaffected — only the counters reset.
+  EXPECT_EQ(station.MemberCount(kGroup), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModes, AggregateFixture,
+    ::testing::Values(MembershipAggregate::Mode::kExactHostEquivalence,
+                      MembershipAggregate::Mode::kCoalesced),
+    [](const ::testing::TestParamInfo<MembershipAggregate::Mode>& info) {
+      return info.param == MembershipAggregate::Mode::kExactHostEquivalence
+                 ? "Exact"
+                 : "Coalesced";
+    });
+
+}  // namespace
+}  // namespace cbt::igmp
