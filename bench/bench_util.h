@@ -105,8 +105,18 @@ class Options {
   int jobs = 0;
   int shards = 0;
   std::string json_path;
+  std::string placement;
   std::string trace_path;
   std::string exec_json_path = "BENCH_exec.json";
+
+  /// Opt-in registration of --placement for benches that sweep the core
+  /// placement registry (src/cbt/core_selection.h): restricts the sweep
+  /// to one strategy by registry name. Empty = sweep every strategy.
+  void EnablePlacement() {
+    Str("placement", &placement,
+        "restrict the core-placement sweep to one registry name "
+        "(random | degree | centre | delay-centre | hash | locality | vns)");
+  }
 
   /// Opt-in registration of --shards (space-parallel PDES). Benches that
   /// have not been wired for the shard runtime keep rejecting the flag

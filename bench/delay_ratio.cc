@@ -82,14 +82,24 @@ int main(int argc, char** argv) {
     // candidates; sample it across several group addresses.
     const Ipv4Address group(
         239, 77, 0, static_cast<std::uint8_t>(1 + s * 37));
+    core_selection::PlacementInput in;
+    in.sim = &sim;
+    in.routes = &routes;
+    in.routers = topo.routers;
+    in.group = group;
+    in.rng = &rng;
+    const auto pick = [&](const char* strategy) {
+      return core_selection::MakeStrategy(strategy)->Place(in, 1).cores.front();
+    };
+    core_selection::PlacementInput hash_in = in;
+    hash_in.routers =
+        core_selection::MakeStrategy("delay-centre")->Place(in, 4).cores;
     const NodeId cores[kPlacements] = {
-        core::SelectDelayCentreCores(routes, topo.routers, 1).front(),
-        core::SelectCentreCores(routes, topo.routers, 1).front(),
-        core::SelectHighestDegreeCores(sim, topo.routers, 1).front(),
-        core::OrderCoresByGroupHash(
-            core::SelectDelayCentreCores(routes, topo.routers, 4), group)
-            .front(),
-        core::SelectRandomCores(topo.routers, 1, rng).front(),
+        pick("delay-centre"),
+        pick("centre"),
+        pick("degree"),
+        core_selection::MakeStrategy("hash")->Place(hash_in, 1).cores.front(),
+        pick("random"),
     };
 
     for (int p = 0; p < kPlacements; ++p) {

@@ -1,0 +1,64 @@
+# E11 core-placement smoke + determinism (ctest, label bench-smoke).
+#
+# The placement sweep is pure graph math plus a deterministic live
+# migration leg, so a 2-seed (--repeat 2) run must be byte-identical —
+# stdout AND BENCH json — when rerun with the same flags. The test also
+# exercises --placement single-strategy mode and asserts the migration
+# leg reported a hitless (ok=1) recovery for every strategy.
+#
+# Invoked as:
+#   cmake -DCORE_PLACEMENT=<path> -DWORK_DIR=<dir> -P placement_differential.cmake
+
+foreach(var CORE_PLACEMENT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_variant name)
+  set(json "${WORK_DIR}/${name}.json")
+  execute_process(
+    COMMAND ${CORE_PLACEMENT} --smoke --repeat 2 --seed 1
+      ${ARGN} --json ${json}
+      --exec-json ${WORK_DIR}/${name}.exec.json
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${name}: exit ${code}\n${stderr}")
+  endif()
+  file(WRITE "${WORK_DIR}/${name}.txt" "${stdout}")
+  set(${name}_out "${stdout}" PARENT_SCOPE)
+  file(READ "${json}" json_text)
+  set(${name}_json "${json_text}" PARENT_SCOPE)
+endfunction()
+
+run_variant(run_a)
+run_variant(run_b)
+if(NOT run_a_out STREQUAL run_b_out)
+  message(FATAL_ERROR "rerun stdout differs (dumps in ${WORK_DIR})")
+endif()
+if(NOT run_a_json STREQUAL run_b_json)
+  message(FATAL_ERROR "rerun BENCH json differs (${WORK_DIR})")
+endif()
+message(STATUS "2-seed rerun byte-identical (stdout + json)")
+
+# The migration series must be present; a not-hitless row or dirty
+# post-drain audit makes the bench itself exit 3, which run_variant
+# already treats as fatal.
+foreach(series "migration.hitless" "migration.audit-clean")
+  if(NOT run_a_json MATCHES "${series}")
+    message(FATAL_ERROR "BENCH json is missing series ${series}")
+  endif()
+endforeach()
+
+# --placement restricts the sweep to one registry name.
+run_variant(locality --placement locality)
+if(locality_json MATCHES "\"label\": \"random/k")
+  message(FATAL_ERROR "--placement locality still swept other strategies")
+endif()
+if(NOT locality_json MATCHES "\"label\": \"locality/k4\"")
+  message(FATAL_ERROR "--placement locality is missing its own k=4 row")
+endif()
+message(STATUS "--placement single-strategy mode verified")

@@ -52,7 +52,11 @@ Result RunCbt(int groups, int senders, std::uint64_t seed) {
   Rng rng(seed * 7 + 1);
   for (int g = 0; g < groups; ++g) {
     const Ipv4Address group = GroupAddress(g);
-    const auto cores = core::SelectRandomCores(topo.routers, 1, rng);
+    core_selection::PlacementInput in;
+    in.routers = topo.routers;
+    in.rng = &rng;
+    const auto cores =
+        core_selection::MakeStrategy("random")->Place(in, 1).cores;
     const auto core_addrs = domain.RegisterGroup(group, cores);
     // Member routers join via the protocol (their LANs are assumed to
     // have members; InitiateJoin is the D-DR acting on them).

@@ -65,10 +65,14 @@ int main(int argc, char** argv) {
         member_routers.push_back(topo.routers[idx]);
       }
 
+      core_selection::PlacementInput in;
+      in.routes = &routes;
+      in.routers = topo.routers;
+      in.rng = &rng;
       const NodeId centre =
-          core::SelectCentreCores(routes, topo.routers, 1).front();
+          core_selection::MakeStrategy("centre")->Place(in, 1).cores.front();
       const NodeId random_core =
-          core::SelectRandomCores(topo.routers, 1, rng).front();
+          core_selection::MakeStrategy("random")->Place(in, 1).cores.front();
 
       shared_centre += (double)analysis::BuildSharedTree(routes, centre,
                                                          member_routers)

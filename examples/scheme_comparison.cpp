@@ -107,9 +107,12 @@ int main() {
     netsim::Topology topo = netsim::MakeWaxman(sim, params);
     core::CbtDomain domain(sim, topo);
     Rng core_rng(5);
+    core_selection::PlacementInput place_in;
+    place_in.routers = topo.routers;
+    place_in.rng = &core_rng;
+    const auto random_cores = core_selection::MakeStrategy("random");
     for (int g = 0; g < kGroups; ++g) {
-      domain.RegisterGroup(
-          Group(g), core::SelectRandomCores(topo.routers, 2, core_rng));
+      domain.RegisterGroup(Group(g), random_cores->Place(place_in, 2).cores);
     }
     domain.Start();
     sim.RunUntil(kSecond);

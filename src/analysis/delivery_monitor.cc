@@ -1,0 +1,80 @@
+#include "analysis/delivery_monitor.h"
+
+#include <array>
+
+namespace cbt::analysis {
+
+namespace {
+
+std::array<std::uint8_t, 4> EncodeSeq(std::uint32_t seq) {
+  return {static_cast<std::uint8_t>(seq >> 24),
+          static_cast<std::uint8_t>(seq >> 16),
+          static_cast<std::uint8_t>(seq >> 8),
+          static_cast<std::uint8_t>(seq)};
+}
+
+}  // namespace
+
+void DeliveryMonitor::StartSender(NodeId sender_host, SimDuration interval,
+                                  std::uint8_t ttl) {
+  StopSender();
+  sender_ = std::make_shared<SenderState>();
+  sender_->running = true;
+  sender_->host = sender_host;
+  sender_->interval = interval;
+  sender_->ttl = ttl;
+  SendNext(sender_);
+}
+
+void DeliveryMonitor::StopSender() {
+  if (sender_) sender_->running = false;
+  sender_.reset();
+}
+
+void DeliveryMonitor::SendNext(const std::shared_ptr<SenderState>& state) {
+  if (!state->running) return;
+  const auto payload = EncodeSeq(state->next_seq++);
+  domain_->host(state->host).SendToGroup(group_, payload, state->ttl);
+  domain_->sim().Schedule(state->interval,
+                          [this, state] { SendNext(state); });
+}
+
+void DeliveryMonitor::WatchReceiver(NodeId receiver_host) {
+  ReceiverStats& stats = receivers_[receiver_host];
+  core::HostAgent& host = domain_->host(receiver_host);
+  netsim::Simulator& sim = domain_->sim();
+  host.on_data = [this, &stats, receiver_host,
+                  &sim](const core::HostAgent::Received& r) {
+    if (r.group != group_ || r.bytes < 4) return;
+    ++stats.delivered;
+    const std::uint32_t seq = r.payload_head;
+    if (stats.any && seq > stats.last_seq + 1) {
+      ++stats.gaps;
+      stats.missing += seq - stats.last_seq - 1;
+      OBS_TRACE(sim.trace(), .time = sim.Now(),
+                .kind = obs::TraceKind::kInvariant, .name = "deliver-gap",
+                .node = receiver_host.value(), .group = group_,
+                .arg_a = stats.last_seq + 1, .arg_b = seq);
+    }
+    if (!stats.any || seq > stats.last_seq) {
+      stats.any = true;
+      stats.last_seq = seq;
+    }
+  };
+}
+
+std::uint64_t DeliveryMonitor::TotalGaps() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, stats] : receivers_) total += stats.gaps;
+  return total;
+}
+
+std::uint32_t DeliveryMonitor::MinDelivered() const {
+  std::uint32_t min_seq = UINT32_MAX;
+  for (const auto& [node, stats] : receivers_) {
+    min_seq = std::min(min_seq, stats.any ? stats.last_seq : 0u);
+  }
+  return receivers_.empty() ? 0 : min_seq;
+}
+
+}  // namespace cbt::analysis

@@ -1,0 +1,72 @@
+// Sequence-stamped delivery watcher: the observable definition of
+// "hitless".
+//
+// A sender host publishes monotonically numbered datagrams to the group
+// at a fixed cadence; every watched receiver host checks the numbers it
+// delivers for continuity. A hole (seq jumps past expected) means the
+// tree dropped data — each one is counted and emitted as a kInvariant
+// "deliver-gap" trace event (node = receiver, arg_a = first missing,
+// arg_b = received), which the src/check migration suite forbids inside
+// a "migrate" span. A receiver's first delivery only pins its baseline,
+// so watchers may attach mid-stream without false positives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "cbt/domain.h"
+#include "common/types.h"
+
+namespace cbt::analysis {
+
+class DeliveryMonitor {
+ public:
+  struct ReceiverStats {
+    std::uint64_t delivered = 0;
+    std::uint64_t gaps = 0;        // discontinuity events
+    std::uint64_t missing = 0;     // sequence numbers skipped
+    std::uint32_t last_seq = 0;    // highest sequence delivered
+    bool any = false;
+  };
+
+  DeliveryMonitor(core::CbtDomain& domain, Ipv4Address group)
+      : domain_(&domain), group_(group) {}
+  ~DeliveryMonitor() { StopSender(); }
+
+  /// Publishes one numbered datagram from `sender_host` every `interval`
+  /// until StopSender (or destruction).
+  void StartSender(NodeId sender_host, SimDuration interval,
+                   std::uint8_t ttl = 64);
+  void StopSender();
+
+  /// Installs the continuity check on a receiver host's data callback.
+  void WatchReceiver(NodeId receiver_host);
+
+  std::uint32_t sent() const { return sender_ ? sender_->next_seq : 0; }
+  const std::map<NodeId, ReceiverStats>& receivers() const {
+    return receivers_;
+  }
+  std::uint64_t TotalGaps() const;
+  /// Lowest last-delivered sequence across watched receivers (0 when a
+  /// receiver has seen nothing) — "everyone caught up to N".
+  std::uint32_t MinDelivered() const;
+
+ private:
+  struct SenderState {
+    bool running = false;
+    std::uint32_t next_seq = 0;
+    NodeId host;
+    SimDuration interval = 0;
+    std::uint8_t ttl = 64;
+  };
+
+  void SendNext(const std::shared_ptr<SenderState>& state);
+
+  core::CbtDomain* domain_;
+  Ipv4Address group_;
+  std::shared_ptr<SenderState> sender_;
+  std::map<NodeId, ReceiverStats> receivers_;
+};
+
+}  // namespace cbt::analysis

@@ -47,6 +47,8 @@ const char* InvariantKindName(InvariantKind kind) {
       return "member-lan-detached";
     case InvariantKind::kStaleState:
       return "stale-state";
+    case InvariantKind::kStaleAnchor:
+      return "stale-anchor";
   }
   return "?";
 }
@@ -192,6 +194,20 @@ void InvariantAuditor::AuditGroup(Ipv4Address group,
     if (!members_anywhere && !entry.is_primary_core) {
       note(InvariantKind::kStaleState, id,
            name + " holds state for the memberless group");
+    }
+
+    // Anchor consistency: the primary-core claim must match the published
+    // mapping. A replaced core list (live migration) makes the old anchor
+    // stale the moment the directory flips; reconciliation must clear it.
+    if (entry.is_primary_core && domain_->directory().Knows(group)) {
+      const auto primary = domain_->directory().PrimaryCore(group);
+      const auto owner =
+          primary ? sim.FindNodeByAddress(*primary) : std::nullopt;
+      if (owner.has_value() && *owner != id) {
+        note(InvariantKind::kStaleAnchor, id,
+             name + " anchors as primary but the directory primary is " +
+                 AddrName(sim, *primary));
+      }
     }
   }
 

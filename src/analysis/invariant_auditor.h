@@ -16,7 +16,10 @@
 //  * member attachment — every LAN with IGMP group presence has an
 //    on-tree DR (normal D-DR or section 2.6 G-DR) to serve it;
 //  * no stale state — a group with no members anywhere eventually holds
-//    state only at its primary core (the permanent anchor).
+//    state only at its primary core (the permanent anchor);
+//  * anchor consistency — a router claiming the primary-core role for a
+//    directory-known group actually owns the published primary address
+//    (a half-completed core migration is exactly what violates this).
 //
 // During fault windows and recovery the auditor reports violations; the
 // convergence probe (RunUntilInvariantsHold) measures recovery time as
@@ -42,6 +45,7 @@ enum class InvariantKind {
   kDuplicateChild,     // same child address recorded twice in one entry
   kMemberLanDetached,  // LAN with IGMP presence but no on-tree DR
   kStaleState,         // non-anchor state for a group with no members
+  kStaleAnchor,        // primary-core claim contradicting the directory
 };
 
 const char* InvariantKindName(InvariantKind kind);

@@ -1,0 +1,152 @@
+#include "analysis/migration.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/invariant_auditor.h"
+
+namespace cbt::analysis {
+
+namespace {
+// Migration txns live in their own high-half namespace so they can never
+// collide with router txns (node id << 32 | counter).
+constexpr std::uint64_t kMigrationTxnBase = 0x4D47ull << 48;  // "MG"
+}  // namespace
+
+CoreMigrator::Report CoreMigrator::Migrate(
+    Ipv4Address group, const std::vector<NodeId>& new_cores,
+    std::map<SubnetId, std::size_t> assignments) {
+  netsim::Simulator& sim = domain_->sim();
+  Report report;
+  report.started = sim.Now();
+  if (new_cores.empty()) {
+    report.error = "empty core list";
+    return report;
+  }
+  const NodeId new_primary = new_cores.front();
+  const std::vector<Ipv4Address> old_cores =
+      domain_->directory().CoresFor(group);
+  const std::uint64_t txn = kMigrationTxnBase | ++seq_;
+  OBS_TRACE(sim.trace(), .time = sim.Now(), .kind = obs::TraceKind::kFsm,
+            .phase = obs::TracePhase::kBegin, .name = "migrate",
+            .node = new_primary.value(), .group = group, .txn = txn);
+  const auto fail = [&](std::string error) {
+    OBS_TRACE(sim.trace(), .time = sim.Now(), .kind = obs::TraceKind::kFsm,
+              .phase = obs::TracePhase::kEnd, .name = "migrate",
+              .node = new_primary.value(), .group = group, .txn = txn,
+              .detail = "failed");
+    report.error = std::move(error);
+    return report;
+  };
+
+  // Phase 1: make before break — attach the new primary to the OLD tree
+  // (as a plain leaf) while the old anchor still serves every receiver.
+  core::CbtRouter& fresh = domain_->router(new_primary);
+  if (!fresh.IsOnTree(group)) {
+    if (old_cores.empty()) return fail("group unknown to the directory");
+    fresh.InitiateJoin(group, old_cores, 0);
+    const SimTime deadline = sim.Now() + opts_.join_deadline;
+    while (!fresh.IsOnTree(group) && sim.Now() < deadline) {
+      sim.RunUntil(std::min(deadline, sim.Now() + opts_.join_poll));
+    }
+    if (!fresh.IsOnTree(group)) {
+      return fail("new primary failed to join the old tree");
+    }
+  }
+  report.new_core_joined = sim.Now();
+  OBS_TRACE(sim.trace(), .time = sim.Now(), .kind = obs::TraceKind::kFsm,
+            .name = "migrate-join-new", .node = new_primary.value(),
+            .group = group, .txn = txn);
+
+  // Phase 2: publish the replacement mapping (and partition) atomically.
+  const std::vector<Ipv4Address> new_addrs =
+      domain_->RegisterGroup(group, new_cores);
+  domain_->directory().SetAssignments(group, std::move(assignments));
+
+  // Phase 3: re-root at the new primary. Every edge on the chain swaps
+  // parent/child roles on the same link, so data in flight keeps
+  // crossing exactly the links it could cross before — this is what
+  // makes the migration hitless.
+  ReverseParentChain(group, new_primary);
+
+  // Phase 4: reconcile every on-tree router against the new mapping. The
+  // old anchor demotes itself and drains via the normal quit/flush
+  // machinery; the new primary adopts the anchor role it now owns.
+  OBS_TRACE(sim.trace(), .time = sim.Now(), .kind = obs::TraceKind::kFsm,
+            .name = "migrate-drain-old", .node = new_primary.value(),
+            .group = group, .txn = txn);
+  for (const NodeId id : domain_->OnTreeRouters(group)) {
+    core::CbtRouter& r = domain_->router(id);
+    if (core::FibEntry* entry = r.mutable_fib().Find(group)) {
+      entry->cores = new_addrs;
+    }
+    r.RunQuitCheck(group);
+  }
+
+  // Phase 5: converge — the re-rooted tree must audit clean.
+  const auto clean =
+      RunUntilInvariantsHold(*domain_, sim.Now() + opts_.drain_deadline);
+  if (!clean.has_value()) return fail("drain did not converge");
+  report.drained = *clean;
+  OBS_TRACE(sim.trace(), .time = sim.Now(), .kind = obs::TraceKind::kFsm,
+            .phase = obs::TracePhase::kEnd, .name = "migrate",
+            .node = new_primary.value(), .group = group, .txn = txn,
+            .detail = "drained");
+  report.ok = true;
+  return report;
+}
+
+void CoreMigrator::ReverseParentChain(Ipv4Address group, NodeId new_root) {
+  netsim::Simulator& sim = domain_->sim();
+
+  // Snapshot the chain with each hop's ORIGINAL parent link: flipping an
+  // edge overwrites the very pointers the next pair needs.
+  struct Hop {
+    NodeId node;
+    Ipv4Address parent_address;
+    VifIndex parent_vif = kInvalidVif;
+  };
+  std::vector<Hop> chain;
+  std::set<NodeId> seen;
+  NodeId cur = new_root;
+  for (;;) {
+    if (!seen.insert(cur).second) break;  // defensive: corrupt cycle
+    const core::FibEntry* entry =
+        domain_->router(cur).mutable_fib().Find(group);
+    if (entry == nullptr) break;
+    chain.push_back(Hop{cur, entry->parent_address, entry->parent_vif});
+    if (!entry->HasParent()) break;
+    const auto parent = sim.FindNodeByAddress(entry->parent_address);
+    if (!parent.has_value()) break;
+    cur = *parent;
+  }
+
+  const SimTime now = sim.Now();
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const Hop& hop = chain[i];  // hop.node's original parent is chain[i+1]
+    if (hop.parent_vif == kInvalidVif) break;
+    core::FibEntry* child_entry =
+        domain_->router(hop.node).mutable_fib().Find(group);
+    core::FibEntry* parent_entry =
+        domain_->router(chain[i + 1].node).mutable_fib().Find(group);
+    if (child_entry == nullptr || parent_entry == nullptr) break;
+    const Ipv4Address my_addr = sim.interface(hop.node, hop.parent_vif).address;
+    const core::ChildEntry* reciprocal = parent_entry->FindChild(my_addr);
+    if (reciprocal == nullptr) break;  // never half-flip an edge
+    const VifIndex parent_vif_toward_us = reciprocal->vif;
+
+    // The old parent becomes our child on the same link...
+    child_entry->AddChild(hop.parent_address, hop.parent_vif, now);
+    if (child_entry->parent_address == hop.parent_address) {
+      child_entry->parent_address = Ipv4Address{};
+      child_entry->parent_vif = kInvalidVif;
+    }
+    // ...and we become the old parent's parent.
+    parent_entry->RemoveChild(my_addr);
+    parent_entry->parent_address = my_addr;
+    parent_entry->parent_vif = parent_vif_toward_us;
+    parent_entry->last_parent_reply = now;
+  }
+}
+
+}  // namespace cbt::analysis

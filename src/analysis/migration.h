@@ -1,0 +1,83 @@
+// Hitless live core migration: management-plane re-homing of a group's
+// shared tree onto a new core set with zero data-delivery gap.
+//
+// CBT's soft state cannot hand the anchor role over by itself: an old
+// primary that protocol-rejoins toward its replacement through its own
+// subtree livelocks on section 6.3 loop detection (every on-tree router
+// terminates the join, and the parent chain leads straight back). The
+// migrator therefore works make-before-break from the management plane:
+//
+//  1. join-new  — the new primary joins the *old* tree as an ordinary
+//     leaf (nothing is torn down yet; data keeps flowing);
+//  2. publish   — the directory's core list and member-LAN partition are
+//     replaced atomically;
+//  3. re-root   — the parent chain between the new primary and the old
+//     root is reversed in place (each hop's parent/child records swap
+//     roles on the same link, so in-flight data keeps crossing every
+//     edge it could cross before);
+//  4. drain-old — every on-tree router reconciles against the new
+//     mapping (CbtRouter::RunQuitCheck): the old anchor demotes itself
+//     and drains through the ordinary quit/flush machinery;
+//  5. converge  — the invariant auditor confirms the re-rooted tree.
+//
+// Observability: the whole operation is one "migrate" Begin/End span,
+// with "migrate-join-new" and "migrate-drain-old" marking the phase
+// boundaries under the same txn — the src/check suite pins that join-new
+// precedes drain-old and that no receiver sees a delivery gap inside the
+// span.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cbt/domain.h"
+#include "common/types.h"
+
+namespace cbt::analysis {
+
+class CoreMigrator {
+ public:
+  struct Options {
+    /// Phase-1 polling granularity while the new primary joins.
+    SimDuration join_poll = kSecond;
+    SimDuration join_deadline = 60 * kSecond;
+    /// Phase-5 bound: first clean audit must arrive within this.
+    SimDuration drain_deadline = 120 * kSecond;
+  };
+
+  struct Report {
+    bool ok = false;
+    SimTime started = 0;
+    /// Phase-1 completion: the new primary is on the old tree.
+    SimTime new_core_joined = 0;
+    /// First clean audit of the re-rooted tree.
+    SimTime drained = 0;
+    std::string error;
+
+    SimDuration Duration() const { return drained - started; }
+  };
+
+  explicit CoreMigrator(core::CbtDomain& domain) : domain_(&domain) {}
+  CoreMigrator(core::CbtDomain& domain, const Options& opts)
+      : domain_(&domain), opts_(opts) {}
+
+  /// Live-migrates `group` onto `new_cores` (node ids, front = new
+  /// primary), optionally publishing a member-LAN → core-index partition
+  /// alongside. Runs the simulation forward during the join and drain
+  /// phases; returns with the sim positioned at the first clean audit (or
+  /// at the failed phase's deadline).
+  Report Migrate(Ipv4Address group, const std::vector<NodeId>& new_cores,
+                 std::map<SubnetId, std::size_t> assignments = {});
+
+ private:
+  /// Reverses the parent chain from `new_root` up to the tree's current
+  /// root: every hop's parent/child records swap roles in place.
+  void ReverseParentChain(Ipv4Address group, NodeId new_root);
+
+  core::CbtDomain* domain_;
+  Options opts_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace cbt::analysis

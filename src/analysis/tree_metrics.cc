@@ -96,6 +96,34 @@ Tree BuildSharedTree(routing::RouteManager& routes, NodeId core,
   return tree;
 }
 
+Tree BuildMultiCoreTree(routing::RouteManager& routes,
+                        const std::vector<NodeId>& cores,
+                        const std::vector<NodeId>& member_routers,
+                        const std::vector<std::size_t>& assignment) {
+  Tree tree;
+  if (cores.empty()) return tree;
+  tree.root = cores.front();
+  // Core backbone first: every secondary core attaches toward the
+  // primary before any member joins, mirroring CoreRejoinPrimary.
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    if (tree.Contains(cores[i])) continue;
+    const std::vector<NodeId> path = routes.Path(cores[i], tree.root);
+    if (path.empty()) continue;
+    SpliceTowardRoot(tree, routes, path);
+  }
+  for (std::size_t m = 0; m < member_routers.size(); ++m) {
+    const NodeId member = member_routers[m];
+    if (tree.Contains(member)) continue;
+    const std::size_t idx = m < assignment.size() && assignment[m] < cores.size()
+                                ? assignment[m]
+                                : 0;
+    const std::vector<NodeId> path = routes.Path(member, cores[idx]);
+    if (path.empty()) continue;
+    SpliceTowardRoot(tree, routes, path);
+  }
+  return tree;
+}
+
 Tree BuildSourceTree(routing::RouteManager& routes, NodeId source,
                      const std::vector<NodeId>& member_routers) {
   Tree tree;

@@ -52,6 +52,17 @@ struct Tree {
 Tree BuildSharedTree(routing::RouteManager& routes, NodeId core,
                      const std::vector<NodeId>& member_routers);
 
+/// Multi-core shared tree: the k cores bridge into one backbone (each
+/// secondary core rejoins the primary, section 2.5), then each member
+/// joins toward its assigned core, with the join terminating at the first
+/// on-tree router. `assignment[i]` names the `cores` index for
+/// `member_routers[i]`; missing or out-of-range entries target the
+/// primary. With k=1 this degenerates to BuildSharedTree.
+Tree BuildMultiCoreTree(routing::RouteManager& routes,
+                        const std::vector<NodeId>& cores,
+                        const std::vector<NodeId>& member_routers,
+                        const std::vector<std::size_t>& assignment);
+
 /// Per-source shortest-path tree covering the members (DVMRP-ideal):
 /// union of shortest paths source -> member. Paths are computed from the
 /// source side, matching a link-state SPT (RPF trees differ only under

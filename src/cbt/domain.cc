@@ -62,7 +62,10 @@ igmp::MembershipAggregate& CbtDomain::AddAggregate(
   const NodeId id = netsim::AttachHost(*sim_, *topo_, lan, name);
   auto station = std::make_unique<igmp::MembershipAggregate>(
       *sim_, id, mode,
-      [this](Ipv4Address group) { return directory_.CoresFor(group); });
+      [this](Ipv4Address group) { return directory_.CoresFor(group); },
+      [this, lan](Ipv4Address group) {
+        return directory_.AssignedIndex(group, lan);
+      });
   sim_->SetAgent(id, station.get());
   igmp::MembershipAggregate& ref = *station;
   aggregates_[id] = std::move(station);
@@ -82,6 +85,20 @@ std::vector<Ipv4Address> CbtDomain::RegisterGroup(
   addresses.reserve(cores.size());
   for (const NodeId id : cores) addresses.push_back(sim_->PrimaryAddress(id));
   directory_.SetGroup(group, addresses);
+  return addresses;
+}
+
+std::vector<Ipv4Address> CbtDomain::RegisterGroup(
+    Ipv4Address group, const core_selection::Placement& placement,
+    const std::vector<SubnetId>& member_lans) {
+  std::vector<Ipv4Address> addresses = RegisterGroup(group, placement.cores);
+  std::map<SubnetId, std::size_t> by_lan;
+  const std::size_t n = std::min(member_lans.size(),
+                                 placement.assignment.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    by_lan[member_lans[i]] = placement.assignment[i];
+  }
+  directory_.SetAssignments(group, std::move(by_lan));
   return addresses;
 }
 

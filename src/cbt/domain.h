@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cbt/config.h"
+#include "cbt/core_selection.h"
 #include "cbt/group_directory.h"
 #include "cbt/host.h"
 #include "cbt/router.h"
@@ -73,6 +74,15 @@ class CbtDomain {
   /// (primary first) and returns the core address list.
   std::vector<Ipv4Address> RegisterGroup(Ipv4Address group,
                                          const std::vector<NodeId>& cores);
+
+  /// Registers a k-core placement: publishes the core list plus the
+  /// member-LAN → core-index partition (`member_lans[i]` is the LAN whose
+  /// members `placement.assignment[i]` maps — the LAN attached to the
+  /// strategy's `member_routers[i]`). Hosts and D-DRs on a listed LAN then
+  /// join their assigned core's subtree.
+  std::vector<Ipv4Address> RegisterGroup(
+      Ipv4Address group, const core_selection::Placement& placement,
+      const std::vector<SubnetId>& member_lans);
 
   // --- Fault injection ----------------------------------------------------
 

@@ -41,6 +41,12 @@ struct FibEntry {
 
   /// Ordered core list carried by joins/acks; cores[0] is the primary.
   std::vector<Ipv4Address> cores;
+  /// "Actual core affiliation" carried in join-acks: the core whose
+  /// subtree this branch hangs from. Equals cores[0] on a single-core
+  /// tree; under a k-core partition it names the assigned core, so a
+  /// downstream router can tell which of the k subtrees it landed in.
+  /// Unspecified until the first ack (or anchor) establishes it.
+  Ipv4Address affiliation;
   /// This router is itself a core for the group (learned from receiving a
   /// join that targets it — section 6.2).
   bool is_core = false;

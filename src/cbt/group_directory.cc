@@ -11,7 +11,30 @@ void GroupDirectory::SetGroup(Ipv4Address group,
   groups_[group] = std::move(cores);
 }
 
-void GroupDirectory::RemoveGroup(Ipv4Address group) { groups_.erase(group); }
+void GroupDirectory::RemoveGroup(Ipv4Address group) {
+  groups_.erase(group);
+  assignments_.erase(group);
+}
+
+void GroupDirectory::SetAssignments(Ipv4Address group,
+                                    std::map<SubnetId, std::size_t> by_lan) {
+  if (by_lan.empty()) {
+    assignments_.erase(group);
+  } else {
+    assignments_[group] = std::move(by_lan);
+  }
+}
+
+std::size_t GroupDirectory::AssignedIndex(Ipv4Address group,
+                                          SubnetId lan) const {
+  const auto git = assignments_.find(group);
+  if (git == assignments_.end()) return 0;
+  const auto it = git->second.find(lan);
+  if (it == git->second.end()) return 0;
+  const auto cores = groups_.find(group);
+  if (cores == groups_.end() || cores->second.empty()) return 0;
+  return std::min(it->second, cores->second.size() - 1);
+}
 
 std::vector<Ipv4Address> GroupDirectory::CoresFor(Ipv4Address group) const {
   const auto it = groups_.find(group);

@@ -35,8 +35,29 @@ class GroupDirectory {
 
   std::vector<Ipv4Address> Groups() const;
 
+  /// Registers (or replaces) the member-LAN → core-index partition for a
+  /// multi-core group: each listed LAN's members join cores[index]'s
+  /// subtree. LANs without an entry use the primary (index 0). This is the
+  /// locality partition of arXiv 1606.04928 published through the same
+  /// idealized mapping service as the core list itself.
+  void SetAssignments(Ipv4Address group,
+                      std::map<SubnetId, std::size_t> by_lan);
+
+  /// The core-list index `lan`'s members should target, clamped to the
+  /// group's current core list (so a core-list replacement can never point
+  /// past the end). 0 when the group or LAN is unknown.
+  std::size_t AssignedIndex(Ipv4Address group, SubnetId lan) const;
+
+  /// True if the group has any per-LAN assignment registered. Routers use
+  /// this to keep single-core behaviour bit-identical when no partition
+  /// was ever published.
+  bool HasAssignments(Ipv4Address group) const {
+    return assignments_.contains(group);
+  }
+
  private:
   std::map<Ipv4Address, std::vector<Ipv4Address>> groups_;
+  std::map<Ipv4Address, std::map<SubnetId, std::size_t>> assignments_;
 };
 
 }  // namespace cbt::core

@@ -19,7 +19,14 @@ void HostAgent::JoinGroup(Ipv4Address group) {
   std::vector<Ipv4Address> cores =
       directory_ != nullptr ? directory_->CoresFor(group)
                             : std::vector<Ipv4Address>{};
-  JoinGroupWithCores(group, std::move(cores), 0);
+  // Under a k-core partition the mapping advertisement also names which
+  // core this host's LAN should target (index 0 otherwise).
+  std::size_t target_index = 0;
+  if (directory_ != nullptr && !sim_->node(self_).interfaces.empty()) {
+    target_index = directory_->AssignedIndex(
+        group, sim_->node(self_).interfaces.front().subnet);
+  }
+  JoinGroupWithCores(group, std::move(cores), target_index);
 }
 
 void HostAgent::JoinGroupWithCores(Ipv4Address group,
@@ -93,7 +100,13 @@ void HostAgent::OnDatagram(VifIndex /*vif*/, Ipv4Address /*link_src*/,
       return;
     default: {
       if (!ip.dst.IsMulticast() || !groups_.contains(ip.dst)) return;
-      const Received r{ip.dst, ip.src, sim_->Now(), parsed->payload.size()};
+      Received r{ip.dst, ip.src, sim_->Now(), parsed->payload.size()};
+      if (parsed->payload.size() >= 4) {
+        const auto& p = parsed->payload;
+        r.payload_head = (std::uint32_t{p[0]} << 24) |
+                         (std::uint32_t{p[1]} << 16) |
+                         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+      }
       received_.push_back(r);
       if (on_data) on_data(r);
       return;

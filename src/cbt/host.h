@@ -32,6 +32,10 @@ class HostAgent : public netsim::NetworkAgent {
     Ipv4Address src;
     SimTime time = 0;
     std::size_t bytes = 0;
+    /// First four payload bytes, big-endian (0 when shorter): lets
+    /// sequence-stamped probes check delivery continuity without
+    /// retaining whole payloads.
+    std::uint32_t payload_head = 0;
   };
 
   /// `directory` supplies <core,group> mappings for RP/Core-Reports; may

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/small_vec.h"
@@ -220,10 +221,32 @@ void CbtRouter::HandleJoinRequest(VifIndex vif, const packet::Ipv4Header& ip,
   }
 
   if (OwnsAddress(pkt.target_core)) {
+    if (directory_->Knows(group)) {
+      // A join built from a stale core list can still target us after the
+      // directory dropped us from the group (core-list replacement). Do
+      // not re-assume the anchor role — nack so the requester re-elects
+      // from the current mapping instead of resurrecting the old tree.
+      bool still_listed = false;
+      for (const Ipv4Address& c : directory_->CoresFor(group)) {
+        if (OwnsAddress(c)) still_listed = true;
+      }
+      if (!still_listed) {
+        ControlPacket nack;
+        nack.type = ControlType::kJoinNack;
+        nack.group = group;
+        nack.origin = pkt.origin;
+        nack.target_core = pkt.target_core;
+        nack.cores = directory_->CoresFor(group);
+        ++stats_.nacks_sent;
+        SendControl(vif, ip.src, ip.src, nack);
+        return;
+      }
+    }
     // Section 6.2: "a core only becomes aware that it is such by receiving
     // a JOIN-REQUEST". Install as tree (sub)root.
     FibEntry& core_entry = fib_.Create(group);
     core_entry.cores = pkt.cores;
+    core_entry.affiliation = pkt.target_core;
     core_entry.is_core = true;
     core_entry.is_primary_core =
         !pkt.cores.empty() && OwnsAddress(pkt.cores.front());
@@ -385,9 +408,13 @@ void CbtRouter::SendAckTo(const DownstreamRequester& req, FibEntry& entry) {
   ack.type = ControlType::kJoinAck;
   ack.group = entry.group;
   ack.origin = req.origin;
-  // "Actual core affiliation" — the core this tree hangs from, which is
-  // the primary core once the backbone is built.
-  ack.target_core = entry.cores.empty() ? Ipv4Address{} : entry.cores.front();
+  // "Actual core affiliation" — the core this (sub)tree hangs from. On a
+  // single-core tree that is the primary; under a k-core partition it is
+  // whichever assigned core our own branch attached to.
+  ack.target_core = !entry.affiliation.IsUnspecified()
+                        ? entry.affiliation
+                        : (entry.cores.empty() ? Ipv4Address{}
+                                               : entry.cores.front());
   ack.cores = entry.cores;
 
   if (ShouldProxyAck(req)) {
@@ -492,6 +519,17 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
   }
   entry.is_primary_core =
       !entry.cores.empty() && OwnsAddress(entry.cores.front());
+  if (!entry.is_core) {
+    // Adopt the upstream's core affiliation; a core keeps its own.
+    entry.affiliation = pkt.target_core;
+  } else if (entry.affiliation.IsUnspecified()) {
+    for (const Ipv4Address& c : entry.cores) {
+      if (OwnsAddress(c)) {
+        entry.affiliation = c;
+        break;
+      }
+    }
+  }
   // The attach event proper: every router (transit or originator) that
   // gains a parent via an ack emits one, before any child-added events it
   // produces by acking cached requesters — the checker's ack-before-attach
@@ -590,6 +628,7 @@ void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
     // We are the target core ourselves: instant tree (sub)root.
     FibEntry& entry = fib_.Create(group);
     if (entry.cores.empty()) entry.cores = cores;
+    entry.affiliation = target;
     entry.is_core = true;
     entry.is_primary_core = OwnsAddress(cores.front());
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
@@ -1002,7 +1041,90 @@ void CbtRouter::HandleQuitAck(const ControlPacket& pkt) {
   RemoveGroupState(pkt.group);
 }
 
+std::optional<std::size_t> CbtRouter::AssignedCoreIndex(Ipv4Address group) {
+  if (!directory_->HasAssignments(group)) return std::nullopt;
+  const std::vector<VifIndex> member_vifs = igmp_.MemberVifs(group);
+  if (member_vifs.empty()) return std::nullopt;
+  // First member LAN wins: a D-DR whose LANs straddle two partitions still
+  // builds a single branch, and the tree covers every LAN either way.
+  return directory_->AssignedIndex(group, VifSubnet(member_vifs.front()));
+}
+
+void CbtRouter::ReconcileCoreRole(Ipv4Address group) {
+  if (!alive_ || pending_.contains(group) || quitting_.contains(group)) return;
+  FibEntry* entry = fib_.Find(group);
+  if (entry == nullptr || !directory_->Knows(group)) return;
+  const std::vector<Ipv4Address> current = directory_->CoresFor(group);
+  if (current.empty()) return;
+  Ipv4Address owned;
+  for (const Ipv4Address& c : current) {
+    if (OwnsAddress(c)) {
+      owned = c;
+      break;
+    }
+  }
+  const bool should_be_core = !owned.IsUnspecified();
+  const bool should_be_primary = should_be_core && OwnsAddress(current.front());
+  if (entry->is_core == should_be_core &&
+      entry->is_primary_core == should_be_primary) {
+    return;
+  }
+
+  if (!should_be_core) {
+    // The directory replaced the core list and dropped us. Stop anchoring;
+    // CBT's soft state has no way to hand an anchor role over in place, so
+    // a detached ex-anchor tears its subtree down through the normal flush
+    // machinery and every branch re-elects from the current mapping. (The
+    // hitless path is the migrator's parent-chain reversal, which re-homes
+    // the subtree before this demotion ever sees a detached anchor.)
+    entry->is_core = false;
+    entry->is_primary_core = false;
+    entry->cores = current;
+    entry->affiliation = {};
+    OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+              .kind = obs::TraceKind::kFsm, .name = "core-demoted",
+              .node = self_.value(), .group = group);
+    if (!entry->HasParent()) {
+      const bool rejoin = igmp_.AnyMembers(group);
+      OBS_TRACE(sim_->trace(), .time = sim_->Now(),
+                .kind = obs::TraceKind::kFsm, .name = "teardown",
+                .node = self_.value(), .group = group,
+                .arg_b = entry->children.size(), .detail = "core-demoted");
+      SendFlushToChildren(*entry);
+      RemoveGroupState(group);
+      if (rejoin) {
+        sim_->Schedule(config_.flush_rejoin_delay, [this, group] {
+          if (!IsOnTree(group) && !IsPending(group)) {
+            std::vector<Ipv4Address> cores = directory_->CoresFor(group);
+            if (!cores.empty()) {
+              StartJoin(group, std::move(cores),
+                        AssignedCoreIndex(group).value_or(0),
+                        /*reconnect=*/false);
+            }
+          }
+        });
+      }
+    }
+    return;
+  }
+
+  // Promoted, or only the primary flag flipped. Keep any existing parent:
+  // a newly-listed core already on the old tree stays attached until the
+  // old anchor drains — the make-before-break window of a live migration.
+  entry->is_core = true;
+  entry->is_primary_core = should_be_primary;
+  entry->cores = current;
+  entry->affiliation = owned;
+  OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
+            .name = "core-anchored", .node = self_.value(), .group = group,
+            .arg_a = should_be_primary ? 1u : 0u, .detail = "reconciled");
+  if (!should_be_primary && !entry->HasParent()) {
+    CoreRejoinPrimary(*entry);
+  }
+}
+
 void CbtRouter::QuitCheck(Ipv4Address group) {
+  ReconcileCoreRole(group);
   FibEntry* entry = fib_.Find(group);
   if (entry == nullptr) return;
   // The primary core is the group's permanent anchor. Non-primary cores
@@ -1099,6 +1221,13 @@ void CbtRouter::HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
   }
   const bool had_members = igmp_.AnyMembers(pkt.group);
   std::vector<Ipv4Address> cores = entry->cores;
+  if (directory_->Knows(pkt.group)) {
+    // Re-resolve from the mapping service: a flush is exactly when a
+    // replaced core list must take effect, and the branch's cached list
+    // may predate the replacement.
+    std::vector<Ipv4Address> current = directory_->CoresFor(pkt.group);
+    if (!current.empty()) cores = std::move(current);
+  }
   const bool will_rejoin = had_members && !cores.empty();
   // Emitted before the downstream flushes so the flush-sent events read
   // as consequences of this one (same timestamp, later sequence).
@@ -1117,7 +1246,12 @@ void CbtRouter::HandleFlush(VifIndex vif, const packet::Ipv4Header& ip,
     sim_->Schedule(config_.flush_rejoin_delay,
                    [this, group, cores = std::move(cores)] {
                      if (!IsOnTree(group) && !IsPending(group)) {
-                       StartJoin(group, cores, 0, /*reconnect=*/false);
+                       // Section 6.1 under a k-core partition: rejoin
+                       // toward this LAN's assigned core, not blindly
+                       // toward the primary.
+                       StartJoin(group, cores,
+                                 AssignedCoreIndex(group).value_or(0),
+                                 /*reconnect=*/false);
                      }
                    });
   }
@@ -1333,11 +1467,17 @@ void CbtRouter::StartReconnect(Ipv4Address group) {
     RemoveGroupState(group);
     return;
   }
-  // "arbitrarily choosing an alternate core from its list of cores".
-  const std::size_t index =
-      cores.size() == 1
-          ? 0
-          : static_cast<std::size_t>(sim_->rng().NextBelow(cores.size()));
+  // "arbitrarily choosing an alternate core from its list of cores" —
+  // except under a k-core partition, where the member LANs' assigned core
+  // makes the choice purposeful (StartJoin still cycles past it if it is
+  // unreachable, section 6.1).
+  std::size_t index = 0;
+  const std::optional<std::size_t> assigned = AssignedCoreIndex(group);
+  if (assigned.has_value() && *assigned < cores.size()) {
+    index = *assigned;
+  } else if (cores.size() > 1) {
+    index = static_cast<std::size_t>(sim_->rng().NextBelow(cores.size()));
+  }
   StartJoin(group, std::move(cores), index, /*reconnect=*/true);
 }
 
@@ -1367,6 +1507,9 @@ void CbtRouter::OnMemberReport(VifIndex vif, Ipv4Address group,
     target_index = it->second.second;
   } else {
     cores = directory_->CoresFor(group);
+    // Multi-core partition: this LAN's members join their assigned core's
+    // subtree (the locality partition published alongside the core list).
+    target_index = directory_->AssignedIndex(group, VifSubnet(vif));
   }
   if (cores.empty()) return;  // no <core,group> mapping yet
   StartJoin(group, std::move(cores), target_index, /*reconnect=*/false);
@@ -1595,19 +1738,35 @@ void CbtRouter::RelayNonMemberData(VifIndex /*vif*/,
     ++stats_.data_dropped_no_state;
     return;
   }
-  const auto route = ResolveToward(cores.front());
+  // Section 5.1 sends toward "the" core; with a k-core partition any
+  // listed core reaches the whole forest (the backbone bridges them), so
+  // inject at the nearest one — that is the traffic-concentration win of
+  // multi-core placement. Single-core (or partition-less) groups keep the
+  // historical primary-core target.
+  Ipv4Address target = cores.front();
+  if (cores.size() > 1 && directory_->HasAssignments(ip.dst)) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Ipv4Address& c : cores) {
+      const auto r = routes_->Lookup(self_, c);
+      if (r && r->vif != kInvalidVif && r->cost < best) {
+        best = r->cost;
+        target = c;
+      }
+    }
+  }
+  const auto route = ResolveToward(target);
   if (!route || route->vif == kInvalidVif) {
     ++stats_.data_dropped_no_state;
     return;
   }
   packet::CbtDataHeader hdr;
   hdr.group = ip.dst;
-  hdr.core = cores.front();
+  hdr.core = target;
   hdr.origin = ip.src;
   hdr.ip_ttl = ip.ttl;
   hdr.on_tree = false;  // flips to 0xff at the first on-tree router
-  auto bytes = packet::BuildCbtModeDatagram(VifAddress(route->vif),
-                                            cores.front(), hdr, datagram);
+  auto bytes = packet::BuildCbtModeDatagram(VifAddress(route->vif), target,
+                                            hdr, datagram);
   stats_.data_bytes_sent += bytes.size();
   ++stats_.data_encapsulated;
   ++stats_.data_nonmember_relayed;

@@ -126,6 +126,12 @@ class CbtRouter : public netsim::NetworkAgent {
   /// tooling and the loop-detection tests to force a re-configuration.
   void TriggerReconnect(Ipv4Address group) { StartReconnect(group); }
 
+  /// Operational hook: run the soft-state maintenance pass (directory
+  /// reconciliation + quit eligibility) for one group now instead of
+  /// waiting for the next iff scan. The core migrator uses this to make a
+  /// published core-list replacement take effect promptly.
+  void RunQuitCheck(Ipv4Address group) { QuitCheck(group); }
+
   /// Operational hook: drop all protocol state as if the router process
   /// restarted (section 6.2). IGMP/odometer counters survive; the tree
   /// state does not — a core re-learns its role from the next join.
@@ -254,6 +260,15 @@ class CbtRouter : public netsim::NetworkAgent {
 
   // --- Teardown / maintenance. ---
   void QuitCheck(Ipv4Address group);
+  /// Reconciles this router's core role for `group` against the external
+  /// directory (demotes removed cores, promotes newly-listed ones). Runs
+  /// at the head of every QuitCheck; no-op when the directory does not
+  /// know the group or the role already matches.
+  void ReconcileCoreRole(Ipv4Address group);
+  /// The directory-assigned core index for this router's member LANs;
+  /// nullopt unless the group has a registered partition and we serve at
+  /// least one member LAN.
+  std::optional<std::size_t> AssignedCoreIndex(Ipv4Address group);
   void SendQuit(Ipv4Address group);
   void SendFlushToChildren(FibEntry& entry);
   void RemoveGroupState(Ipv4Address group);

@@ -264,6 +264,33 @@ std::vector<Expectation> CbtExpectationSuite(const CbtSuiteOptions& options) {
           .Invalidator(Fsm("crash").SameNode())
           .Describe("a child is only adopted while the adopter is on-tree"));
 
+  // --- Hitless core migration (make-before-break). -------------------------
+  // The migrator may never start draining the old anchor until the new
+  // primary is attached to the old tree: drain-old must be preceded by
+  // join-new under the same migration txn.
+  suite.push_back(
+      Expectation::PrecededBy("migrate-join-before-drain",
+                              Fsm("migrate-drain-old"))
+          .Outcome(Fsm("migrate-join-new").SameTxn())
+          .Describe("a migration drains the old core only after the new "
+                    "primary joined the old tree"));
+  // Zero data loss: no watched receiver reports a delivery gap between a
+  // migration's start and its completion.
+  suite.push_back(
+      Expectation::Never("migrate-hitless", FsmB("migrate"),
+                         FsmE("migrate").SameTxn(),
+                         Match()
+                             .Kind(obs::TraceKind::kInvariant)
+                             .Name("deliver-gap")
+                             .SameGroup())
+          .Describe("a live core migration never drops delivered data"));
+  // Migrations resolve: every Begin span reaches its End.
+  suite.push_back(
+      Expectation::Eventually("migrate-resolves", FsmB("migrate"),
+                              240 * kSecond)
+          .Outcome(FsmE("migrate").SameTxn())
+          .Describe("a started core migration runs to a terminal outcome"));
+
   return suite;
 }
 

@@ -25,18 +25,22 @@ struct LaterEntry {
 }  // namespace
 
 MembershipAggregate::MembershipAggregate(netsim::Simulator& sim, NodeId self,
-                                         Mode mode, CoresFn cores_for)
+                                         Mode mode, CoresFn cores_for,
+                                         IndexFn index_for)
     : sim_(&sim),
       self_(self),
       mode_(mode),
       cores_for_(std::move(cores_for)),
+      index_for_(std::move(index_for)),
       address_(sim.PrimaryAddress(self)),
       subnet_delay_(sim.subnet(sim.interface(self, 0).subnet).delay) {}
 
 void MembershipAggregate::Join(Ipv4Address group) {
   std::vector<Ipv4Address> cores =
       cores_for_ != nullptr ? cores_for_(group) : std::vector<Ipv4Address>{};
-  JoinWithCores(group, std::move(cores), 0);
+  const std::size_t target_index =
+      index_for_ != nullptr ? index_for_(group) : 0;
+  JoinWithCores(group, std::move(cores), target_index);
 }
 
 void MembershipAggregate::JoinWithCores(Ipv4Address group,

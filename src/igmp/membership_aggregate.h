@@ -68,11 +68,16 @@ class MembershipAggregate : public netsim::NetworkAgent {
   /// layer does not depend on cbt_core; CbtDomain adapts its directory.
   using CoresFn = std::function<std::vector<Ipv4Address>(Ipv4Address)>;
 
+  /// Supplies the core-list index this station's LAN should target for a
+  /// group (the per-LAN partition of a multi-core tree). Optional; 0 when
+  /// absent, preserving single-core behaviour.
+  using IndexFn = std::function<std::size_t(Ipv4Address)>;
+
   /// IGMP generation the aggregated hosts speak (mirrors
   /// core::IgmpHostVersion): 1 = no leaves / no core reports, 2 = leaves
   /// but no core reports, 3 = full appendix behaviour.
   MembershipAggregate(netsim::Simulator& sim, NodeId self, Mode mode,
-                      CoresFn cores_for = nullptr);
+                      CoresFn cores_for = nullptr, IndexFn index_for = nullptr);
 
   void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
                   std::span<const std::uint8_t> datagram) override;
@@ -208,6 +213,7 @@ class MembershipAggregate : public netsim::NetworkAgent {
   NodeId self_;
   Mode mode_;
   CoresFn cores_for_;
+  IndexFn index_for_;
   Ipv4Address address_;
   SimDuration subnet_delay_;
   int version_ = 3;

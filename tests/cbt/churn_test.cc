@@ -36,9 +36,13 @@ TEST_P(ChurnSoak, SurvivesAndConvergesAfterChurn) {
   Rng rng(seed * 101 + 7);
 
   constexpr int kGroups = 2;
+  core_selection::PlacementInput place_in;
+  place_in.routers = topo.routers;
+  place_in.rng = &rng;
+  const auto random_cores = core_selection::MakeStrategy("random");
   for (int g = 0; g < kGroups; ++g) {
     domain.RegisterGroup(GroupAddr(g),
-                         SelectRandomCores(topo.routers, 2, rng));
+                         random_cores->Place(place_in, 2).cores);
   }
   domain.Start();
   sim.RunUntil(kSecond);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "cbt/core_selection.h"
 #include "cbt/group_directory.h"
 #include "netsim/topologies.h"
@@ -8,6 +11,9 @@
 namespace cbt::core {
 namespace {
 
+using core_selection::MakeStrategy;
+using core_selection::Placement;
+using core_selection::PlacementInput;
 using netsim::MakeLine;
 using netsim::MakeStar;
 using netsim::Simulator;
@@ -35,11 +41,41 @@ TEST(GroupDirectory, SetLookupRemove) {
   EXPECT_FALSE(dir.Knows(kGroup));
 }
 
+TEST(GroupDirectory, AssignmentsMapMemberLansToCoreIndices) {
+  GroupDirectory dir;
+  dir.SetGroup(kGroup, {Ipv4Address(10, 1, 0, 1), Ipv4Address(10, 2, 0, 1)});
+  EXPECT_FALSE(dir.HasAssignments(kGroup));
+  EXPECT_EQ(dir.AssignedIndex(kGroup, SubnetId(7)), 0u);
+
+  dir.SetAssignments(kGroup, {{SubnetId(7), 1}, {SubnetId(8), 5}});
+  EXPECT_TRUE(dir.HasAssignments(kGroup));
+  EXPECT_EQ(dir.AssignedIndex(kGroup, SubnetId(7)), 1u);
+  // Out-of-range indices clamp to the last listed core; unknown LANs
+  // default to the primary.
+  EXPECT_EQ(dir.AssignedIndex(kGroup, SubnetId(8)), 1u);
+  EXPECT_EQ(dir.AssignedIndex(kGroup, SubnetId(9)), 0u);
+
+  dir.RemoveGroup(kGroup);
+  EXPECT_FALSE(dir.HasAssignments(kGroup));
+}
+
+TEST(CoreSelection, RegistryResolvesEveryNameAndRejectsUnknowns) {
+  for (const std::string_view name : core_selection::StrategyNames()) {
+    const auto strategy = MakeStrategy(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(strategy->name(), name);
+  }
+  EXPECT_EQ(MakeStrategy("no-such-strategy"), nullptr);
+}
+
 TEST(CoreSelection, RandomCoresAreDistinctRouters) {
   Simulator sim;
   Topology topo = MakeLine(sim, 8);
   Rng rng(5);
-  const auto cores = SelectRandomCores(topo.routers, 3, rng);
+  PlacementInput in;
+  in.routers = topo.routers;
+  in.rng = &rng;
+  const auto cores = MakeStrategy("random")->Place(in, 3).cores;
   EXPECT_EQ(cores.size(), 3u);
   EXPECT_NE(cores[0], cores[1]);
   EXPECT_NE(cores[1], cores[2]);
@@ -49,7 +85,10 @@ TEST(CoreSelection, RandomCoresAreDistinctRouters) {
 TEST(CoreSelection, HighestDegreePicksTheHub) {
   Simulator sim;
   Topology topo = MakeStar(sim, 6);
-  const auto cores = SelectHighestDegreeCores(sim, topo.routers, 1);
+  PlacementInput in;
+  in.sim = &sim;
+  in.routers = topo.routers;
+  const auto cores = MakeStrategy("degree")->Place(in, 1).cores;
   ASSERT_EQ(cores.size(), 1u);
   EXPECT_EQ(cores[0], topo.routers[0]) << "the hub has the most interfaces";
 }
@@ -58,7 +97,10 @@ TEST(CoreSelection, CentreOfALineIsTheMiddle) {
   Simulator sim;
   Topology topo = MakeLine(sim, 7);
   routing::RouteManager routes(sim);
-  const auto cores = SelectCentreCores(routes, topo.routers, 1);
+  PlacementInput in;
+  in.routes = &routes;
+  in.routers = topo.routers;
+  const auto cores = MakeStrategy("centre")->Place(in, 1).cores;
   ASSERT_EQ(cores.size(), 1u);
   EXPECT_EQ(cores[0], topo.routers[3]) << "line centre minimizes eccentricity";
 }
@@ -75,8 +117,10 @@ TEST(CoreSelection, DelayCentreHonoursLinkDelays) {
   sim.Connect(r1, r2, 1 * kMillisecond);
   sim.Connect(r2, r3, 50 * kMillisecond);
   routing::RouteManager routes(sim);
-  const std::vector<NodeId> routers{r0, r1, r2, r3};
-  const auto delay_centre = SelectDelayCentreCores(routes, routers, 1);
+  PlacementInput in;
+  in.routes = &routes;
+  in.routers = {r0, r1, r2, r3};
+  const auto delay_centre = MakeStrategy("delay-centre")->Place(in, 1).cores;
   EXPECT_EQ(delay_centre[0], r2)
       << "r2 splits the dominant 50ms edge from the cheap chain";
 }
@@ -85,7 +129,10 @@ TEST(CoreSelection, FarthestPointSpreadsMultipleCores) {
   Simulator sim;
   Topology topo = MakeLine(sim, 9);
   routing::RouteManager routes(sim);
-  const auto cores = SelectCentreCores(routes, topo.routers, 2);
+  PlacementInput in;
+  in.routes = &routes;
+  in.routers = topo.routers;
+  const auto cores = MakeStrategy("centre")->Place(in, 2).cores;
   ASSERT_EQ(cores.size(), 2u);
   // Second core is far from the first (an end of the line).
   const double spread = routes.Distance(cores[0], cores[1]);
@@ -95,24 +142,80 @@ TEST(CoreSelection, FarthestPointSpreadsMultipleCores) {
 TEST(CoreSelection, GroupHashIsDeterministicAndCovers) {
   Simulator sim;
   Topology topo = MakeLine(sim, 5);
+  PlacementInput in;
+  in.routers = topo.routers;
+  in.group = kGroup;
   // Same group → same rotation; different groups spread over candidates.
-  const auto a1 = OrderCoresByGroupHash(topo.routers, kGroup);
-  const auto a2 = OrderCoresByGroupHash(topo.routers, kGroup);
+  const auto hash = MakeStrategy("hash");
+  const auto a1 = hash->Place(in, topo.routers.size()).cores;
+  const auto a2 = hash->Place(in, topo.routers.size()).cores;
   EXPECT_EQ(a1, a2);
   std::set<NodeId> firsts;
   for (int g = 0; g < 64; ++g) {
-    firsts.insert(OrderCoresByGroupHash(
-                      topo.routers,
-                      Ipv4Address(239, 0, 0, static_cast<std::uint8_t>(g)))
-                      .front());
+    PlacementInput gi = in;
+    gi.group = Ipv4Address(239, 0, 0, static_cast<std::uint8_t>(g));
+    firsts.insert(hash->Place(gi, 1).cores.front());
   }
   EXPECT_GE(firsts.size(), 3u) << "hash should spread groups over cores";
-  // The rotation preserves the full candidate set.
+  // A full-k rotation preserves the complete candidate set.
   std::vector<NodeId> sorted = a1;
   std::sort(sorted.begin(), sorted.end());
   std::vector<NodeId> expected = topo.routers;
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(sorted, expected);
+}
+
+TEST(CoreSelection, AssignNearestPartitionsByDelay) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 9);
+  routing::RouteManager routes(sim);
+  const std::vector<NodeId> cores = {topo.routers[0], topo.routers[8]};
+  const std::vector<NodeId> members = {topo.routers[1], topo.routers[2],
+                                       topo.routers[6], topo.routers[7]};
+  const auto assignment = core_selection::AssignNearest(routes, cores, members);
+  ASSERT_EQ(assignment.size(), members.size());
+  EXPECT_EQ(assignment[0], 0u);
+  EXPECT_EQ(assignment[1], 0u);
+  EXPECT_EQ(assignment[2], 1u);
+  EXPECT_EQ(assignment[3], 1u);
+}
+
+TEST(CoreSelection, LocalityClustersMembersAroundTheirCore) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 10);
+  routing::RouteManager routes(sim);
+  PlacementInput in;
+  in.routes = &routes;
+  in.routers = topo.routers;
+  // Two tight member groups at the line's ends.
+  in.member_routers = {topo.routers[0], topo.routers[1], topo.routers[2],
+                       topo.routers[7], topo.routers[8], topo.routers[9]};
+  const Placement placement = MakeStrategy("locality")->Place(in, 2);
+  ASSERT_EQ(placement.cores.size(), 2u);
+  ASSERT_EQ(placement.assignment.size(), in.member_routers.size());
+  // Each end-cluster lands on one shared core, and the two differ.
+  EXPECT_EQ(placement.assignment[0], placement.assignment[1]);
+  EXPECT_EQ(placement.assignment[1], placement.assignment[2]);
+  EXPECT_EQ(placement.assignment[3], placement.assignment[4]);
+  EXPECT_EQ(placement.assignment[4], placement.assignment[5]);
+  EXPECT_NE(placement.assignment[0], placement.assignment[3]);
+}
+
+TEST(CoreSelection, DeprecatedShimsDelegateToTheRegistry) {
+  Simulator sim;
+  Topology topo = MakeLine(sim, 7);
+  routing::RouteManager routes(sim);
+  PlacementInput in;
+  in.routes = &routes;
+  in.routers = topo.routers;
+  EXPECT_EQ(SelectCentreCores(routes, topo.routers, 2),
+            MakeStrategy("centre")->Place(in, 2).cores);
+  Rng rng_a(9), rng_b(9);
+  PlacementInput rin;
+  rin.routers = topo.routers;
+  rin.rng = &rng_b;
+  EXPECT_EQ(SelectRandomCores(topo.routers, 3, rng_a),
+            MakeStrategy("random")->Place(rin, 3).cores);
 }
 
 }  // namespace

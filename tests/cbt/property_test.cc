@@ -37,10 +37,13 @@ struct World {
     topo = netsim::MakeWaxman(sim, params);
     domain.emplace(sim, topo);
     Rng rng(seed * 13 + 1);
+    core_selection::PlacementInput place_in;
+    place_in.routers = topo.routers;
+    place_in.rng = &rng;
+    const auto random_cores = core_selection::MakeStrategy("random");
     for (int g = 0; g < groups; ++g) {
       domain->RegisterGroup(
-          GroupAddr(g),
-          SelectRandomCores(topo.routers, 1 + (g % 2), rng));
+          GroupAddr(g), random_cores->Place(place_in, 1 + (g % 2)).cores);
     }
     domain->Start();
     sim.RunUntil(kSecond);
