@@ -13,9 +13,11 @@
 // `--plan` dumps the schedule, `--csv` switches to CSV. `--routers N`
 // replaces the default three-topology sweep with one ceil(sqrt(N))^2
 // grid — the scaling mode used to size the event engine —
-// `--engine wheel|legacy` selects the event engine under test, and
+// `--engine wheel|legacy` selects the event engine under test,
 // `--routing lazy|eager` selects the unicast-routing recompute strategy
-// (the eager fallback exists for the routing differential cross-check).
+// (the eager fallback exists for the routing differential cross-check),
+// and `--dataplane fast|slow` selects the forwarding path (the slow
+// per-packet recompute survives as the fast path's differential oracle).
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -112,7 +114,8 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
                    netsim::Topology& topo, const MemberPlan& members,
                    std::uint64_t seed, int event_count, bool dump_plan,
                    routing::RouteManager::Mode routing_mode,
-                   core::ProtocolMutation mutation, bool run_check,
+                   core::ProtocolMutation mutation,
+                   core::DataplaneMode dataplane, bool run_check,
                    int shards, std::ostream& out) {
   SoakResult result;
   result.topology = name;
@@ -124,6 +127,7 @@ SoakResult RunSoak(const std::string& name, netsim::Simulator& sim,
 
   core::CbtConfig cbt_config = SoakCbtConfig();
   cbt_config.mutation = mutation;
+  cbt_config.dataplane = dataplane;
   core::CbtDomain domain(sim, topo, cbt_config, SoakIgmpConfig());
   domain.routes().set_mode(routing_mode);
   if (shards > 0) {
@@ -273,6 +277,9 @@ int main(int argc, char** argv) {
            "write the merged expectation report to FILE (implies --check)");
   opts.Str("mutate", &mutate_name,
            "seed a protocol defect for checker validation: suppress-flush");
+  std::string dataplane_name = "fast";
+  opts.Str("dataplane", &dataplane_name,
+           "forwarding path: fast (flow cache) | slow (per-packet oracle)");
   opts.EnableShards();
   opts.Parse(argc, argv);
   if (opts.smoke) event_count = std::min(event_count, 10);
@@ -283,6 +290,14 @@ int main(int argc, char** argv) {
   } else if (!mutate_name.empty()) {
     std::cerr << "bench_chaos_soak: unknown --mutate '" << mutate_name
               << "' (known: suppress-flush)\n";
+    return 2;
+  }
+  core::DataplaneMode dataplane = core::DataplaneMode::kFast;
+  if (dataplane_name == "slow") {
+    dataplane = core::DataplaneMode::kSlow;
+  } else if (dataplane_name != "fast") {
+    std::cerr << "bench_chaos_soak: unknown --dataplane '" << dataplane_name
+              << "' (known: fast, slow)\n";
     return 2;
   }
 
@@ -367,7 +382,8 @@ int main(int argc, char** argv) {
             return RunSoak(
                 "grid-" + std::to_string(side) + "x" + std::to_string(side),
                 sim, topo, members, ctx.seed, event_count, dump_plan,
-                routing_mode, mutation, run_check, opts.shards, ctx.out);
+                routing_mode, mutation, dataplane, run_check, opts.shards,
+                ctx.out);
           }
           case Topo::kGrid4x4: {
             netsim::Simulator sim(1, engine);
@@ -376,7 +392,7 @@ int main(int argc, char** argv) {
                                {topo.routers[0], topo.routers[15]}};
             return RunSoak("grid-4x4", sim, topo, members, ctx.seed,
                            event_count, dump_plan, routing_mode, mutation,
-                           run_check, opts.shards, ctx.out);
+                           dataplane, run_check, opts.shards, ctx.out);
           }
           case Topo::kWaxman20: {
             netsim::Simulator sim(1, engine);
@@ -388,7 +404,7 @@ int main(int argc, char** argv) {
                                {topo.routers[0], topo.routers[13]}};
             return RunSoak("waxman-20", sim, topo, members, ctx.seed,
                            event_count, dump_plan, routing_mode, mutation,
-                           run_check, opts.shards, ctx.out);
+                           dataplane, run_check, opts.shards, ctx.out);
           }
           case Topo::kTransitStub:
           default: {
@@ -402,7 +418,7 @@ int main(int argc, char** argv) {
                                {topo.routers[0], topo.routers[1]}};
             return RunSoak("transit-stub", sim, topo, members, ctx.seed,
                            event_count, dump_plan, routing_mode, mutation,
-                           run_check, opts.shards, ctx.out);
+                           dataplane, run_check, opts.shards, ctx.out);
           }
         }
       },
@@ -470,6 +486,7 @@ int main(int argc, char** argv) {
     report.Param("routers", routers);
     report.Param("engine", engine_name);
     report.Param("routing", routing_name);
+    report.Param("dataplane", dataplane_name);
     report.Param("check", run_check);
     if (!mutate_name.empty()) report.Param("mutate", mutate_name);
     if (run_check) {

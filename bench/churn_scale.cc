@@ -29,10 +29,12 @@
 // process-wide, so the memory series are meaningful under --jobs 1,
 // where rows run serially with the aggregate calibration row first.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <deque>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -95,6 +97,12 @@ struct RowResult {
   analysis::TreeQuality quality;
   int quality_groups = 0;          // groups large enough to measure
   std::uint64_t sim_nodes = 0;     // node objects at end (memory proxy)
+  std::uint64_t data_sends = 0;         // --data-rate sender packets
+  std::uint64_t data_forwarded = 0;     // router data_forwarded_tree total
+  std::uint64_t data_delivered = 0;     // router data_delivered_lan total
+  std::uint64_t cache_hits = 0;         // flow-cache hits across routers
+  std::uint64_t cache_misses = 0;       // flow-cache cold misses
+  std::uint64_t cache_invalidates = 0;  // generation-mismatch rebuilds
   double wall_s = 0;               // nondeterministic; kept off stdout
   bench::MemorySample memory;      // nondeterministic (RSS fields)
   std::string error;
@@ -139,7 +147,7 @@ class PerHostDriver {
 };
 
 RowResult RunRow(const RowSpec& spec, const scenario::ChurnParams& params,
-                 int shards) {
+                 int shards, int data_rate, core::DataplaneMode dataplane) {
   const auto wall_start = std::chrono::steady_clock::now();
   RowResult result;
   result.label = spec.label;
@@ -152,7 +160,9 @@ RowResult RunRow(const RowSpec& spec, const scenario::ChurnParams& params,
   netsim::Topology topo = netsim::MakeGrid(sim, spec.side, spec.side);
   result.routers = spec.side * spec.side;
 
-  core::CbtDomain domain(sim, topo, core::CbtConfig{}, ChurnIgmpConfig());
+  core::CbtConfig cbt_config;
+  cbt_config.dataplane = dataplane;
+  core::CbtDomain domain(sim, topo, cbt_config, ChurnIgmpConfig());
   if (shards > 0) {
     pdes = std::make_unique<exec::pdes::Runtime>(sim, shards);
     pdes->Install();
@@ -211,6 +221,38 @@ RowResult RunRow(const RowSpec& spec, const scenario::ChurnParams& params,
 
   domain.Start();
   runner.Start();
+
+  // Sustained sender traffic (--data-rate): one non-member host on the
+  // last router LAN pumps each group at data_rate packets/sec, driving
+  // the full data plane (DR relay toward the core, then tree fan-out
+  // and member-LAN delivery) under the live churn workload.
+  core::HostAgent* sender = nullptr;
+  const SimDuration period =
+      data_rate > 0 ? std::max<SimDuration>(1, kSecond / data_rate) : 0;
+  std::function<void(std::uint32_t, std::uint32_t)> pump =
+      [&](std::uint32_t g, std::uint32_t seq) {
+        std::array<std::uint8_t, 8> payload{};
+        payload[0] = static_cast<std::uint8_t>(g >> 8);
+        payload[1] = static_cast<std::uint8_t>(g);
+        payload[4] = static_cast<std::uint8_t>(seq >> 24);
+        payload[5] = static_cast<std::uint8_t>(seq >> 16);
+        payload[6] = static_cast<std::uint8_t>(seq >> 8);
+        payload[7] = static_cast<std::uint8_t>(seq);
+        sender->SendToGroup(GroupAddress(g), payload);
+        ++result.data_sends;
+        if (sim.Now() + period < params.duration) {
+          sim.Schedule(period, [&pump, g, seq] { pump(g, seq + 1); });
+        }
+      };
+  if (data_rate > 0) {
+    sender = &domain.AddHost(topo.router_lans.back(), "datasrc");
+    for (std::uint32_t g = 0; g < params.groups; ++g) {
+      // Stagger streams across one period; start after trees warm up.
+      sim.Schedule(10 * kSecond + (period * g) / params.groups,
+                   [&pump, g] { pump(g, 0); });
+    }
+  }
+
   sim.RunUntil(params.duration);
 
   // Drain: let leave-triggered queries expire and the tree settle, then
@@ -252,6 +294,14 @@ RowResult RunRow(const RowSpec& spec, const scenario::ChurnParams& params,
   }
 
   result.control_messages = domain.TotalControlMessages();
+  for (const NodeId id : domain.router_ids()) {
+    const core::RouterStats& rs = domain.router(id).stats();
+    result.data_forwarded += rs.data_forwarded_tree;
+    result.data_delivered += rs.data_delivered_lan;
+    result.cache_hits += rs.dataplane_cache_hits;
+    result.cache_misses += rs.dataplane_cache_misses;
+    result.cache_invalidates += rs.dataplane_cache_invalidates;
+  }
   for (igmp::MembershipAggregate* station : stations) {
     const auto& stats = station->stats();
     result.station_messages +=
@@ -279,6 +329,8 @@ int main(int argc, char** argv) {
   int routers = 0;          // >0: replace the scale sweep with one row
   std::uint64_t members = 0;  // with --routers: members for that row
   double churn = 1.0;
+  int data_rate = 0;
+  std::string dataplane_name = "fast";
   bool deterministic = false;
   bool skip_calibration = false;
   opts.Str("profile", &profile,
@@ -290,6 +342,11 @@ int main(int argc, char** argv) {
   opts.Int("routers", &routers,
            "custom scale row: one ~N-router grid instead of the sweep");
   opts.U64("members", &members, "custom scale row: warm-start members");
+  opts.Int("data-rate", &data_rate,
+           "sender packets/sec per group pushed through the data plane "
+           "while churn runs (0 = membership churn only)");
+  opts.Str("dataplane", &dataplane_name,
+           "forwarding path: fast (flow cache) | slow (per-packet oracle)");
   opts.Flag("deterministic", &deterministic,
             "omit wall-clock/RSS series so stdout AND --json are "
             "byte-identical across --jobs/--shards (differential mode)");
@@ -306,6 +363,14 @@ int main(int argc, char** argv) {
               << "' (known: zipf flash storm)\n";
     return 2;
   }
+  if (dataplane_name != "fast" && dataplane_name != "slow") {
+    std::cerr << "bench_churn_scale: unknown --dataplane '" << dataplane_name
+              << "' (known: fast slow)\n";
+    return 2;
+  }
+  const core::DataplaneMode dataplane = dataplane_name == "slow"
+                                            ? core::DataplaneMode::kSlow
+                                            : core::DataplaneMode::kFast;
   if (opts.smoke) duration_s = std::min(duration_s, 60);
   const SimDuration duration = duration_s * kSecond;
 
@@ -385,7 +450,8 @@ int main(int argc, char** argv) {
       pool, specs.size(), sweep,
       [&](exec::RunContext& ctx) {
         const RowSpec& spec = specs[ctx.index];
-        return RunRow(spec, params_for(spec), opts.shards);
+        return RunRow(spec, params_for(spec), opts.shards, data_rate,
+                      dataplane);
       },
       [&](exec::RunContext& ctx, RowResult result) {
         results.push_back(std::move(result));
@@ -399,6 +465,8 @@ int main(int argc, char** argv) {
                         "suppressed", "nodes", "audit"});
   analysis::Table quality(
       {"row", "tree ratio", "shared links", "mean spt links", "groups"});
+  analysis::Table data({"row", "sends", "fwd tree", "lan dlv", "cache hit",
+                        "cache miss", "cache inval"});
   for (const RowResult& r : results) {
     rows.AddRow({r.label, analysis::Table::Num(r.routers),
                  analysis::Table::Num(r.lans),
@@ -415,6 +483,12 @@ int main(int argc, char** argv) {
                     analysis::Table::Num(r.quality.shared_cost),
                     analysis::Table::Fixed(r.quality.mean_source_cost, 1),
                     analysis::Table::Num(r.quality_groups)});
+    data.AddRow({r.label, analysis::Table::Num(r.data_sends),
+                 analysis::Table::Num(r.data_forwarded),
+                 analysis::Table::Num(r.data_delivered),
+                 analysis::Table::Num(r.cache_hits),
+                 analysis::Table::Num(r.cache_misses),
+                 analysis::Table::Num(r.cache_invalidates)});
   }
 
   if (!opts.csv) {
@@ -425,6 +499,12 @@ int main(int argc, char** argv) {
   bench::Emit(rows, opts.csv, "rows");
   if (!opts.csv) std::cout << "\n";
   bench::Emit(quality, opts.csv, "quality");
+  // The data table exists only when traffic ran, so default stdout
+  // stays byte-identical to churn-only runs.
+  if (data_rate > 0) {
+    if (!opts.csv) std::cout << "\n";
+    bench::Emit(data, opts.csv, "data");
+  }
 
   // Calibration summary (stderr + JSON: wall-clock is nondeterministic,
   // so it must stay off the byte-compared stdout).
@@ -463,6 +543,11 @@ int main(int argc, char** argv) {
     report.Param("deterministic", deterministic);
     report.AddTable("rows", rows);
     report.AddTable("quality", quality);
+    if (data_rate > 0) {
+      report.Param("data_rate", data_rate);
+      report.Param("dataplane", dataplane_name);
+      report.AddTable("data", data);
+    }
     if (node_reduction > 0) {
       report.Param("calibration_node_reduction", node_reduction);
     }

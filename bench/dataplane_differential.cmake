@@ -1,0 +1,115 @@
+# E12 data-plane fast-path differential (ctest, label bench-smoke).
+#
+# bench_dataplane runs every row through both forwarding paths and
+# itself exits 3 if the fast and slow legs disagree on any delivered
+# byte (per-member receive-stream FNV digest) or end audit-dirty, so a
+# zero exit IS the fast-vs-slow differential. This script drives that
+# assertion over 5 seeds total, checks that --deterministic reruns are
+# byte-identical (stdout AND BENCH json), and that single-leg mode
+# (--dataplane fast) emits only its own rows.
+#
+# It also cross-checks the fast path on the two heavy workloads from
+# earlier experiments: the chaos soak (failure/recovery traffic; stdout
+# must be byte-identical fast vs slow) and the E10 aggregate-churn slice
+# with sustained data traffic (delivery columns identical; the trailing
+# cache-counter columns legitimately differ — the slow leg never
+# populates the flow cache — and are stripped before comparison).
+#
+# Invoked as:
+#   cmake -DDATAPLANE=<path> -DCHAOS_SOAK=<path> -DCHURN_SCALE=<path>
+#         -DWORK_DIR=<dir> -P dataplane_differential.cmake
+
+foreach(var DATAPLANE CHAOS_SOAK CHURN_SCALE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=")
+  endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_variant name)
+  set(json "${WORK_DIR}/${name}.json")
+  execute_process(
+    COMMAND ${DATAPLANE} --smoke --deterministic
+      ${ARGN} --json ${json}
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${name}: exit ${code}\n${stderr}")
+  endif()
+  file(WRITE "${WORK_DIR}/${name}.txt" "${stdout}")
+  set(${name}_out "${stdout}" PARENT_SCOPE)
+  file(READ "${json}" json_text)
+  set(${name}_json "${json_text}" PARENT_SCOPE)
+endfunction()
+
+# Seeds 1+2 (--repeat 2), run twice: the fast/slow digest comparison
+# happens inside the bench; the rerun proves determinism. The
+# copy-reduction gate asserts the structural win (fast stages >= 2x
+# fewer arena buffers) — deterministic, so safe in a smoke test.
+run_variant(run_a --seed 1 --repeat 2 --min-copy-reduction 2)
+run_variant(run_b --seed 1 --repeat 2 --min-copy-reduction 2)
+if(NOT run_a_out STREQUAL run_b_out)
+  message(FATAL_ERROR "rerun stdout differs (dumps in ${WORK_DIR})")
+endif()
+if(NOT run_a_json STREQUAL run_b_json)
+  message(FATAL_ERROR "rerun BENCH json differs (${WORK_DIR})")
+endif()
+if(NOT run_a_json MATCHES "\"delivery_match\": true")
+  message(FATAL_ERROR "BENCH json did not record delivery_match=true")
+endif()
+message(STATUS "seeds 1-2: fast/slow byte-identical, rerun deterministic")
+
+# Seeds 5-7 (--repeat 3) extend the differential to 5 distinct seeds.
+run_variant(run_c --seed 5 --repeat 3)
+if(NOT run_c_json MATCHES "\"delivery_match\": true")
+  message(FATAL_ERROR "seeds 5-7 did not record delivery_match=true")
+endif()
+message(STATUS "seeds 5-7: fast/slow byte-identical")
+
+# Single-leg mode: a fast-only run must not contain slow rows.
+run_variant(fast_only --seed 1 --dataplane fast)
+if(fast_only_out MATCHES "slow")
+  message(FATAL_ERROR "--dataplane fast still printed slow-path rows")
+endif()
+message(STATUS "--dataplane fast single-leg mode verified")
+
+# Chaos-soak cross-check: failure/recovery traffic through the fast
+# path must reproduce the slow path's stdout byte-for-byte.
+function(run_other name binary)
+  execute_process(
+    COMMAND ${binary} --smoke ${ARGN}
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${name}: exit ${code}\n${stderr}")
+  endif()
+  file(WRITE "${WORK_DIR}/${name}.txt" "${stdout}")
+  set(${name}_out "${stdout}" PARENT_SCOPE)
+endfunction()
+
+run_other(chaos_fast ${CHAOS_SOAK} --dataplane fast)
+run_other(chaos_slow ${CHAOS_SOAK} --dataplane slow)
+if(NOT chaos_fast_out STREQUAL chaos_slow_out)
+  message(FATAL_ERROR
+    "chaos-soak fast/slow stdout differs (dumps in ${WORK_DIR})")
+endif()
+message(STATUS "chaos soak: fast/slow byte-identical")
+
+# Aggregate-churn slice (E10 with sustained --data-rate traffic): the
+# delivery columns must match; the three trailing cache-counter columns
+# are fast-path-only and get stripped from both sides.
+run_other(churn_fast ${CHURN_SCALE} --deterministic --data-rate 20
+  --dataplane fast)
+run_other(churn_slow ${CHURN_SCALE} --deterministic --data-rate 20
+  --dataplane slow)
+string(REGEX REPLACE "( +[0-9]+)( +[0-9]+)( +[0-9]+)(\r?\n)" "\\4"
+  churn_fast_stripped "${churn_fast_out}")
+string(REGEX REPLACE "( +[0-9]+)( +[0-9]+)( +[0-9]+)(\r?\n)" "\\4"
+  churn_slow_stripped "${churn_slow_out}")
+if(NOT churn_fast_stripped STREQUAL churn_slow_stripped)
+  message(FATAL_ERROR
+    "churn-scale fast/slow delivery columns differ (dumps in ${WORK_DIR})")
+endif()
+message(STATUS "aggregate churn slice: fast/slow delivery identical")

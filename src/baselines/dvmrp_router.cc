@@ -139,6 +139,13 @@ void DvmrpRouter::HandleData(VifIndex vif, Ipv4Address link_src,
   }
 
   bool sent_somewhere = false;
+  // Every output carries the same bytes: stage them in the arena once and
+  // fan the shared buffer out by reference.
+  netsim::PacketRef shared;
+  const auto shared_ref = [&]() -> const netsim::PacketRef& {
+    if (!shared.valid()) shared = sim_->MakePacket(*forwarded);
+    return shared;
+  };
   // Flood to every other router-bearing interface not fully pruned.
   for (const VifIndex out : RouterVifs()) {
     if (out == vif) continue;
@@ -146,9 +153,8 @@ void DvmrpRouter::HandleData(VifIndex vif, Ipv4Address link_src,
       ++stats_.data_dropped_pruned;
       continue;
     }
-    std::vector<std::uint8_t> copy = *forwarded;
     ++stats_.data_forwarded;
-    sim_->SendDatagram(self_, out, ip.dst, std::move(copy));
+    sim_->SendDatagramRef(self_, out, ip.dst, shared_ref());
     sent_somewhere = true;
   }
   // Deliver onto member LANs (querier only, to avoid LAN duplicates).
@@ -158,9 +164,8 @@ void DvmrpRouter::HandleData(VifIndex vif, Ipv4Address link_src,
             .address.Contains(ip.src)) {
       continue;
     }
-    std::vector<std::uint8_t> copy = *forwarded;
     ++stats_.data_delivered_lan;
-    sim_->SendDatagram(self_, out, ip.dst, std::move(copy));
+    sim_->SendDatagramRef(self_, out, ip.dst, shared_ref());
     sent_somewhere = true;
   }
   (void)sent_somewhere;

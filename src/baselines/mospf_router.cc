@@ -273,6 +273,12 @@ void MospfRouter::HandleData(VifIndex vif, const packet::Ipv4Header& ip,
     return;
   }
 
+  // Every output carries the same bytes: one arena buffer, shared.
+  netsim::PacketRef shared;
+  const auto shared_ref = [&]() -> const netsim::PacketRef& {
+    if (!shared.valid()) shared = sim_->MakePacket(*forwarded);
+    return shared;
+  };
   // One native multicast per distinct child interface.
   std::vector<VifIndex> sent_vifs;
   for (const auto& [child_vif, addr] : pos.children) {
@@ -282,9 +288,8 @@ void MospfRouter::HandleData(VifIndex vif, const packet::Ipv4Header& ip,
       continue;
     }
     sent_vifs.push_back(child_vif);
-    std::vector<std::uint8_t> copy = *forwarded;
     ++stats_.data_forwarded;
-    sim_->SendDatagram(self_, child_vif, ip.dst, std::move(copy));
+    sim_->SendDatagramRef(self_, child_vif, ip.dst, shared_ref());
   }
   // Member LANs.
   for (const VifIndex out : igmp_.MemberVifs(ip.dst)) {
@@ -297,9 +302,8 @@ void MospfRouter::HandleData(VifIndex vif, const packet::Ipv4Header& ip,
             .address.Contains(ip.src)) {
       continue;
     }
-    std::vector<std::uint8_t> copy = *forwarded;
     ++stats_.data_delivered_lan;
-    sim_->SendDatagram(self_, out, ip.dst, std::move(copy));
+    sim_->SendDatagramRef(self_, out, ip.dst, shared_ref());
   }
 }
 

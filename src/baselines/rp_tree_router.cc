@@ -307,14 +307,19 @@ void RpTreeRouter::ForwardDown(const Entry& entry, VifIndex arrival_vif,
                                const packet::Ipv4Header& inner_ip,
                                std::span<const std::uint8_t> inner,
                                Ipv4Address group) {
+  // Every output carries the same bytes: one arena buffer, shared.
+  netsim::PacketRef shared;
+  const auto shared_ref = [&]() -> const netsim::PacketRef& {
+    if (!shared.valid()) shared = sim_->MakePacket(inner);
+    return shared;
+  };
   std::vector<VifIndex> sent;
   for (const auto& d : entry.downstream) {
     if (d->vif == arrival_vif) continue;
     if (std::find(sent.begin(), sent.end(), d->vif) != sent.end()) continue;
     sent.push_back(d->vif);
-    std::vector<std::uint8_t> copy(inner.begin(), inner.end());
     ++stats_.data_forwarded;
-    sim_->SendDatagram(self_, d->vif, group, std::move(copy));
+    sim_->SendDatagramRef(self_, d->vif, group, shared_ref());
   }
   for (const VifIndex v : igmp_.MemberVifs(group)) {
     if (v == arrival_vif || !igmp_.IsQuerier(v)) continue;
@@ -323,9 +328,8 @@ void RpTreeRouter::ForwardDown(const Entry& entry, VifIndex arrival_vif,
             .address.Contains(inner_ip.src)) {
       continue;
     }
-    std::vector<std::uint8_t> copy(inner.begin(), inner.end());
     ++stats_.data_delivered_lan;
-    sim_->SendDatagram(self_, v, group, std::move(copy));
+    sim_->SendDatagramRef(self_, v, group, shared_ref());
   }
 }
 

@@ -9,6 +9,17 @@ namespace cbt::core {
 /// Deliberate protocol defects for validating the causal-path checker
 /// (src/check/): a mutated run must trip the expectation suite. Never
 /// enabled by default; benches expose it behind --mutate.
+/// Data-plane execution mode. kFast memoizes resolved forwarding
+/// decisions in a per-router flow cache (generation-invalidated) and
+/// encodes each outgoing variant once per hop; kSlow recomputes the
+/// decision from the FIB/IGMP state on every packet. Both produce
+/// byte-identical deliveries — kSlow survives as the differential-test
+/// oracle, like the legacy event-queue engine.
+enum class DataplaneMode : std::uint8_t {
+  kFast = 0,
+  kSlow = 1,
+};
+
 enum class ProtocolMutation : std::uint8_t {
   kNone = 0,
   /// Suppress every FLUSH-TREE transmission (teardown and the section 2.7
@@ -63,6 +74,15 @@ struct CbtConfig {
 
   /// Seeded protocol defect for checker validation (see ProtocolMutation).
   ProtocolMutation mutation = ProtocolMutation::kNone;
+
+  /// Data-plane fast path (flow cache + encode-once); see DataplaneMode.
+  DataplaneMode dataplane = DataplaneMode::kFast;
+
+  /// Bracket the data-plane handlers with cycle stamps and accumulate
+  /// them in RouterStats::dataplane_stage_cycles. Off by default: it is a
+  /// measurement aid for bench_dataplane's hop-forwarding throughput, and
+  /// the raw cycle counts are inherently nondeterministic.
+  bool time_dataplane = false;
 };
 
 }  // namespace cbt::core

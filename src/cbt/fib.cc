@@ -20,11 +20,15 @@ const ChildEntry* FibEntry::FindChild(Ipv4Address address) const {
 
 void FibEntry::AddChild(Ipv4Address address, VifIndex vif, SimTime now) {
   if (ChildEntry* existing = FindChild(address)) {
+    // A pure liveness refresh (same vif) changes no forwarding decision;
+    // only a vif move invalidates cached fan-outs.
+    if (existing->vif != vif) Touch();
     existing->vif = vif;
     existing->last_heard = now;
     return;
   }
   children.push_back(ChildEntry{address, vif, now});
+  Touch();
 }
 
 bool FibEntry::RemoveChild(Ipv4Address address) {
@@ -33,6 +37,7 @@ bool FibEntry::RemoveChild(Ipv4Address address) {
                    [&](const ChildEntry& c) { return c.address == address; });
   if (it == children.end()) return false;
   children.erase(it);
+  Touch();
   return true;
 }
 
@@ -85,6 +90,7 @@ FibEntry& Fib::Create(Ipv4Address group) {
   if (it == entries_.end() || it->first != group) {
     it = entries_.emplace(it, group, FibEntry{});
     it->second.group = group;
+    ++table_generation_;
   }
   return it->second;
 }
@@ -93,6 +99,7 @@ bool Fib::Remove(Ipv4Address group) {
   const auto it = LowerBound(entries_, group);
   if (it == entries_.end() || it->first != group) return false;
   entries_.erase(it);
+  ++table_generation_;
   return true;
 }
 

@@ -35,6 +35,17 @@ struct FibEntry {
   /// Last CBT-ECHO-REPLY (or establishment) time from the parent.
   SimTime last_parent_reply = 0;
 
+  /// Dataplane invalidation counter: bumped by every mutation that can
+  /// change a forwarding decision for this group (parent re-pointing,
+  /// child set edits, core list changes). The per-router flow cache
+  /// stores the generation it resolved against and treats any mismatch
+  /// as a miss, so correctness never depends on an explicit flush.
+  /// AddChild/RemoveChild bump it themselves; call Touch() after any
+  /// direct field edit (liveness refreshes like last_heard /
+  /// last_parent_reply do not affect forwarding and need no bump).
+  std::uint64_t generation = 0;
+  void Touch() { ++generation; }
+
   /// Child set, inline up to 4 entries — the common CBT fan-out — so the
   /// per-packet forwarding path stays allocation-free.
   SmallVec<ChildEntry, 4> children;
@@ -121,6 +132,14 @@ class Fib {
 
   bool Remove(Ipv4Address group);
 
+  /// Bumped on every Create/Remove — the events that invalidate entry
+  /// pointers AND can recycle a group's per-entry generation (a removed
+  /// and re-created entry restarts at generation 0). A flow-cache hit
+  /// requires BOTH the table generation and the entry generation to
+  /// match, which makes the pair alias-free: any teardown/re-install
+  /// sequence bumps the table side even if the entry side repeats.
+  std::uint64_t table_generation() const { return table_generation_; }
+
   std::size_t size() const { return entries_.size(); }
 
   /// Total state footprint: entries plus child slots — the quantity the
@@ -134,6 +153,7 @@ class Fib {
 
  private:
   std::vector<std::pair<Ipv4Address, FibEntry>> entries_;  // sorted by group
+  std::uint64_t table_generation_ = 0;
 };
 
 }  // namespace cbt::core

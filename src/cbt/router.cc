@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "common/small_vec.h"
 
@@ -15,6 +16,22 @@ using packet::ControlType;
 using packet::IgmpMessage;
 using packet::IpProtocol;
 using packet::JoinSubcode;
+
+namespace {
+
+/// Byte-identical to packet::WithTtl's header rewrite: new TTL, checksum
+/// recomputed over the IPv4 header with the checksum field zeroed.
+void PatchTtlBytes(std::span<std::uint8_t> bytes, std::uint8_t ttl) {
+  bytes[8] = ttl;
+  bytes[10] = 0;
+  bytes[11] = 0;
+  const std::uint16_t sum = InternetChecksum(
+      std::span<const std::uint8_t>(bytes.data(), packet::kIpv4HeaderSize));
+  bytes[10] = static_cast<std::uint8_t>(sum >> 8);
+  bytes[11] = static_cast<std::uint8_t>(sum);
+}
+
+}  // namespace
 
 CbtRouter::CbtRouter(netsim::Simulator& sim, NodeId self,
                      routing::RouteManager& routes,
@@ -93,16 +110,22 @@ void CbtRouter::OnDatagram(VifIndex vif, Ipv4Address /*link_src*/,
       HandleControl(vif, ip, *control);
       return;
     }
-    case IpProtocol::kCbt:
+    case IpProtocol::kCbt: {
+      const std::uint64_t stage = StageClockStart();
       HandleCbtData(vif, ip, datagram);
+      StageClockStop(stage);
       return;
-    default:
+    }
+    default: {
+      const std::uint64_t stage = StageClockStart();
       if (ip.dst.IsMulticast()) {
         if (!ip.dst.IsLinkLocalMulticast()) HandleNativeData(vif, ip, datagram);
       } else if (!OwnsAddress(ip.dst)) {
         ForwardUnicast(ip, datagram);
       }
+      StageClockStop(stage);
       return;
+    }
   }
 }
 
@@ -250,6 +273,7 @@ void CbtRouter::HandleJoinRequest(VifIndex vif, const packet::Ipv4Header& ip,
     core_entry.is_core = true;
     core_entry.is_primary_core =
         !pkt.cores.empty() && OwnsAddress(pkt.cores.front());
+    core_entry.Touch();
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .name = "core-anchored",
               .node = self_.value(), .group = group,
@@ -320,6 +344,7 @@ void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
       quit_toward(entry->parent_vif, entry->parent_address);
       entry->parent_address = Ipv4Address{};
       entry->parent_vif = kInvalidVif;
+      entry->Touch();
     } else if (const auto it = pending_.find(group); it != pending_.end()) {
       // Ack not yet back: cancel the transient join so the late ack is
       // ignored, and tell the upstream hop to drop the branch it built.
@@ -386,7 +411,10 @@ void CbtRouter::HandleRejoinNactive(VifIndex vif, const packet::Ipv4Header& ip,
 
 void CbtRouter::TerminateJoin(VifIndex vif, const packet::Ipv4Header& ip,
                               const ControlPacket& pkt, FibEntry& entry) {
-  if (entry.cores.empty()) entry.cores = pkt.cores;
+  if (entry.cores.empty() && !pkt.cores.empty()) {
+    entry.cores = pkt.cores;
+    entry.Touch();
+  }
   SendAckTo(DownstreamRequester{vif, ip.src, pkt.origin, pkt.join_subcode()},
             entry);
 }
@@ -423,6 +451,7 @@ void CbtRouter::SendAckTo(const DownstreamRequester& req, FibEntry& entry) {
     // We become the G-DR for the group on this LAN; the origin keeps no
     // state and no child entry is created (section 2.6).
     gdr_.insert({entry.group, VifSubnet(req.vif)});
+    ++dataplane_epoch_;
   } else {
     ack.code = static_cast<std::uint8_t>(AckSubcode::kNormal);
     ++stats_.acks_sent;
@@ -490,6 +519,7 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
     ++stats_.proxy_acks_received;
     // Section 2.6: cancel all transient state; the sender is now G-DR.
     proxied_groups_[group] = sim_->Now();
+    ++dataplane_epoch_;
     const bool fire = p.locally_originated;
     const std::uint64_t txn = p.txn;
     pending_.erase(it);
@@ -513,6 +543,7 @@ void CbtRouter::HandleJoinAck(VifIndex vif, const packet::Ipv4Header& ip,
   entry.cores = !pkt.cores.empty() ? pkt.cores : p.cores;
   entry.parent_address = ip.src;
   entry.parent_vif = vif;
+  entry.Touch();
   entry.last_parent_reply = sim_->Now();
   for (const Ipv4Address& c : entry.cores) {
     if (OwnsAddress(c)) entry.is_core = true;
@@ -631,6 +662,7 @@ void CbtRouter::StartJoin(Ipv4Address group, std::vector<Ipv4Address> cores,
     entry.affiliation = target;
     entry.is_core = true;
     entry.is_primary_core = OwnsAddress(cores.front());
+    entry.Touch();
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .name = "core-anchored",
               .node = self_.value(), .group = group,
@@ -877,6 +909,9 @@ void CbtRouter::SimulateRestart() {
   proxied_groups_.clear();
   gdr_.clear();
   learned_cores_.clear();
+  ++dataplane_epoch_;
+  flow_cache_.Clear();
+  stats_.dataplane_cache_occupancy = 0;
 }
 
 void CbtRouter::Crash() {
@@ -1081,6 +1116,7 @@ void CbtRouter::ReconcileCoreRole(Ipv4Address group) {
     entry->is_primary_core = false;
     entry->cores = current;
     entry->affiliation = {};
+    entry->Touch();
     OBS_TRACE(sim_->trace(), .time = sim_->Now(),
               .kind = obs::TraceKind::kFsm, .name = "core-demoted",
               .node = self_.value(), .group = group);
@@ -1115,6 +1151,7 @@ void CbtRouter::ReconcileCoreRole(Ipv4Address group) {
   entry->is_primary_core = should_be_primary;
   entry->cores = current;
   entry->affiliation = owned;
+  entry->Touch();
   OBS_TRACE(sim_->trace(), .time = sim_->Now(), .kind = obs::TraceKind::kFsm,
             .name = "core-anchored", .node = self_.value(), .group = group,
             .arg_a = should_be_primary ? 1u : 0u, .detail = "reconciled");
@@ -1279,10 +1316,11 @@ void CbtRouter::RemoveGroupState(Ipv4Address group) {
   pending_.erase(group);
   quitting_.erase(group);
   core_pings_.erase(group);
-  proxied_groups_.erase(group);
+  if (proxied_groups_.erase(group) > 0) ++dataplane_epoch_;
   for (auto it = gdr_.begin(); it != gdr_.end();) {
     if (it->first == group) {
       it = gdr_.erase(it);
+      ++dataplane_epoch_;
     } else {
       ++it;
     }
@@ -1432,6 +1470,7 @@ void CbtRouter::OnChildScan() {
       entry.children.erase(
           std::remove_if(entry.children.begin(), entry.children.end(), stale),
           entry.children.end());
+      entry.Touch();
       affected.push_back(group);
     }
   }
@@ -1455,6 +1494,7 @@ void CbtRouter::StartReconnect(Ipv4Address group) {
 
   entry->parent_address = Ipv4Address{};
   entry->parent_vif = kInvalidVif;
+  entry->Touch();
 
   std::vector<Ipv4Address> cores = entry->cores;
   if (cores.empty()) cores = directory_->CoresFor(group);
@@ -1497,6 +1537,7 @@ void CbtRouter::OnMemberReport(VifIndex vif, Ipv4Address group,
     // a normal ack or a new G-DR repairs a silent G-DR loss).
     if (sim_->Now() - it->second < config_.proxy_refresh_interval) return;
     proxied_groups_.erase(it);
+    ++dataplane_epoch_;
   }
   // Core information: from a previously heard RP/Core-Report, falling back
   // to the external directory ("or by some other means", section 2.5).
@@ -1528,7 +1569,7 @@ void CbtRouter::OnCoreReport(VifIndex vif, const IgmpMessage& msg) {
 }
 
 void CbtRouter::OnGroupExpired(VifIndex /*vif*/, Ipv4Address group) {
-  proxied_groups_.erase(group);
+  if (proxied_groups_.erase(group) > 0) ++dataplane_epoch_;
   QuitCheck(group);
 }
 
@@ -1568,6 +1609,28 @@ void CbtRouter::HandleNativeData(VifIndex vif, const packet::Ipv4Header& ip,
     return;
   }
 
+  if (config_.dataplane == DataplaneMode::kFast) {
+    if (ip.ttl <= 1) {
+      ++stats_.data_dropped_ttl;
+      return;
+    }
+    const auto ttl = static_cast<std::uint8_t>(ip.ttl - 1);
+    // Zero-copy transit: when the delivery closure is the arriving
+    // buffer's sole owner (always true on point-to-point hops), patch
+    // the TTL in place and fan out the very buffer that carried the
+    // packet in. Otherwise fall back to the one-copy hop decrement —
+    // one arena staging instead of WithDecrementedTtl's vector round
+    // trip that the arena would copy again.
+    if (const netsim::PacketRef* arrival =
+            sim_->PatchableDeliveryRef(datagram)) {
+      PatchTtlBytes(sim_->MutablePacket(*arrival), ttl);
+      ForwardAlongTree(vif, ip.src, *entry, ip, datagram, nullptr, arrival);
+      return;
+    }
+    const netsim::PacketRef ref = MakeTtlPatchedPacket(datagram, ttl);
+    ForwardAlongTree(vif, ip.src, *entry, ip, ref.bytes(), nullptr, &ref);
+    return;
+  }
   const auto forwarded = packet::WithDecrementedTtl(datagram);
   if (!forwarded) {
     ++stats_.data_dropped_ttl;
@@ -1624,7 +1687,8 @@ void CbtRouter::ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
                                  const FibEntry& entry,
                                  const packet::Ipv4Header& inner_ip,
                                  std::span<const std::uint8_t> inner_datagram,
-                                 const packet::CbtDataHeader* cbt) {
+                                 const packet::CbtDataHeader* cbt,
+                                 const netsim::PacketRef* prebuilt) {
   // Effective CBT header for any encapsulated output (and the TTL source
   // for native outputs of a packet that arrived encapsulated).
   packet::CbtDataHeader hdr;
@@ -1640,6 +1704,189 @@ void CbtRouter::ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
     hdr.on_tree = true;
   }
 
+  if (config_.dataplane == DataplaneMode::kSlow) {
+    ForwardAlongTreeSlow(arrival_vif, arrival_src, entry, inner_ip,
+                         inner_datagram, cbt, hdr);
+    return;
+  }
+
+  const FlowKey key{entry.group, arrival_vif, arrival_src, cbt != nullptr};
+  FlowSlot& slot = flow_cache_.SlotFor(key);
+  const std::uint64_t epoch = DataplaneEpoch();
+  if (!slot.valid || !(slot.key == key)) {
+    ++stats_.dataplane_cache_misses;
+    slot.key = key;
+    slot.decision = BuildFlowDecision(entry, key);
+    slot.table_generation = fib_.table_generation();
+    slot.entry_generation = entry.generation;
+    slot.epoch = epoch;
+    slot.valid = true;
+    stats_.dataplane_cache_occupancy = flow_cache_.Occupancy();
+  } else if (slot.table_generation != fib_.table_generation() ||
+             slot.entry_generation != entry.generation ||
+             slot.epoch != epoch) {
+    ++stats_.dataplane_cache_invalidates;
+    slot.decision = BuildFlowDecision(entry, key);
+    slot.table_generation = fib_.table_generation();
+    slot.entry_generation = entry.generation;
+    slot.epoch = epoch;
+  } else {
+    ++stats_.dataplane_cache_hits;
+  }
+  ExecuteFlowDecision(slot.decision, entry, inner_ip, inner_datagram, cbt,
+                      hdr, prebuilt);
+}
+
+FlowDecision CbtRouter::BuildFlowDecision(const FibEntry& entry,
+                                          const FlowKey& key) const {
+  // Mirrors ForwardAlongTreeSlow's per-packet collection exactly — the
+  // slow path is the oracle, this is its arrival-invariant projection.
+  FlowDecision d;
+  const auto add_native = [&](VifIndex v) {
+    if (v != key.arrival_vif &&
+        std::find(d.native_vifs.begin(), d.native_vifs.end(), v) ==
+            d.native_vifs.end()) {
+      d.native_vifs.push_back(v);
+    }
+  };
+  if (entry.HasParent() && !(entry.parent_vif == key.arrival_vif &&
+                             entry.parent_address == key.arrival_src)) {
+    if (EffectiveMode(entry.parent_vif) == VifMode::kNative) {
+      add_native(entry.parent_vif);
+    } else {
+      d.cbt_targets.push_back({entry.parent_vif,
+                               VifAddress(entry.parent_vif),
+                               entry.parent_address});
+    }
+  }
+  entry.ForEachChildVif([&](VifIndex v) {
+    if (EffectiveMode(v) == VifMode::kNative) {
+      add_native(v);
+      return;
+    }
+    std::size_t kid_count = 0;
+    Ipv4Address sole_kid;
+    entry.ForEachChildOnVif(v, [&](const ChildEntry& c) {
+      if (v == key.arrival_vif && c.address == key.arrival_src) return;
+      sole_kid = c.address;
+      ++kid_count;
+    });
+    if (kid_count == 0) return;
+    d.cbt_targets.push_back(
+        {v, VifAddress(v), kid_count == 1 ? sole_kid : entry.group});
+  });
+  for (const VifIndex v : igmp_.MemberVifs(entry.group)) {
+    if (!IsSubnetDr(entry.group, v)) continue;
+    if (!key.cbt_arrival && v == key.arrival_vif) continue;  // on wire
+    if (std::find(d.native_vifs.begin(), d.native_vifs.end(), v) !=
+        d.native_vifs.end()) {
+      continue;  // a native tree transmission covers this LAN
+    }
+    d.member_vifs.push_back(v);
+  }
+  return d;
+}
+
+void CbtRouter::ExecuteFlowDecision(const FlowDecision& decision,
+                                    const FibEntry& entry,
+                                    const packet::Ipv4Header& inner_ip,
+                                    std::span<const std::uint8_t> inner_datagram,
+                                    const packet::CbtDataHeader* cbt,
+                                    const packet::CbtDataHeader& hdr,
+                                    const netsim::PacketRef* prebuilt) {
+  // Native tree outputs: every vif carries the same bytes, so serialize
+  // once into the arena and fan the shared buffer out.
+  netsim::PacketRef native_ref;
+  std::size_t native_size = 0;
+  if (!decision.native_vifs.empty()) {
+    native_size = inner_datagram.size();
+    if (cbt != nullptr) {
+      native_ref = MakeTtlPatchedPacket(inner_datagram, hdr.ip_ttl);
+    } else if (prebuilt != nullptr) {
+      native_ref = *prebuilt;
+    } else {
+      native_ref = sim_->MakePacket(inner_datagram);
+    }
+    for (const VifIndex v : decision.native_vifs) {
+      stats_.data_bytes_sent += native_size;
+      ++stats_.data_forwarded_tree;
+      sim_->SendDatagramRef(self_, v, entry.group, native_ref);
+    }
+  }
+
+  // CBT-mode outputs: the outer header template (and its invariant inner
+  // payload) is encoded once; each target patches 8 address bytes and
+  // re-checksums the outer header.
+  if (!decision.cbt_targets.empty()) {
+    if (cbt == nullptr) ++stats_.data_encapsulated;
+    const packet::CbtModeEncoder encoder(hdr, inner_datagram);
+    for (const FlowCbtTarget& target : decision.cbt_targets) {
+      auto bytes = encoder.Build(target.src, target.dst);
+      stats_.data_bytes_sent += bytes.size();
+      ++stats_.data_forwarded_tree;
+      sim_->SendDatagram(self_, target.vif, target.dst, std::move(bytes));
+    }
+  }
+
+  // Member LANs share one buffer — the native one when the bytes are
+  // identical (native arrival in a native domain: both are the already-
+  // decremented datagram verbatim). The origin-LAN skip depends on the
+  // packet's source address and stays per-packet.
+  const bool force_ttl_one = cbt != nullptr || !config_.native_mode;
+  netsim::PacketRef member_ref;
+  std::size_t member_size = 0;
+  for (const VifIndex v : decision.member_vifs) {
+    if (SubnetContains(v, inner_ip.src)) continue;  // origin LAN saw it
+    if (!member_ref.valid()) {
+      member_size = inner_datagram.size();
+      if (!force_ttl_one && native_ref.valid()) {
+        member_ref = native_ref;
+      } else if (force_ttl_one) {
+        member_ref = MakeTtlPatchedPacket(inner_datagram, 1);
+      } else if (prebuilt != nullptr) {
+        member_ref = *prebuilt;
+      } else {
+        member_ref = sim_->MakePacket(inner_datagram);
+      }
+    }
+    stats_.data_bytes_sent += member_size;
+    ++stats_.data_delivered_lan;
+    if (cbt != nullptr) ++stats_.data_decapsulated;
+    sim_->SendDatagramRef(self_, v, entry.group, member_ref);
+  }
+}
+
+netsim::PacketRef CbtRouter::MakeTtlPatchedPacket(
+    std::span<const std::uint8_t> datagram, std::uint8_t ttl) {
+  // Same bytes packet::WithTtl would produce, without the vector detour:
+  // one arena copy, then the header patched in place.
+  netsim::PacketRef ref = sim_->MakePacket(datagram);
+  PatchTtlBytes(sim_->MutablePacket(ref), ttl);
+  return ref;
+}
+
+bool CbtRouter::FlowCacheCoherent() const {
+  bool coherent = true;
+  const std::uint64_t epoch = DataplaneEpoch();
+  flow_cache_.ForEachValidSlot([&](const FlowSlot& slot) {
+    const FibEntry* entry = fib_.Find(slot.key.group);
+    if (entry == nullptr) return;  // lookup precedes any hit; can't serve
+    if (slot.table_generation != fib_.table_generation() ||
+        slot.entry_generation != entry->generation || slot.epoch != epoch) {
+      return;  // would be re-resolved, not served
+    }
+    if (!(BuildFlowDecision(*entry, slot.key) == slot.decision)) {
+      coherent = false;
+    }
+  });
+  return coherent;
+}
+
+void CbtRouter::ForwardAlongTreeSlow(
+    VifIndex arrival_vif, Ipv4Address arrival_src, const FibEntry& entry,
+    const packet::Ipv4Header& inner_ip,
+    std::span<const std::uint8_t> inner_datagram,
+    const packet::CbtDataHeader* cbt, const packet::CbtDataHeader& hdr) {
   // Collect outputs per interface mode (section 5.2 mixed operation):
   // native interfaces get one IP multicast each — shared by parent,
   // children and members on that LAN (section 4); CBT interfaces get
@@ -1777,14 +2024,32 @@ void CbtRouter::ForwardUnicast(const packet::Ipv4Header& ip,
                                std::span<const std::uint8_t> datagram) {
   const auto route = routes_->Lookup(self_, ip.dst);
   if (!route || route->vif == kInvalidVif) return;
+  const Ipv4Address link_dst =
+      route->next_hop == ip.dst || route->hop_count == 0 ? ip.dst
+                                                         : route->next_hop;
+  if (config_.dataplane == DataplaneMode::kFast) {
+    // Relay transit hops are on the data path too: same zero-copy (or
+    // at worst one-copy) TTL decrement as HandleNativeData.
+    if (ip.ttl <= 1) {
+      ++stats_.data_dropped_ttl;
+      return;
+    }
+    const auto ttl = static_cast<std::uint8_t>(ip.ttl - 1);
+    if (const netsim::PacketRef* arrival =
+            sim_->PatchableDeliveryRef(datagram)) {
+      PatchTtlBytes(sim_->MutablePacket(*arrival), ttl);
+      sim_->SendDatagramRef(self_, route->vif, link_dst, *arrival);
+      return;
+    }
+    const netsim::PacketRef ref = MakeTtlPatchedPacket(datagram, ttl);
+    sim_->SendDatagramRef(self_, route->vif, link_dst, ref);
+    return;
+  }
   const auto forwarded = packet::WithDecrementedTtl(datagram);
   if (!forwarded) {
     ++stats_.data_dropped_ttl;
     return;
   }
-  const Ipv4Address link_dst =
-      route->next_hop == ip.dst || route->hop_count == 0 ? ip.dst
-                                                         : route->next_hop;
   sim_->SendDatagram(self_, route->vif, link_dst, *forwarded);
 }
 

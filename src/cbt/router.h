@@ -40,9 +40,11 @@
 
 #include "cbt/config.h"
 #include "cbt/fib.h"
+#include "cbt/flow_cache.h"
 #include "cbt/group_directory.h"
 #include "cbt/stats.h"
 #include "cbt/tunnel_config.h"
+#include "common/cycle_clock.h"
 #include "igmp/router_igmp.h"
 #include "netsim/simulator.h"
 #include "netsim/timer.h"
@@ -75,7 +77,12 @@ class CbtRouter : public netsim::NetworkAgent {
   void Start() override;
   void OnDatagram(VifIndex vif, Ipv4Address link_src, Ipv4Address link_dst,
                   std::span<const std::uint8_t> datagram) override;
-  void ResetProtocolCounters() override { stats_.Reset(); }
+  void ResetProtocolCounters() override {
+    stats_.Reset();
+    // The occupancy gauge describes current cache state, not an interval;
+    // it survives a counter reset.
+    stats_.dataplane_cache_occupancy = flow_cache_.Occupancy();
+  }
 
   // --- Introspection (tests & experiments) -----------------------------------
   NodeId id() const { return self_; }
@@ -154,6 +161,14 @@ class CbtRouter : public netsim::NetworkAgent {
   /// Mutable FIB access for management tooling and invariant tests
   /// (deliberate corruption to exercise the auditor).
   Fib& mutable_fib() { return fib_; }
+
+  /// Debug oracle for the data-plane flow cache: recomputes every cached
+  /// decision that would currently be served as a hit and compares it to
+  /// the stored one. Returns false iff some slot is stale — i.e. state
+  /// changed without the matching generation/epoch bump (the bug class
+  /// the generation scheme exists to prevent). Tests corrupt state via
+  /// mutable_fib() without Touch() to prove this trips.
+  bool FlowCacheCoherent() const;
 
  private:
   struct DownstreamRequester {
@@ -293,11 +308,59 @@ class CbtRouter : public netsim::NetworkAgent {
   /// Forwards a data packet along the tree (both modes). `inner` is the
   /// original IP datagram; `cbt` carries CBT-mode header state when the
   /// packet arrived encapsulated (nullptr for native arrivals).
+  /// Dispatches to the flow-cached fast path or the recompute-everything
+  /// slow path per CbtConfig::dataplane; both emit identical bytes.
+  /// `prebuilt`, when non-null, is an arena packet already holding
+  /// exactly `inner_datagram`'s bytes (the caller's one-copy hop
+  /// decrement); the fast path fans it out without another copy.
   void ForwardAlongTree(VifIndex arrival_vif, Ipv4Address arrival_src,
                         const FibEntry& entry,
                         const packet::Ipv4Header& inner_ip,
                         std::span<const std::uint8_t> inner_datagram,
-                        const packet::CbtDataHeader* cbt);
+                        const packet::CbtDataHeader* cbt,
+                        const netsim::PacketRef* prebuilt = nullptr);
+  /// The historical per-packet recompute path (the differential oracle).
+  void ForwardAlongTreeSlow(VifIndex arrival_vif, Ipv4Address arrival_src,
+                            const FibEntry& entry,
+                            const packet::Ipv4Header& inner_ip,
+                            std::span<const std::uint8_t> inner_datagram,
+                            const packet::CbtDataHeader* cbt,
+                            const packet::CbtDataHeader& hdr);
+  /// Resolves the arrival-invariant forwarding decision for `key`
+  /// (cache-miss work; also the coherence oracle's recompute).
+  FlowDecision BuildFlowDecision(const FibEntry& entry,
+                                 const FlowKey& key) const;
+  /// Emits a resolved decision: encode-once per output variant, shared
+  /// arena buffers across vifs, residual per-packet origin-LAN check.
+  void ExecuteFlowDecision(const FlowDecision& decision, const FibEntry& entry,
+                           const packet::Ipv4Header& inner_ip,
+                           std::span<const std::uint8_t> inner_datagram,
+                           const packet::CbtDataHeader* cbt,
+                           const packet::CbtDataHeader& hdr,
+                           const netsim::PacketRef* prebuilt);
+  /// One-copy hop decrement: stages `datagram` in the arena and patches
+  /// TTL + header checksum in place (byte-identical to packet::WithTtl,
+  /// minus the intermediate vector).
+  netsim::PacketRef MakeTtlPatchedPacket(
+      std::span<const std::uint8_t> datagram, std::uint8_t ttl);
+  /// Combined flow-cache epoch: the sum of every monotonic counter
+  /// covering non-FIB decision inputs (DR/proxy role, IGMP membership
+  /// and querier state, tunnel modes). Sums of monotonic counters are
+  /// monotonic, so a matching epoch proves none of them moved.
+  std::uint64_t DataplaneEpoch() const {
+    return dataplane_epoch_ + igmp_.state_version() + tunnels_.version();
+  }
+  /// Stage-timing brackets around the data-plane handlers (see
+  /// CbtConfig::time_dataplane). A branch-predicted compare when off.
+  std::uint64_t StageClockStart() const {
+    return config_.time_dataplane ? CycleNow() : 0;
+  }
+  void StageClockStop(std::uint64_t started) {
+    if (config_.time_dataplane) {
+      stats_.dataplane_stage_cycles += CycleNow() - started;
+      ++stats_.dataplane_stage_calls;
+    }
+  }
   /// Section 5.1/5.3 non-member sending: encapsulate toward a core.
   void RelayNonMemberData(VifIndex vif, const packet::Ipv4Header& ip,
                           std::span<const std::uint8_t> datagram);
@@ -343,6 +406,10 @@ class CbtRouter : public netsim::NetworkAgent {
   RouterStats stats_;
   igmp::RouterIgmp igmp_;
   TunnelConfig tunnels_;
+  FlowCache flow_cache_;
+  /// Router-local share of the flow-cache epoch: bumped whenever gdr_ or
+  /// proxied_groups_ changes (IsSubnetDr inputs) and on crash/restart.
+  std::uint64_t dataplane_epoch_ = 0;
 
   std::map<Ipv4Address, std::unique_ptr<PendingJoin>> pending_;
   std::map<Ipv4Address, std::unique_ptr<QuitState>> quitting_;

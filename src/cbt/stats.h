@@ -62,6 +62,18 @@ struct RouterStats {
   std::uint64_t data_dropped_not_local = 0;  // section 5 local-origin check
   std::uint64_t data_bytes_sent = 0;
 
+  // Data-plane flow cache (fast path only; all zero under kSlow).
+  std::uint64_t dataplane_cache_hits = 0;
+  std::uint64_t dataplane_cache_misses = 0;       // cold or evicted slot
+  std::uint64_t dataplane_cache_invalidates = 0;  // generation mismatch
+  std::uint64_t dataplane_cache_occupancy = 0;    // gauge: live slots
+
+  // Forwarding-stage timing (only populated when CbtConfig::time_dataplane
+  // is set — bench_dataplane's hop-forwarding throughput measurement).
+  // Cycles are raw CycleNow() ticks; calls count timed handler entries.
+  std::uint64_t dataplane_stage_cycles = 0;
+  std::uint64_t dataplane_stage_calls = 0;
+
   /// Sum of every field tagged kControlSent below (joins originated,
   /// forwarded and retransmitted, acks, nacks, quits, flushes, echoes,
   /// pings — transmissions only, never receptions).
@@ -120,6 +132,12 @@ void ForEachStatsField(Stats& s, Fn&& fn) {
   fn("data_dropped_no_state", s.data_dropped_no_state, Tag::kNone);
   fn("data_dropped_not_local", s.data_dropped_not_local, Tag::kNone);
   fn("data_bytes_sent", s.data_bytes_sent, Tag::kNone);
+  fn("dataplane.cache_hit", s.dataplane_cache_hits, Tag::kNone);
+  fn("dataplane.cache_miss", s.dataplane_cache_misses, Tag::kNone);
+  fn("dataplane.cache_invalidate", s.dataplane_cache_invalidates, Tag::kNone);
+  fn("dataplane.cache_occupancy", s.dataplane_cache_occupancy, Tag::kNone);
+  fn("dataplane.stage_cycles", s.dataplane_stage_cycles, Tag::kNone);
+  fn("dataplane.stage_calls", s.dataplane_stage_calls, Tag::kNone);
 }
 
 }  // namespace cbt::core

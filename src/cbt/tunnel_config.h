@@ -42,7 +42,10 @@ class TunnelConfig {
  public:
   /// Marks an interface's forwarding mode; unset interfaces use the
   /// router-wide default (CbtConfig::native_mode).
-  void SetVifMode(VifIndex vif, VifMode mode) { modes_[vif] = mode; }
+  void SetVifMode(VifIndex vif, VifMode mode) {
+    modes_[vif] = mode;
+    ++version_;
+  }
 
   VifMode ModeOf(VifIndex vif, VifMode fallback) const {
     const auto it = modes_.find(vif);
@@ -54,6 +57,7 @@ class TunnelConfig {
   void AddTunnel(VifIndex vif, Ipv4Address remote) {
     tunnels_[vif] = remote;
     modes_[vif] = VifMode::kCbtTunnel;
+    ++version_;
   }
 
   std::optional<Ipv4Address> TunnelRemote(VifIndex vif) const {
@@ -66,6 +70,7 @@ class TunnelConfig {
   /// "backup-intfs" entries.
   void SetCoreRanking(Ipv4Address core, std::vector<VifIndex> ranked) {
     rankings_[core] = std::move(ranked);
+    ++version_;
   }
 
   bool HasRankingFor(Ipv4Address core) const {
@@ -83,10 +88,16 @@ class TunnelConfig {
                                            NodeId self,
                                            Ipv4Address core) const;
 
+  /// Monotonic counter bumped on every configuration mutation. Consumers
+  /// memoizing per-vif mode decisions (the data-plane flow cache) fold
+  /// this into their validity check instead of hooking every setter.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::map<VifIndex, VifMode> modes_;
   std::map<VifIndex, Ipv4Address> tunnels_;
   std::map<Ipv4Address, std::vector<VifIndex>> rankings_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace cbt::core

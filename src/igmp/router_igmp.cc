@@ -31,6 +31,7 @@ void RouterIgmp::Start() {
 }
 
 void RouterIgmp::ShutDown() {
+  ++state_version_;
   for (auto& vs : vifs_) {
     vs->querier = true;  // restart re-contests the election from scratch
     vs->other_querier = Ipv4Address{};
@@ -114,6 +115,7 @@ void RouterIgmp::HandleQuery(VifState& vs, Ipv4Address src,
                 .arg_a = static_cast<std::uint64_t>(vs.vif),
                 .arg_b = src.bits());
     }
+    if (vs.querier) ++state_version_;
     vs.querier = false;
     vs.other_querier = src;
     vs.query_timer.Cancel();
@@ -122,6 +124,7 @@ void RouterIgmp::HandleQuery(VifState& vs, Ipv4Address src,
           // The other querier went silent: take over.
           vs.querier = true;
           vs.other_querier = Ipv4Address{};
+          ++state_version_;
           OBS_TRACE(sim_->trace(), .time = sim_->Now(),
                     .kind = obs::TraceKind::kIgmp, .name = "querier-elected",
                     .node = self_.value(),
@@ -170,11 +173,15 @@ void RouterIgmp::HandleLeave(VifState& vs, Ipv4Address /*src*/,
 void RouterIgmp::RefreshGroup(VifState& vs, Ipv4Address group,
                               SimDuration timeout, bool from_leave) {
   auto& presence = vs.groups[group];
-  if (presence == nullptr) presence = std::make_unique<GroupPresence>();
+  if (presence == nullptr) {
+    presence = std::make_unique<GroupPresence>();
+    ++state_version_;
+  }
   presence->leave_pending = from_leave;
   presence->expiry.BindTo(*sim_);
   presence->expiry.Schedule(timeout, [this, &vs, group] {
     vs.groups.erase(group);
+    ++state_version_;
     CBT_DEBUG("igmp[%s vif%d]: group %s expired",
               sim_->node(self_).name.c_str(), vs.vif,
               group.ToString().c_str());

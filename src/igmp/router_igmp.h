@@ -98,6 +98,13 @@ class RouterIgmp {
   /// All groups with presence on at least one interface.
   std::vector<Ipv4Address> PresentGroups() const;
 
+  /// Monotonic counter bumped whenever externally observable state
+  /// changes: a group appears or expires on a vif, querier duty flips,
+  /// or ShutDown wipes the engine. Consumers that memoize decisions
+  /// derived from membership/querier state (the CBT data-plane flow
+  /// cache) poll this instead of subscribing to every callback.
+  std::uint64_t state_version() const { return state_version_; }
+
  private:
   struct GroupPresence {
     netsim::Timer expiry;
@@ -131,6 +138,7 @@ class RouterIgmp {
   IgmpConfig config_;
   Callbacks callbacks_;
   std::vector<std::unique_ptr<VifState>> vifs_;  // index-aligned with node vifs
+  std::uint64_t state_version_ = 0;
 };
 
 }  // namespace cbt::igmp

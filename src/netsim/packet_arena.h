@@ -71,6 +71,13 @@ class PacketArena {
   /// reference (i.e. immediately after Make/Clone).
   std::span<std::uint8_t> MutableBytes(const PacketRef& ref);
 
+  /// True when `ref` points into this arena and no other handle shares
+  /// the buffer — the holder may then patch the bytes in place (e.g. a
+  /// transit hop's TTL decrement) without any copy being observable.
+  bool SoleRefHere(const PacketRef& ref) const {
+    return ref.arena_ == this && buffers_[ref.index_].refs == 1;
+  }
+
   /// Releases the debug ownership binding so another thread may adopt
   /// the arena — the shard runtime hands region arenas between the
   /// coordinator and pool workers at window barriers (no-op in NDEBUG).

@@ -251,20 +251,79 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
   ++counters.frames_sent;
   counters.bytes_sent += datagram.size();
   if (frame_observer_) {
-    frame_observer_(
-        FrameEvent{Now(), node_id, s.id, link_dst, datagram.size()});
+    frame_observer_(FrameEvent{Now(), node_id, s.id, link_dst,
+                               datagram.size(), datagram});
   }
 
   // The payload is copied once into the packet arena and shared among all
   // receivers of a multicast frame; delivery closures hold cheap
   // refcounted handles instead of per-hop heap allocations.
-  PacketArena& arena = active_arena();
+  const PacketRef shared = active_arena().Make(datagram);
+  return FanOut(node_id, vif, out, s, counters, link_dst, shared);
+}
+
+bool Simulator::SendDatagramRef(NodeId node_id, VifIndex vif,
+                                Ipv4Address link_dst,
+                                const PacketRef& payload) {
+  const NodeRecord& sender = node(node_id);
+  if (!sender.up) return false;
+  const Interface& out = interface(node_id, vif);
+  SubnetRecord& s = subnet(out.subnet);
+  SubnetCounters& counters = counters_for(s);
+  if (!out.up || !s.up) {
+    ++counters.frames_dropped;
+    return false;
+  }
+
+  ++counters.frames_sent;
+  counters.bytes_sent += payload.bytes().size();
+  if (frame_observer_) {
+    frame_observer_(FrameEvent{Now(), node_id, s.id, link_dst,
+                               payload.bytes().size(), payload.bytes()});
+  }
+  return FanOut(node_id, vif, out, s, counters, link_dst, payload);
+}
+
+bool Simulator::FanOut(NodeId node_id, VifIndex vif, const Interface& out,
+                       SubnetRecord& s, SubnetCounters& counters,
+                       Ipv4Address link_dst, const PacketRef& shared) {
   Rng& frng = rng();
-  const PacketRef shared = arena.Make(datagram);
   const bool multi = link_dst.IsMulticast() ||
                      link_dst == Ipv4Address(0xFFFFFFFFu);  // broadcast
-
   const FaultProfile& faults = s.faults;
+
+  // Batched hop delivery: a fault-free multicast fan-out of N receivers
+  // becomes ONE vectored delivery event instead of N. Ordering proof: the
+  // N per-receiver closures would be scheduled consecutively at the same
+  // time with consecutive sequence numbers, so no other event can hold an
+  // intermediate slot — running the receivers back-to-back inside one
+  // event preserves the strict (time, sequence) order contract exactly.
+  // Receiver-side up/down checks stay at delivery time (DeliverFrame), so
+  // frames in flight still die with a link or node, and the attachment
+  // count is snapshotted so receivers attached after the transmission
+  // (AttachHost mid-run) are not reached — both identical to the
+  // per-receiver path. Faulty subnets (per-receiver RNG draws) and shard
+  // backends (region-crossing deliveries) always use per-receiver events.
+  if (delivery_mode_ == DeliveryMode::kBatched && backend_ == nullptr &&
+      multi && !faults.Any() && s.attachments.size() > 2) {
+    const SubnetId sid = s.id;
+    const auto count = static_cast<std::uint32_t>(s.attachments.size());
+    const Ipv4Address link_src = out.address;
+    Schedule(s.delay, [this, sid, count, node_id, vif, link_src, link_dst,
+                       payload = shared] {
+      // Re-fetch per iteration: a receiver's agent may attach new nodes
+      // to this subnet mid-batch, reallocating the attachment vector.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto [peer, peer_vif] = subnet(sid).attachments[i];
+        if (peer == node_id && peer_vif == vif) continue;  // no self-delivery
+        // InjectDelivery, not DeliverFrame: the one payload ref feeds
+        // every receiver in turn, so it must never look patchable.
+        InjectDelivery(peer, peer_vif, link_src, link_dst, payload.bytes());
+      }
+    });
+    return true;
+  }
+
   for (const auto& [peer, peer_vif] : s.attachments) {
     if (peer == node_id && peer_vif == vif) continue;  // no self-delivery
     const Interface& in = interface(peer, peer_vif);
@@ -298,6 +357,7 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
       PacketRef payload = shared;
       if (faults.corrupt_rate > 0.0 && !shared.bytes().empty() &&
           frng.NextBool(faults.corrupt_rate)) {
+        PacketArena& arena = active_arena();
         PacketRef mangled = arena.Clone(shared);
         const std::span<std::uint8_t> bytes = arena.MutableBytes(mangled);
         const std::size_t byte =
@@ -326,7 +386,12 @@ bool Simulator::SendDatagram(NodeId node_id, VifIndex vif,
 void Simulator::DeliverFrame(NodeId receiver, VifIndex vif,
                              Ipv4Address link_src, Ipv4Address link_dst,
                              const PacketRef& datagram) {
+  // Expose the arriving ref for the duration of the agent callback so a
+  // sole-owner transit hop can patch and resend it without a copy.
+  // Deliveries are scheduled, never synchronous, so this cannot nest.
+  current_delivery_ = &datagram;
   InjectDelivery(receiver, vif, link_src, link_dst, datagram.bytes());
+  current_delivery_ = nullptr;
 }
 
 void Simulator::InjectDelivery(NodeId receiver, VifIndex vif,

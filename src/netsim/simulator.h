@@ -164,6 +164,9 @@ struct FrameEvent {
   SubnetId subnet;
   Ipv4Address link_dst;
   std::size_t bytes;
+  /// The transmitted datagram; valid only for the duration of the
+  /// observer call (it may alias a pooled arena buffer).
+  std::span<const std::uint8_t> payload;
 };
 
 /// One scoped topology mutation, journaled 1:1 with topology-epoch bumps
@@ -358,6 +361,61 @@ class Simulator {
   bool SendDatagram(NodeId node, VifIndex vif, Ipv4Address link_dst,
                     std::vector<std::uint8_t> datagram);
 
+  /// Copies `datagram` into the current execution context's packet arena
+  /// and returns the pooled handle. Pair with SendDatagramRef so one
+  /// arena copy serves a whole fan-out (the data-plane encode-once path).
+  PacketRef MakePacket(std::span<const std::uint8_t> datagram) {
+    return active_arena().Make(datagram);
+  }
+
+  /// Like SendDatagram but transmits an already-pooled payload without
+  /// re-copying it; several sends may share one PacketRef. Wire bytes,
+  /// counters, fault draws and delivery order are identical to the
+  /// vector overload.
+  bool SendDatagramRef(NodeId node, VifIndex vif, Ipv4Address link_dst,
+                       const PacketRef& payload);
+
+  /// Mutable view of a packet just staged with MakePacket, valid only
+  /// while the caller holds the sole reference (asserted by the arena).
+  /// Lets the data plane patch a header in place instead of copying the
+  /// datagram through an intermediate buffer first.
+  std::span<std::uint8_t> MutablePacket(const PacketRef& ref) {
+    return active_arena().MutableBytes(ref);
+  }
+
+  /// Zero-copy transit: while an agent is inside OnDatagram for a
+  /// per-receiver frame delivery, this returns the arena handle of the
+  /// arriving buffer — IF the delivery closure is its sole owner and
+  /// `datagram` is exactly that buffer. The agent may then patch the
+  /// bytes in place (TTL decrement) and retransmit the same handle with
+  /// SendDatagramRef, eliding the per-hop copy entirely. Returns nullptr
+  /// whenever sharing could be observed: batched fan-outs (one buffer,
+  /// many receivers), shard-backend injections, duplicated/corrupted
+  /// copies still in flight, or a sub-span (decapsulated inner packet).
+  const PacketRef* PatchableDeliveryRef(
+      std::span<const std::uint8_t> datagram) {
+    const PacketRef* ref = current_delivery_;
+    if (ref == nullptr || !active_arena().SoleRefHere(*ref)) return nullptr;
+    const std::span<const std::uint8_t> bytes = ref->bytes();
+    if (bytes.data() != datagram.data() || bytes.size() != datagram.size()) {
+      return nullptr;
+    }
+    return ref;
+  }
+
+  /// How multicast fan-outs are delivered on the serial engine.
+  /// kBatched (default) schedules ONE vectored delivery event per subnet
+  /// transmission instead of one event per receiver; the receivers run
+  /// back-to-back inside it, in attachment order. This is observationally
+  /// identical to per-receiver events: the per-receiver closures would
+  /// occupy consecutive (time, sequence) slots that no other event can
+  /// interleave. Batching is bypassed whenever it could matter — faulty
+  /// subnets (per-receiver RNG draws) and shard backends keep the
+  /// per-receiver path. kPerReceiver survives for the differential tests.
+  enum class DeliveryMode : std::uint8_t { kBatched, kPerReceiver };
+  void SetDeliveryMode(DeliveryMode mode) { delivery_mode_ = mode; }
+  DeliveryMode delivery_mode() const { return delivery_mode_; }
+
   void SetFrameObserver(std::function<void(const FrameEvent&)> observer) {
     frame_observer_ = std::move(observer);
   }
@@ -419,6 +477,12 @@ class Simulator {
   void DeliverFrame(NodeId receiver, VifIndex vif, Ipv4Address link_src,
                     Ipv4Address link_dst, const PacketRef& datagram);
 
+  /// Receiver fan-out shared by both SendDatagram overloads: per-receiver
+  /// fault application and delivery scheduling (or one batched event).
+  bool FanOut(NodeId node, VifIndex vif, const Interface& out,
+              SubnetRecord& s, SubnetCounters& counters,
+              Ipv4Address link_dst, const PacketRef& shared);
+
   /// Bumps the topology epoch and journals the scoped change.
   void RecordTopologyChange(TopologyChange::Kind kind, SubnetId subnet,
                             NodeId node, bool up);
@@ -431,6 +495,11 @@ class Simulator {
   PacketArena& active_arena() {
     return backend_ != nullptr ? backend_->ContextArena() : arena_;
   }
+
+  /// The frame ref currently being delivered (set around the agent
+  /// callback in DeliverFrame; see PatchableDeliveryRef). Never set for
+  /// batched deliveries — their one ref feeds several receivers.
+  const PacketRef* current_delivery_ = nullptr;
 
   SimTime clock_ = 0;
   PacketArena arena_;  // outlives events_: queued closures hold PacketRefs
@@ -448,6 +517,7 @@ class Simulator {
   int trace_pid_ = 1;
   std::uint64_t seed_ = 1;
   ShardBackend* backend_ = nullptr;
+  DeliveryMode delivery_mode_ = DeliveryMode::kBatched;
 };
 
 /// RAII node-affinity marker for code that acts *on behalf of* a node

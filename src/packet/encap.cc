@@ -73,6 +73,34 @@ std::vector<std::uint8_t> BuildCbtModeDatagram(
   return std::move(out).Take();
 }
 
+CbtModeEncoder::CbtModeEncoder(const CbtDataHeader& hdr,
+                               std::span<const std::uint8_t> original_datagram,
+                               std::uint8_t outer_ttl)
+    : template_(BuildCbtModeDatagram(Ipv4Address{}, Ipv4Address{}, hdr,
+                                     original_datagram, outer_ttl)) {}
+
+std::vector<std::uint8_t> CbtModeEncoder::Build(Ipv4Address outer_src,
+                                                Ipv4Address outer_dst) const {
+  std::vector<std::uint8_t> out = template_;
+  const std::uint32_t src = outer_src.bits();
+  const std::uint32_t dst = outer_dst.bits();
+  out[12] = static_cast<std::uint8_t>(src >> 24);
+  out[13] = static_cast<std::uint8_t>(src >> 16);
+  out[14] = static_cast<std::uint8_t>(src >> 8);
+  out[15] = static_cast<std::uint8_t>(src);
+  out[16] = static_cast<std::uint8_t>(dst >> 24);
+  out[17] = static_cast<std::uint8_t>(dst >> 16);
+  out[18] = static_cast<std::uint8_t>(dst >> 8);
+  out[19] = static_cast<std::uint8_t>(dst);
+  out[10] = 0;
+  out[11] = 0;
+  const std::uint16_t sum = InternetChecksum(
+      std::span<const std::uint8_t>(out).subspan(0, kIpv4HeaderSize));
+  out[10] = static_cast<std::uint8_t>(sum >> 8);
+  out[11] = static_cast<std::uint8_t>(sum);
+  return out;
+}
+
 std::optional<CbtModeData> ExtractCbtModeData(const ParsedDatagram& dgram) {
   if (dgram.ip.protocol != IpProtocol::kCbt) return std::nullopt;
   BufferReader in(dgram.payload);

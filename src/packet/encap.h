@@ -54,6 +54,25 @@ struct CbtModeData {
 
 std::optional<CbtModeData> ExtractCbtModeData(const ParsedDatagram& dgram);
 
+/// Encode-once helper for per-hop CBT fan-out: serializes the constant
+/// tail (CBT header + original datagram) exactly once, then Build()
+/// stamps each target's 20-byte outer IP header (src, dst, checksum)
+/// into a copy of the shared template. Output is byte-identical to
+/// BuildCbtModeDatagram for every (src, dst) pair, but a fan-out of N
+/// targets performs one CBT-header/payload serialization instead of N.
+class CbtModeEncoder {
+ public:
+  CbtModeEncoder(const CbtDataHeader& hdr,
+                 std::span<const std::uint8_t> original_datagram,
+                 std::uint8_t outer_ttl = kDefaultTtl);
+
+  std::vector<std::uint8_t> Build(Ipv4Address outer_src,
+                                  Ipv4Address outer_dst) const;
+
+ private:
+  std::vector<std::uint8_t> template_;  // outer header zeroed where per-target
+};
+
 // --- Application payload -----------------------------------------------------
 
 /// Builds a native IP multicast data datagram with an opaque payload

@@ -1,0 +1,353 @@
+// Data-plane fast path (flow cache + encode-once forwarding): cache
+// counter behaviour, generation invalidation, the stale-cache negative
+// probe, and fast-vs-slow / batched-vs-per-receiver differentials that
+// pin the fast path byte-identical to the per-packet slow oracle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/delivery_monitor.h"
+#include "analysis/migration.h"
+#include "cbt/domain.h"
+#include "cbt/flow_cache.h"
+#include "netsim/simulator.h"
+#include "netsim/topologies.h"
+
+namespace cbt::core {
+namespace {
+
+using netsim::MakeFigure1;
+using netsim::MakeGrid;
+using netsim::Simulator;
+using netsim::Topology;
+
+constexpr Ipv4Address kGroup(239, 1, 2, 3);
+constexpr const char* kMembers[] = {"A", "B", "C", "D", "E", "F",
+                                    "G", "H", "I", "J", "K", "L"};
+
+// ---------------------------------------------------------------------
+// FlowCache unit behaviour (no simulator).
+// ---------------------------------------------------------------------
+
+FlowKey KeyFor(std::uint8_t octet) {
+  FlowKey key;
+  key.group = Ipv4Address(239, 9, 9, octet);
+  key.arrival_vif = 1;
+  key.arrival_src = Ipv4Address(10, 0, 0, octet);
+  return key;
+}
+
+/// Installs `key` if absent; returns true when the probe was a hit.
+bool Probe(FlowCache& cache, const FlowKey& key) {
+  FlowSlot& slot = cache.SlotFor(key);
+  const bool hit = slot.valid && slot.key == key;
+  if (!hit) {
+    slot.key = key;
+    slot.valid = true;
+  }
+  return hit;
+}
+
+TEST(FlowCacheUnit, AlternatingFlowsStayResident) {
+  // The direct-mapped regression: two flows arriving in strict A,B,A,B
+  // alternation must both stay resident (a shared set holds four ways),
+  // never evict each other per-packet.
+  FlowCache cache;
+  const FlowKey a = KeyFor(1);
+  const FlowKey b = KeyFor(2);
+  Probe(cache, a);
+  Probe(cache, b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(Probe(cache, a)) << "iteration " << i;
+    EXPECT_TRUE(Probe(cache, b)) << "iteration " << i;
+  }
+}
+
+TEST(FlowCacheUnit, FourInterleavedFlowsAllStayResident) {
+  // Worst case: all four keys land in ONE set; four ways still hold
+  // them all, so interleaved arrivals hit from the second round on.
+  FlowCache cache;
+  FlowKey keys[4] = {KeyFor(1), KeyFor(2), KeyFor(3), KeyFor(4)};
+  for (const FlowKey& k : keys) Probe(cache, k);
+  for (int round = 0; round < 50; ++round) {
+    for (const FlowKey& k : keys) {
+      EXPECT_TRUE(Probe(cache, k)) << "round " << round;
+    }
+  }
+}
+
+TEST(FlowCacheUnit, OverflowEvictsWithoutExceedingCapacity) {
+  FlowCache cache;
+  for (std::uint8_t i = 0; i < 200; ++i) {
+    FlowKey key = KeyFor(i);
+    key.arrival_vif = static_cast<VifIndex>(i % 7);
+    Probe(cache, key);
+  }
+  EXPECT_LE(cache.Occupancy(), FlowCache::kSlots);
+  EXPECT_GT(cache.Occupancy(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.Occupancy(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Cache counters against a live tree (Figure 1).
+// ---------------------------------------------------------------------
+
+class FlowCacheFixture : public ::testing::Test {
+ protected:
+  FlowCacheFixture() : topo(MakeFigure1(sim)) {
+    domain.emplace(sim, topo, CbtConfig{});  // dataplane defaults to kFast
+    domain->RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
+    domain->Start();
+    sim.RunUntil(kSecond);
+  }
+
+  void JoinAll() {
+    for (const char* h : kMembers) domain->host(h).JoinGroup(kGroup);
+    sim.RunUntil(30 * kSecond);
+  }
+
+  std::uint64_t SumStat(std::uint64_t RouterStats::* field) {
+    std::uint64_t total = 0;
+    for (const auto& id : domain->router_ids()) {
+      total += domain->router(id).stats().*field;
+    }
+    return total;
+  }
+
+  void ResetStats() {
+    for (const auto& id : domain->router_ids()) {
+      domain->router(id).mutable_stats() = RouterStats{};
+    }
+  }
+
+  Simulator sim{1};
+  Topology topo;
+  std::optional<CbtDomain> domain;
+};
+
+TEST_F(FlowCacheFixture, RepeatSendsHitTheCache) {
+  JoinAll();
+  const std::vector<std::uint8_t> payload{'p', 'k', 't'};
+  domain->host("G").SendToGroup(kGroup, payload);
+  sim.RunUntil(31 * kSecond);
+  const std::uint64_t misses_after_first =
+      SumStat(&RouterStats::dataplane_cache_misses);
+  EXPECT_GT(misses_after_first, 0u) << "first packet must populate";
+  EXPECT_GT(SumStat(&RouterStats::dataplane_cache_occupancy), 0u);
+
+  // Same flow again: every on-tree router resolves from cache.
+  domain->host("G").SendToGroup(kGroup, payload);
+  sim.RunUntil(32 * kSecond);
+  EXPECT_GT(SumStat(&RouterStats::dataplane_cache_hits), 0u);
+  EXPECT_EQ(SumStat(&RouterStats::dataplane_cache_misses),
+            misses_after_first)
+      << "repeat of an identical flow must not rebuild decisions";
+}
+
+TEST_F(FlowCacheFixture, MembershipChangeInvalidatesCachedFlows) {
+  // Join everyone but L, warm the cache, then let L join: the routers
+  // whose FIB entry (or IGMP state) changed must re-resolve the flow —
+  // counted as invalidates/misses, never served stale.
+  for (const char* h : kMembers) {
+    if (std::string(h) != "L") domain->host(h).JoinGroup(kGroup);
+  }
+  sim.RunUntil(30 * kSecond);
+  const std::vector<std::uint8_t> payload{'x'};
+  domain->host("G").SendToGroup(kGroup, payload);
+  sim.RunUntil(31 * kSecond);
+
+  ResetStats();
+  domain->host("L").JoinGroup(kGroup);
+  sim.RunUntil(40 * kSecond);
+  domain->host("G").SendToGroup(kGroup, payload);
+  sim.RunUntil(41 * kSecond);
+
+  EXPECT_EQ(domain->host("L").ReceivedCount(kGroup), 1u);
+  EXPECT_GT(SumStat(&RouterStats::dataplane_cache_invalidates) +
+                SumStat(&RouterStats::dataplane_cache_misses),
+            0u)
+      << "a tree mutation must force at least one re-resolve";
+}
+
+TEST_F(FlowCacheFixture, StaleCacheWithoutGenerationBumpIsDetected) {
+  // The negative probe for the invalidation contract: edit a FIB entry
+  // behind the generation counter's back and FlowCacheCoherent() must
+  // report the cache stale; bumping the generation (what every real
+  // mutation site does) clears it because the slot would re-resolve.
+  JoinAll();
+  const std::vector<std::uint8_t> payload{'x'};
+  domain->host("G").SendToGroup(kGroup, payload);
+  sim.RunUntil(31 * kSecond);
+
+  CbtRouter& r4 = domain->router(topo.node("R4"));
+  EXPECT_TRUE(r4.FlowCacheCoherent());
+
+  FibEntry* entry = r4.mutable_fib().Find(kGroup);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_FALSE(entry->children.empty());
+  entry->children.clear();  // forwarding-visible edit, NO Touch()
+  EXPECT_FALSE(r4.FlowCacheCoherent())
+      << "stale decision survived a silent FIB edit undetected";
+
+  entry->Touch();
+  EXPECT_TRUE(r4.FlowCacheCoherent())
+      << "a generation bump must mark the slot for re-resolution";
+}
+
+// ---------------------------------------------------------------------
+// Differentials: the fast path must be byte-identical to the slow
+// path, and batched delivery to per-receiver delivery.
+// ---------------------------------------------------------------------
+
+struct RunOutcome {
+  /// One line per delivered packet per member, in delivery order:
+  /// receiver, source, sim-time, size, payload head. Equality of these
+  /// vectors is equality of every delivered byte AND its timing.
+  std::vector<std::string> events;
+  std::uint64_t arena_makes = 0;
+};
+
+RunOutcome RunFigure1Scenario(DataplaneMode mode, std::uint32_t seed,
+                              Simulator::DeliveryMode delivery) {
+  Simulator sim{seed};
+  sim.SetDeliveryMode(delivery);
+  Topology topo = MakeFigure1(sim);
+  CbtConfig config;
+  config.dataplane = mode;
+  CbtDomain domain(sim, topo, config);
+  domain.RegisterGroup(kGroup, {topo.node("R4"), topo.node("R9")});
+  domain.Start();
+  sim.RunUntil(kSecond);
+
+  for (const char* h : kMembers) domain.host(h).JoinGroup(kGroup);
+  sim.RunUntil(30 * kSecond);
+
+  // Seed-rotated churn: three member senders, a non-member sender (the
+  // DR-relay / encapsulation path), a leave, then more traffic over the
+  // mutated tree so invalidation is exercised, not just cold fills.
+  auto payload = [](std::uint32_t tag) {
+    return std::vector<std::uint8_t>{
+        static_cast<std::uint8_t>(tag >> 24), static_cast<std::uint8_t>(tag >> 16),
+        static_cast<std::uint8_t>(tag >> 8), static_cast<std::uint8_t>(tag)};
+  };
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    domain.host(kMembers[(seed + 4 * i) % 12]).SendToGroup(kGroup,
+                                                           payload(100 + i));
+  }
+  auto& outsider = domain.AddHost(topo.subnet("S12"), "outsider");
+  outsider.SendToGroup(kGroup, payload(200));
+  sim.RunUntil(45 * kSecond);
+
+  domain.host(kMembers[seed % 12]).LeaveGroup(kGroup);
+  sim.RunUntil(55 * kSecond);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    domain.host(kMembers[(seed + 1 + 5 * i) % 12]).SendToGroup(kGroup,
+                                                               payload(300 + i));
+  }
+  sim.RunUntil(70 * kSecond);
+
+  RunOutcome out;
+  for (const char* h : kMembers) {
+    for (const HostAgent::Received& r : domain.host(h).received()) {
+      std::ostringstream line;
+      line << h << " src=" << r.src.ToString() << " t=" << r.time
+           << " n=" << r.bytes << " head=" << r.payload_head;
+      out.events.push_back(line.str());
+    }
+  }
+  out.arena_makes = sim.packet_arena().total_makes();
+  return out;
+}
+
+TEST(DataplaneDifferential, FastMatchesSlowByteForByteAcrossFiveSeeds) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    const RunOutcome fast = RunFigure1Scenario(
+        DataplaneMode::kFast, seed, Simulator::DeliveryMode::kBatched);
+    const RunOutcome slow = RunFigure1Scenario(
+        DataplaneMode::kSlow, seed, Simulator::DeliveryMode::kBatched);
+    ASSERT_FALSE(fast.events.empty()) << "seed " << seed;
+    EXPECT_EQ(fast.events, slow.events) << "seed " << seed;
+    // Encode-once + zero-copy transit: the fast leg must stage strictly
+    // fewer arena buffers for the identical delivered stream.
+    EXPECT_LT(fast.arena_makes, slow.arena_makes) << "seed " << seed;
+  }
+}
+
+TEST(DataplaneDifferential, BatchedDeliveryMatchesPerReceiver) {
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    const RunOutcome batched = RunFigure1Scenario(
+        DataplaneMode::kFast, seed, Simulator::DeliveryMode::kBatched);
+    const RunOutcome per_rx = RunFigure1Scenario(
+        DataplaneMode::kFast, seed, Simulator::DeliveryMode::kPerReceiver);
+    ASSERT_FALSE(batched.events.empty()) << "seed " << seed;
+    EXPECT_EQ(batched.events, per_rx.events) << "seed " << seed;
+  }
+}
+
+// Live core migration under a sequence-stamped stream: the fast path
+// must deliver the identical gap-free stream the slow path does while
+// the tree re-homes — the harshest invalidation workload we have.
+RunOutcome RunMigrationScenario(DataplaneMode mode) {
+  Simulator sim(7);
+  Topology topo = MakeGrid(sim, 4, 4);
+  const auto router_at = [&](int x, int y) {
+    return topo.routers[static_cast<std::size_t>(y * 4 + x)];
+  };
+  const auto lan_at = [&](int x, int y) {
+    return topo.router_lans[static_cast<std::size_t>(y * 4 + x)];
+  };
+  CbtConfig config;
+  config.dataplane = mode;
+  CbtDomain domain(sim, topo, config);
+  const NodeId old_core = router_at(0, 0);
+  const NodeId new_core = router_at(3, 3);
+  domain.RegisterGroup(kGroup, {old_core});
+  domain.Start();
+  sim.RunUntil(kSecond);
+
+  HostAgent& src = domain.AddHost(lan_at(0, 0), "src");
+  HostAgent& rx_a = domain.AddHost(lan_at(3, 0), "rx-a");
+  HostAgent& rx_b = domain.AddHost(lan_at(0, 3), "rx-b");
+  for (HostAgent* h : {&src, &rx_a, &rx_b}) h->JoinGroup(kGroup);
+  sim.RunUntil(sim.Now() + 20 * kSecond);
+
+  analysis::DeliveryMonitor monitor(domain, kGroup);
+  monitor.WatchReceiver(rx_a.id());
+  monitor.WatchReceiver(rx_b.id());
+  monitor.StartSender(src.id(), 500 * kMillisecond);
+  sim.RunUntil(sim.Now() + 5 * kSecond);
+
+  analysis::CoreMigrator migrator(domain);
+  const auto report = migrator.Migrate(kGroup, {new_core});
+  EXPECT_TRUE(report.ok) << report.error;
+  sim.RunUntil(sim.Now() + 10 * kSecond);
+  monitor.StopSender();
+  EXPECT_EQ(monitor.TotalGaps(), 0u);
+
+  RunOutcome out;
+  for (const HostAgent* h : {&rx_a, &rx_b}) {
+    for (const HostAgent::Received& r : h->received()) {
+      std::ostringstream line;
+      line << h->id().value() << " src=" << r.src.ToString() << " t=" << r.time
+           << " n=" << r.bytes << " head=" << r.payload_head;
+      out.events.push_back(line.str());
+    }
+  }
+  out.arena_makes = sim.packet_arena().total_makes();
+  return out;
+}
+
+TEST(DataplaneDifferential, FastMatchesSlowAcrossLiveCoreMigration) {
+  const RunOutcome fast = RunMigrationScenario(DataplaneMode::kFast);
+  const RunOutcome slow = RunMigrationScenario(DataplaneMode::kSlow);
+  ASSERT_FALSE(fast.events.empty());
+  EXPECT_EQ(fast.events, slow.events);
+  EXPECT_LT(fast.arena_makes, slow.arena_makes);
+}
+
+}  // namespace
+}  // namespace cbt::core
